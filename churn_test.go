@@ -1,0 +1,72 @@
+package tiger
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestChurnNoConflicts drives a high-churn workload (Poisson arrivals,
+// random stops) at ~90% load and requires zero slot conflicts. This is
+// the regression test for insertion/deschedule races under churn.
+func TestChurnNoConflicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn run")
+	}
+	o := DefaultOptions()
+	o.ClientDropProb = 0
+	o.AdmitLimit = 0.9
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(o.NumFiles-1))
+
+	var live []*Stream
+	for tick := 0; tick < 600; tick++ {
+		n := poissonDraw(rng, 4.0)
+		for i := 0; i < n; i++ {
+			s, err := c.Play(FileID(zipf.Uint64()), 0)
+			if err != nil {
+				continue
+			}
+			live = append(live, s)
+		}
+		keep := live[:0]
+		for _, s := range live {
+			if s.Done() {
+				continue
+			}
+			if rng.Float64() < 1.0/240 {
+				s.Stop()
+				continue
+			}
+			keep = append(keep, s)
+		}
+		live = keep
+		c.RunFor(time.Second)
+	}
+	ok, lost, _ := c.ViewerTotals()
+	t.Logf("delivered=%d lost=%d active=%d conflicts=%d cubConflicts=%d",
+		ok, lost, c.Active(), c.InvariantViolations(), c.TotalCubStats().Conflicts)
+	if v := c.InvariantViolations(); v != 0 {
+		t.Errorf("slot conflicts under churn: %d", v)
+	}
+	if lost > (ok+lost)/10000 {
+		t.Errorf("excessive losses under churn: %d of %d", lost, ok+lost)
+	}
+}
+
+func poissonDraw(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

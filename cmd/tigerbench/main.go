@@ -1,0 +1,340 @@
+// Command tigerbench regenerates the paper's evaluation: every figure
+// and table of "Distributed Schedule Management in the Tiger Video
+// Fileserver" (SOSP '97), plus the ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	tigerbench -exp all            # quick versions of everything
+//	tigerbench -exp fig8 -paper    # the full §5 procedure (50 s steps)
+//	tigerbench -exp loss -hold 1h  # the paper's hour at full load
+//
+// All runs are deterministic in virtual time; -seed varies the workload.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"tiger"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|score|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|all")
+	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
+	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
+	seed     = flag.Int64("seed", 1, "workload seed")
+	clients  = flag.Bool("client-drops", false, "model overloaded client machines (the paper's 8 client-side losses)")
+	failedAt = flag.Int("fail-cub", 5, "cub to fail in failed-mode runs")
+	csvDir   = flag.String("csv", "", "also write plot-ready CSV files for fig8/fig9/fig10/scale into this directory")
+)
+
+// writeCSV emits rows into <csvDir>/<name>.csv when -csv is set.
+func writeCSV(name string, header []string, rows [][]string) error {
+	if *csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func main() {
+	flag.Parse()
+	o := tiger.DefaultOptions()
+	o.Seed = *seed
+	if !*clients {
+		o.ClientDropProb = 0
+	}
+
+	ramp := tiger.QuickRamp()
+	lossHold := 3 * time.Minute
+	if *paper {
+		ramp = tiger.PaperRamp()
+		lossHold = time.Hour
+	}
+	if *hold > 0 {
+		lossHold = *hold
+	}
+
+	run := func(name string, fn func() error) {
+		if *expFlag != "all" && *expFlag != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("capacity", func() error { return capacity(o) })
+	run("fig8", func() error { return loadCurve(o, -1, ramp) })
+	run("fig9", func() error { return loadCurve(o, *failedAt, ramp) })
+	run("fig10", func() error { return fig10(o, ramp) })
+	run("loss", func() error { return loss(o, lossHold) })
+	run("reconfig", func() error { return reconfig(o) })
+	run("scale", func() error { return scale(o) })
+	run("ablate-fwd", func() error { return ablateFwd(o) })
+	run("ablate-dc", func() error { return ablateDc(o) })
+	run("ablate-lead", func() error { return ablateLead(o) })
+	run("flash", func() error { return flash(o) })
+	run("score", func() error { return score(o) })
+	run("ablate-frag", func() error { return ablateFrag() })
+}
+
+func flash(o tiger.Options) error {
+	header("Flash crowd: every viewer requests the same title (§2.2)",
+		"striping prevents hotspots; Tiger delays starts to enforce equitemporal spacing")
+	res, err := tiger.RunFlashCrowd(o, 300, 2*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  viewers          : %d requested at t=0, %d admitted\n", res.Viewers, res.Admitted)
+	fmt.Printf("  start spread     : %v .. %v (%.1f starts/s ~ one disk's slot rate)\n",
+		res.FirstStart.Round(time.Millisecond), res.LastStart.Round(time.Millisecond), res.AdmitRate)
+	fmt.Printf("  disk duty        : mean %.0f%%, max %.0f%% (no hotspot)\n",
+		res.MeanDiskDuty*100, res.MaxDiskDuty*100)
+	fmt.Printf("  blocks           : %d delivered, %d lost\n", res.BlocksOK, res.BlocksLost)
+	return nil
+}
+
+func header(title, paperSays string) {
+	fmt.Println(strings.Repeat("=", 78))
+	fmt.Println(title)
+	if paperSays != "" {
+		fmt.Printf("paper: %s\n", paperSays)
+	}
+	fmt.Println(strings.Repeat("-", 78))
+}
+
+func capacity(o tiger.Options) error {
+	header("Capacity plan (§5 configuration)",
+		"56 disks, 0.25 MB blocks, decluster 4 -> ~10.75 streams/disk, 602 streams")
+	c := tiger.CapacityTable(o)
+	fmt.Printf("  block service time : %v\n", c.BlockService)
+	fmt.Printf("  streams per disk   : %.3f\n", c.StreamsPerDisk)
+	fmt.Printf("  system capacity    : %d streams\n", c.Streams)
+	fmt.Printf("  schedule length    : %v (%d slots)\n",
+		time.Duration(o.Cubs*o.DisksPerCub)*o.BlockPlay, c.Streams)
+	return nil
+}
+
+func loadCurve(o tiger.Options, failCub int, ramp tiger.RampSpec) error {
+	if failCub >= 0 {
+		header("Figure 9: Tiger loads with one cub failed",
+			"mirror disks >95% duty; control ~2x unfailed, <=21 KB/s; cub CPU <=85%; 13.4 MB/s sends")
+	} else {
+		header("Figure 8: Tiger loads with no cubs failed",
+			"cub CPU linear in streams; controller flat; control traffic in the KB/s range")
+	}
+	res, err := tiger.RunLoadCurve(o, failCub, ramp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %8s %9s %9s %11s %11s %10s\n",
+		"streams", "cubCPU%", "ctrlCPU%", "disk%", "mirror%", "ctl KB/s", "send MB/s")
+	for _, s := range res.Samples {
+		fmt.Printf("%8d %8.1f %9.2f %9.1f %11.1f %11.2f %10.2f\n",
+			s.Streams, s.CubCPU*100, s.CtrlCPU*100, s.DiskLoad*100,
+			s.MirrorDiskLoad*100, s.CtlTrafficBps/1e3, s.DataRateBps/1e6)
+	}
+	fmt.Printf("blocks ok=%d lost=%d (server misses %d, mirror-served %d); conflicts=%d\n",
+		res.BlocksOK, res.BlocksLost, res.ServerMisses, res.MirrorBlocks, res.Violations)
+	if res.LossRate > 0 {
+		fmt.Printf("loss rate: 1 in %.0f\n", res.LossRate)
+	}
+	name := "fig8"
+	if failCub >= 0 {
+		name = "fig9"
+	}
+	var rows [][]string
+	for _, smp := range res.Samples {
+		rows = append(rows, []string{
+			strconv.Itoa(smp.Streams), f1(smp.CubCPU), f1(smp.CtrlCPU), f1(smp.DiskLoad),
+			f1(smp.MirrorDiskLoad), f1(smp.CtlTrafficBps), f1(smp.DataRateBps),
+		})
+	}
+	return writeCSV(name,
+		[]string{"streams", "cub_cpu", "ctrl_cpu", "disk_load", "mirror_disk_load", "ctl_bps", "data_bps"},
+		rows)
+}
+
+func fig10(o tiger.Options, ramp tiger.RampSpec) error {
+	header("Figure 10: stream startup latency vs schedule load",
+		"~1.8 s floor below 50% load; mean <5 s at 95%; outliers >20 s near 100%")
+	res, err := tiger.RunFigure10(o, ramp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %12s\n", "load", "mean start")
+	for i := range res.BucketLoad {
+		fmt.Printf("%9.0f%% %12v\n", res.BucketLoad[i]*100, res.BucketMean[i].Round(time.Millisecond))
+	}
+	fmt.Printf("starts=%d  floor=%v  mean@90-97%%=%v  >20s outliers=%d\n",
+		len(res.Points), res.Floor.Round(time.Millisecond),
+		res.MeanAt95.Round(time.Millisecond), res.Over20s)
+	var rows [][]string
+	for _, pt := range res.Points {
+		rows = append(rows, []string{f1(pt.Load), f1(pt.Latency.Seconds())})
+	}
+	return writeCSV("fig10", []string{"load", "latency_s"}, rows)
+}
+
+func loss(o tiger.Options, hold time.Duration) error {
+	header(fmt.Sprintf("Loss rates at full load (%v steady state)", hold),
+		"unfailed ~1 in 180,000; failed-mode hour ~1 in 40,000")
+	rs, err := tiger.RunLossRates(o, hold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %8s %10s %7s %10s %12s\n",
+		"scenario", "streams", "blocks", "lost", "srv-miss", "rate")
+	for _, r := range rs {
+		rate := "lossless"
+		if r.LossRate > 0 {
+			rate = fmt.Sprintf("1 in %.0f", r.LossRate)
+		}
+		fmt.Printf("%-28s %8d %10d %7d %10d %12s\n",
+			r.Name, r.Streams, r.BlocksOK+r.BlocksLost, r.BlocksLost, r.ServerMisses, rate)
+	}
+	return nil
+}
+
+func reconfig(o tiger.Options) error {
+	header("Reconfiguration after a power cut at 50% load",
+		"about 8 seconds between the earliest and latest lost block")
+	res, err := tiger.RunReconfig(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  streams          : %d\n", res.Streams)
+	fmt.Printf("  blocks lost      : %d\n", res.LostBlocks)
+	fmt.Printf("  loss window      : %v\n", res.LossSpan.Round(time.Millisecond))
+	fmt.Printf("  deadman timeout  : %v\n", res.DetectedIn)
+	fmt.Printf("  mirror catches   : %d blocks\n", res.MirrorCatch)
+	return nil
+}
+
+func scale(o tiger.Options) error {
+	header("Scalability: distributed vs centralized control (§3.3)",
+		"central controller needs MB/s at tens of thousands of streams; per-cub traffic stays flat")
+	pts, err := tiger.RunScalability(o, []int{7, 14, 28, 56}, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %9s %14s %15s %12s %9s\n",
+		"cubs", "streams", "per-cub KB/s", "central KB/s", "view size", "ctrlCPU%")
+	for _, p := range pts {
+		fmt.Printf("%6d %9d %14.2f %15.2f %12d %9.3f\n",
+			p.Cubs, p.Streams, p.PerCubCtlBps/1e3, p.CentralizedBps/1e3,
+			p.MaxViewEntries, p.ControllerLoad*100)
+	}
+	// The paper's 1000-cub extrapolation.
+	fmt.Printf("extrapolation: 40,000 streams -> central controller sends %.1f MB/s of viewer states\n",
+		40000*97/1e6)
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Cubs), strconv.Itoa(p.Streams),
+			f1(p.PerCubCtlBps), f1(p.CentralizedBps), strconv.Itoa(p.MaxViewEntries),
+		})
+	}
+	return writeCSV("scale",
+		[]string{"cubs", "streams", "per_cub_ctl_bps", "centralized_bps", "view_entries"}, rows)
+}
+
+func ablateFwd(o tiger.Options) error {
+	header("Ablation A1: double vs single forwarding (§4.1.1)",
+		"single forwarding halves control traffic but loses queued schedule info on failure")
+	res, err := tiger.RunAblationForwarding(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %16s\n", "variant", "blocks lost", "ctl bytes/s")
+	fmt.Printf("%-10s %14d %16.0f\n", "double", res.DoubleLost, res.DoubleCtl)
+	fmt.Printf("%-10s %14d %16.0f\n", "single", res.SingleLost, res.SingleCtl)
+	fmt.Printf("(%d streams, %v after the failure)\n", res.Streams, res.RunDuration)
+	return nil
+}
+
+func ablateDc(o tiger.Options) error {
+	header("Ablation A2: decluster factor trade-off (§2.3)",
+		"decluster 4: 1/5 bandwidth reserved, 8 vulnerable disks; decluster 2: 1/3 reserved, span 4")
+	pts, err := tiger.RunAblationDecluster(o, []int{2, 4, 8}, 20*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%4s %10s %10s %7s %13s %7s\n",
+		"dc", "capacity", "reserved", "span", "mirror duty%", "lost")
+	for _, p := range pts {
+		fmt.Printf("%4d %10d %9.1f%% %7d %13.1f %7d\n",
+			p.Decluster, p.Capacity, p.ReservedFraction*100, p.VulnerableSpan,
+			p.MirrorDiskLoad*100, p.BlocksLost)
+	}
+	return nil
+}
+
+func ablateLead(o tiger.Options) error {
+	header("Ablation A3: viewer-state lead sweep (§4.1.1)",
+		"typical minVStateLead=4s, maxVStateLead=9s; views bounded by the max lead")
+	pairs := [][2]time.Duration{
+		{time.Second, 2 * time.Second},
+		{2 * time.Second, 5 * time.Second},
+		{4 * time.Second, 9 * time.Second},
+		{8 * time.Second, 18 * time.Second},
+	}
+	pts, err := tiger.RunAblationLead(o, pairs, 20*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %8s %10s %12s %11s %6s\n",
+		"min", "max", "msgs/s", "ctl KB/s", "view size", "lost")
+	for _, p := range pts {
+		fmt.Printf("%8v %8v %10.1f %12.2f %11d %6d\n",
+			p.MinLead, p.MaxLead, p.CtlMsgsPerSec, p.CtlBps/1e3, p.MaxViewEntries, p.BlocksLost)
+	}
+	return nil
+}
+
+func ablateFrag() error {
+	header("Ablation A4: network-schedule start quantization (§3.2)",
+		"fragmentation acceptable when starts are multiples of blockPlay/decluster")
+	quanta := []time.Duration{0, 125 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond}
+	pts, err := tiger.RunAblationFragmentation(14, 100_000_000, quanta, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %10s %13s %15s\n", "quantum", "admitted", "utilization", "frag loss")
+	for _, p := range pts {
+		q := "arbitrary"
+		if p.Quantum > 0 {
+			q = p.Quantum.String()
+		}
+		fmt.Printf("%12s %10d %12.1f%% %14.1f%%\n",
+			q, p.Admitted, p.Utilization*100, p.Fragmentation*100)
+	}
+	return nil
+}

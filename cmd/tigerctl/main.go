@@ -1,0 +1,153 @@
+// Command tigerctl is the client for a running tigerd system: it starts
+// streams, receives and verifies the blocks (like the paper's
+// measurement client, which rendered nothing and checked timeliness),
+// and stops streams.
+//
+//	tigerctl -controller 127.0.0.1:7000 -play 0 -duration 10s
+//	tigerctl -controller 127.0.0.1:7000 -play 2 -viewers 5 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/rt"
+)
+
+var (
+	controller = flag.String("controller", "127.0.0.1:7000", "controller control address")
+	play       = flag.Int("play", -1, "file ID to play")
+	startBlock = flag.Int("start", 0, "first block wanted")
+	bitrate    = flag.Int64("bitrate", 2_000_000, "stream bitrate (bits/s)")
+	viewers    = flag.Int("viewers", 1, "number of simultaneous viewers")
+	duration   = flag.Duration("duration", 10*time.Second, "how long to play before stopping")
+	blockPlay  = flag.Duration("blockplay", 250*time.Millisecond, "expected block play time (for timeliness checks)")
+)
+
+type viewerState struct {
+	id       msg.ViewerID
+	inst     atomic.Int64
+	blocks   atomic.Int64
+	late     atomic.Int64
+	lastSeq  atomic.Int32
+	firstAt  atomic.Int64 // unix nanos of the first block
+	reqAt    time.Time
+	received sync.Map // playseq -> arrival time
+}
+
+func main() {
+	flag.Parse()
+	if *play < 0 {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -play <fileID>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	vc, err := rt.NewViewerClient("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vc.Close()
+
+	states := make(map[msg.ViewerID]*viewerState)
+	var mu sync.Mutex
+	acks := make(chan *msg.StartAck, 16)
+	vc.SetHandlers(
+		func(b *msg.BlockData) {
+			mu.Lock()
+			vs := states[b.Viewer]
+			mu.Unlock()
+			if vs == nil || msg.InstanceID(vs.inst.Load()) != b.Instance {
+				return
+			}
+			now := time.Now()
+			n := vs.blocks.Add(1)
+			vs.lastSeq.Store(b.PlaySeq)
+			if n == 1 {
+				vs.firstAt.Store(now.UnixNano())
+				log.Printf("viewer %d: first block after %v (file %d block %d, %d bytes)",
+					b.Viewer, now.Sub(vs.reqAt).Round(time.Millisecond), b.File, b.Block, b.Bytes)
+				return
+			}
+			// Timeliness: block k should arrive ~k block-play-times after
+			// the first.
+			expected := time.Unix(0, vs.firstAt.Load()).
+				Add(time.Duration(b.PlaySeq) * *blockPlay)
+			if now.After(expected.Add(*blockPlay / 2)) {
+				vs.late.Add(1)
+			}
+		},
+		func(a *msg.StartAck) { acks <- a },
+	)
+
+	cc, err := rt.DialController(*controller)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cc.Close()
+
+	for i := 0; i < *viewers; i++ {
+		vid := msg.ViewerID(os.Getpid()*1000 + i)
+		vs := &viewerState{id: vid, reqAt: time.Now()}
+		mu.Lock()
+		states[vid] = vs
+		mu.Unlock()
+		if err := cc.Start(vid, vc.Addr(), msg.FileID(*play), int32(*startBlock), int32(*bitrate)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Collect acks (they carry the instance IDs needed to stop).
+	pending := *viewers
+	timeout := time.After(10 * time.Second)
+	var instances []msg.InstanceID
+	for pending > 0 {
+		select {
+		case a := <-acks:
+			mu.Lock()
+			for _, vs := range states {
+				if vs.inst.Load() == 0 {
+					vs.inst.Store(int64(a.Instance))
+					break
+				}
+			}
+			mu.Unlock()
+			instances = append(instances, a.Instance)
+			log.Printf("start acked: instance %d slot %d", a.Instance, a.Slot)
+			pending--
+		case <-timeout:
+			log.Fatalf("timed out waiting for %d start acks", pending)
+		}
+	}
+
+	time.Sleep(*duration)
+
+	for _, inst := range instances {
+		if err := cc.Stop(inst); err != nil {
+			log.Printf("stop %d: %v", inst, err)
+		}
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	var total, late int64
+	for _, vs := range states {
+		b, l := vs.blocks.Load(), vs.late.Load()
+		total += b
+		late += l
+		log.Printf("viewer %d: %d blocks (last playseq %d), %d late", vs.id, b, vs.lastSeq.Load(), l)
+	}
+	expected := int64(float64(*viewers) * duration.Seconds() / blockPlay.Seconds())
+	log.Printf("total: %d blocks received (~%d expected), %d late", total, expected, late)
+	if total < expected*8/10 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// VOD service: a day-in-the-life workload against a Tiger system.
+// Viewers arrive in a Poisson stream, pick files with a skewed (Zipf)
+// popularity — the exact scenario Tiger's everything-striped layout is
+// designed for ("the system will not overload even if all of the
+// viewers request the same file") — watch for a while, and leave.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"tiger"
+)
+
+func main() {
+	o := tiger.DefaultOptions()
+	o.ClientDropProb = 0
+	o.AdmitLimit = 0.9 // the paper recommends not running above 90% load
+	c, err := tiger.New(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(o.NumFiles-1))
+
+	fmt.Printf("VOD service on a %d-stream Tiger; admission capped at 90%%\n", c.Capacity())
+	fmt.Printf("popularity is Zipf: most viewers want the same few titles\n\n")
+
+	arrivalsPerSec := 4.0
+	meanWatch := 4 * time.Minute
+	rejected := 0
+
+	// Drive a 20-minute virtual day in one-second ticks.
+	var live []*tiger.Stream
+	for tick := 0; tick < 1200; tick++ {
+		// Poisson arrivals.
+		n := poisson(rng, arrivalsPerSec)
+		for i := 0; i < n; i++ {
+			file := tiger.FileID(zipf.Uint64())
+			s, err := c.Play(file, 0)
+			if err != nil {
+				rejected++ // admission limit
+				continue
+			}
+			live = append(live, s)
+		}
+		// Departures: exponential watch times.
+		keep := live[:0]
+		for _, s := range live {
+			if s.Done() {
+				continue
+			}
+			if rng.Float64() < 1.0/meanWatch.Seconds() {
+				s.Stop()
+				continue
+			}
+			keep = append(keep, s)
+		}
+		live = keep
+		c.RunFor(time.Second)
+
+		if tick%120 == 119 {
+			ok, lost, _ := c.ViewerTotals()
+			fmt.Printf("t=%4dm  active=%3d load=%3.0f%%  delivered=%7d lost=%d rejected=%d\n",
+				(tick+1)/60, c.Active(), c.Load()*100, ok, lost, rejected)
+		}
+	}
+
+	fmt.Printf("\nstartup latency: mean=%v p95=%v max=%v over %d starts\n",
+		time.Duration(c.StartupLatency.Mean()*float64(time.Second)).Round(time.Millisecond),
+		time.Duration(c.StartupLatency.Quantile(0.95)*float64(time.Second)).Round(time.Millisecond),
+		time.Duration(c.StartupLatency.Max()*float64(time.Second)).Round(time.Millisecond),
+		c.StartupLatency.Count())
+	ok, lost, _ := c.ViewerTotals()
+	fmt.Printf("delivered %d blocks, lost %d; %d admission rejections; %d slot conflicts\n",
+		ok, lost, rejected, c.InvariantViolations())
+
+	// Even with every viewer hammering the most popular file, no disk or
+	// cub hotspots: the stripe spreads each stream over all disks.
+	var lo, hi time.Duration
+	for i, cub := range c.Cubs {
+		for _, d := range cub.Disks() {
+			busy := d.Stats().BusyTotal
+			if i == 0 || busy < lo {
+				lo = busy
+			}
+			if busy > hi {
+				hi = busy
+			}
+		}
+	}
+	fmt.Printf("disk busy-time spread across all %d disks: min=%v max=%v (%.0f%% skew)\n",
+		o.Cubs*o.DisksPerCub, lo.Round(time.Second), hi.Round(time.Second),
+		100*float64(hi-lo)/math.Max(float64(hi), 1))
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

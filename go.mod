@@ -1,0 +1,3 @@
+module tiger
+
+go 1.22

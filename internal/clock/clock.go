@@ -1,0 +1,39 @@
+// Package clock abstracts time and deferred execution so the Tiger
+// protocol code (internal/core) runs unchanged under the deterministic
+// discrete-event simulator (internal/sim) and under real wall-clock time
+// (internal/rt).
+package clock
+
+import (
+	"time"
+
+	"tiger/internal/sim"
+)
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Clock provides the current instant and deferred callbacks. Callbacks
+// fire on the owning node's executor: implementations guarantee that all
+// callbacks and message deliveries for one node are serialized, so node
+// state needs no locking.
+type Clock interface {
+	Now() sim.Time
+	At(t sim.Time, fn func()) Timer
+	After(d time.Duration, fn func()) Timer
+}
+
+// Sim adapts a *sim.Engine to the Clock interface. The simulator is
+// single-threaded, so serialization is trivial.
+type Sim struct {
+	Eng *sim.Engine
+}
+
+func (s Sim) Now() sim.Time                          { return s.Eng.Now() }
+func (s Sim) At(t sim.Time, fn func()) Timer         { return s.Eng.At(t, fn) }
+func (s Sim) After(d time.Duration, fn func()) Timer { return s.Eng.After(d, fn) }
+
+var _ Clock = Sim{}

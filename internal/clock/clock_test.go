@@ -1,0 +1,31 @@
+package clock
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/sim"
+)
+
+func TestSimAdapter(t *testing.T) {
+	eng := sim.New(1)
+	var c Clock = Sim{Eng: eng}
+
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v", c.Now())
+	}
+	fired := make([]string, 0, 2)
+	c.After(2*time.Second, func() { fired = append(fired, "after") })
+	c.At(sim.Time(time.Second), func() { fired = append(fired, "at") })
+	tm := c.After(3*time.Second, func() { fired = append(fired, "stopped") })
+	if !tm.Stop() {
+		t.Fatal("Stop reported not-pending")
+	}
+	eng.Run()
+	if len(fired) != 2 || fired[0] != "at" || fired[1] != "after" {
+		t.Fatalf("fired %v", fired)
+	}
+	if c.Now() != sim.Time(2*time.Second) {
+		t.Fatalf("clock at %v", c.Now())
+	}
+}

@@ -1,0 +1,169 @@
+// Package core implements Tiger's distributed schedule management (§4 of
+// the paper): cubs that hold partial, possibly out-of-date views of a
+// global schedule that exists only as a "coherent hallucination", the
+// viewer-state gossip that keeps those views coherent, idempotent
+// deschedules, slot insertion under time-based ownership, the deadman
+// failure detector, and mirror takeover for failed components.
+//
+// The protocol code is written against clock.Clock and Transport
+// interfaces so the identical cub logic runs under the deterministic
+// simulator (internal/sim + internal/netsim) and under real time
+// (internal/rt).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/disk"
+	"tiger/internal/layout"
+	"tiger/internal/metrics"
+	"tiger/internal/msg"
+	"tiger/internal/schedule"
+)
+
+// Transport sends control messages between nodes. netsim.Network and the
+// real TCP mesh both satisfy it.
+type Transport interface {
+	Send(from, to msg.NodeID, m msg.Message)
+}
+
+// Config is the static, globally agreed configuration of a Tiger system.
+// Every node gets an identical copy; nothing in it is negotiated at run
+// time.
+type Config struct {
+	Layout layout.Config
+	Sched  schedule.Params
+
+	BlockSize int64 // bytes per block (single-bitrate system, §2.2)
+
+	// Viewer-state forwarding control (§4.1.1). Cubs keep the schedule
+	// updated at least MinVStateLead into the future and never forward
+	// viewer states more than MaxVStateLead ahead; the gap lets them
+	// batch states into single messages.
+	MinVStateLead   time.Duration
+	MaxVStateLead   time.Duration
+	ForwardInterval time.Duration // batching cadence
+
+	// DescheduleHold is how long deschedule records are retained after
+	// the slot they describe has passed the holding cub (§4.1.2).
+	DescheduleHold time.Duration
+
+	// ReadAhead is how far before a block's send deadline its disk read
+	// is issued ("the disks run at least one block service time ahead of
+	// the schedule. Usually, they run a little earlier", §3.1).
+	ReadAhead time.Duration
+
+	// Deadman protocol (§2.3).
+	HeartbeatInterval time.Duration
+	DeadmanTimeout    time.Duration
+
+	// AdmitLimit caps schedule load for new insertions (the controller
+	// refuses starts past this fraction of capacity). The paper's code
+	// has such a limit, disabled for the §5 experiments; 0 disables it.
+	AdmitLimit float64
+
+	// SingleForward disables double forwarding of viewer states: each
+	// state goes only to the first living successor. The paper rejected
+	// this design because schedule information held only by a cub when
+	// it fails is lost until laboriously reconstructed (§4.1.1); the
+	// knob exists to reproduce that ablation.
+	SingleForward bool
+
+	DiskParams disk.Params
+	CPUModel   metrics.CPUModel
+
+	Files map[msg.FileID]layout.File
+}
+
+// DefaultTimings fills in the paper's typical protocol constants.
+func (c *Config) DefaultTimings() {
+	if c.MinVStateLead == 0 {
+		c.MinVStateLead = 4 * time.Second
+	}
+	if c.MaxVStateLead == 0 {
+		c.MaxVStateLead = 9 * time.Second
+	}
+	if c.ForwardInterval == 0 {
+		c.ForwardInterval = 500 * time.Millisecond
+	}
+	if c.DescheduleHold == 0 {
+		c.DescheduleHold = 3 * time.Second
+	}
+	if c.ReadAhead == 0 {
+		// One second of read-ahead: the cubs' 20 MB buffer caches bound
+		// how far ahead of the schedule the disks can usefully run, and
+		// deeper prefetch only delays late-read detection (§3.1).
+		c.ReadAhead = time.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.DeadmanTimeout == 0 {
+		c.DeadmanTimeout = 2500 * time.Millisecond
+	}
+}
+
+// Validate checks cross-field consistency.
+func (c *Config) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sched.Validate(); err != nil {
+		return err
+	}
+	if c.Layout.NumDisks() != c.Sched.NumDisks {
+		return fmt.Errorf("core: layout has %d disks but schedule has %d",
+			c.Layout.NumDisks(), c.Sched.NumDisks)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("core: non-positive block size %d", c.BlockSize)
+	}
+	if c.MinVStateLead >= c.MaxVStateLead {
+		return fmt.Errorf("core: minVStateLead %v must be below maxVStateLead %v",
+			c.MinVStateLead, c.MaxVStateLead)
+	}
+	if c.MinVStateLead <= c.Sched.SchedLead {
+		return fmt.Errorf("core: minVStateLead %v must exceed the scheduling lead %v (§4.1.3)",
+			c.MinVStateLead, c.Sched.SchedLead)
+	}
+	// §4.1.3: in the single-bitrate Tiger the block play time must exceed
+	// the largest expected inter-cub latency; we cannot check the real
+	// network here, but the forwarding machinery additionally needs the
+	// batching interval to fit comfortably inside the lead gap.
+	if c.ForwardInterval > c.MaxVStateLead-c.MinVStateLead {
+		return fmt.Errorf("core: forward interval %v exceeds the vstate lead gap %v",
+			c.ForwardInterval, c.MaxVStateLead-c.MinVStateLead)
+	}
+	if c.ReadAhead < c.Sched.BlockService {
+		return fmt.Errorf("core: read-ahead %v below one block service time %v",
+			c.ReadAhead, c.Sched.BlockService)
+	}
+	if c.DeadmanTimeout < 2*c.HeartbeatInterval {
+		return fmt.Errorf("core: deadman timeout %v under two heartbeat intervals", c.DeadmanTimeout)
+	}
+	for id, f := range c.Files {
+		if f.ID != id {
+			return fmt.Errorf("core: file map key %d does not match file ID %d", id, f.ID)
+		}
+		if f.Blocks <= 0 {
+			return fmt.Errorf("core: file %d has no blocks", id)
+		}
+		if f.StartDisk < 0 || f.StartDisk >= c.Layout.NumDisks() {
+			return fmt.Errorf("core: file %d start disk %d out of range", id, f.StartDisk)
+		}
+	}
+	return nil
+}
+
+// MirrorPace returns the pacing interval between declustered mirror
+// pieces: block play time divided by the decluster factor (§4.1.1).
+func (c *Config) MirrorPace() time.Duration {
+	return c.Sched.BlockPlay / time.Duration(c.Layout.Decluster)
+}
+
+// MirrorPartSize returns the size of one declustered secondary piece.
+func (c *Config) MirrorPartSize() int64 {
+	dc := int64(c.Layout.Decluster)
+	return (c.BlockSize + dc - 1) / dc
+}

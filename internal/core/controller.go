@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/metrics"
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// PlayState tracks one start request at the controller.
+type PlayState int
+
+const (
+	PlayQueued PlayState = iota // sent to cubs, not yet inserted
+	PlayActive                  // inserted into a slot
+	PlayDone                    // stopped or reached end of file
+)
+
+type playRecord struct {
+	viewer     msg.ViewerID
+	file       msg.FileID
+	startBlock int32
+	bitrate    int32
+	primary    msg.NodeID
+	slot       int32
+	state      PlayState
+	issued     sim.Time
+}
+
+// ControllerStats are cumulative counters for the controller.
+type ControllerStats struct {
+	Starts    int64
+	Stops     int64
+	Acks      int64
+	EOFs      int64
+	Rejected  int64 // refused by the admission limit
+	MaxActive int
+}
+
+// Controller is the Tiger controller machine: the clients' contact
+// point, the clock master, and little else — the paper's point is that
+// distributing the schedule leaves the controller with almost nothing to
+// do, so its load stays flat as the system grows (§2.1, Figure 8).
+type Controller struct {
+	cfg *Config
+	clk clock.Clock
+	net Transport
+	cpu metrics.CPU
+
+	nextInstance msg.InstanceID
+	plays        map[msg.InstanceID]*playRecord
+	active       int
+
+	stats ControllerStats
+
+	// OnAck, if set, is called when an insertion is confirmed; harnesses
+	// use it to measure slot-assignment latency.
+	OnAck func(inst msg.InstanceID, slot int32, waited time.Duration)
+}
+
+// NewController creates a controller for the given system.
+func NewController(cfg *Config, clk clock.Clock, net Transport) *Controller {
+	c := &Controller{
+		cfg:   cfg,
+		clk:   clk,
+		net:   net,
+		plays: make(map[msg.InstanceID]*playRecord),
+	}
+	c.cpu.Model = cfg.CPUModel
+	return c
+}
+
+// CPUBusy returns the controller's cumulative modelled CPU time.
+func (c *Controller) CPUBusy() time.Duration { return c.cpu.Busy() }
+
+// Stats returns a snapshot of controller counters.
+func (c *Controller) Stats() ControllerStats { return c.stats }
+
+// Active returns the number of currently playing (inserted) viewers the
+// controller knows about.
+func (c *Controller) Active() int { return c.active }
+
+// StartPlay handles a viewer's request to begin receiving a file: it
+// assigns an instance ID and forwards the request to the cub holding the
+// first block wanted, plus that cub's successor for redundancy (§4.1.3).
+func (c *Controller) StartPlay(viewer msg.ViewerID, file msg.FileID, startBlock int32, bitrate int32) (msg.InstanceID, error) {
+	return c.StartPlayFrom(viewer, [16]byte{}, file, startBlock, bitrate)
+}
+
+// StartPlayFrom is StartPlay carrying the viewer's network address,
+// which rides in every viewer state so cubs know where to send blocks
+// (the real-time transport uses it; the simulator routes by ViewerID).
+func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.FileID, startBlock int32, bitrate int32) (msg.InstanceID, error) {
+	c.cpu.ChargeStartReq()
+	f, ok := c.cfg.Files[file]
+	if !ok {
+		return 0, fmt.Errorf("controller: unknown file %d", file)
+	}
+	if startBlock < 0 || int(startBlock) >= f.Blocks {
+		return 0, fmt.Errorf("controller: file %d has no block %d", file, startBlock)
+	}
+	if c.cfg.AdmitLimit > 0 {
+		limit := int(c.cfg.AdmitLimit * float64(c.cfg.Sched.NumSlots))
+		if c.pendingAndActive() >= limit {
+			c.stats.Rejected++
+			return 0, fmt.Errorf("controller: schedule load limit %d reached", limit)
+		}
+	}
+	c.nextInstance++
+	inst := c.nextInstance
+	d0 := c.cfg.Layout.PrimaryDisk(f, int(startBlock))
+	primary := c.cfg.Layout.CubOfDisk(d0)
+	now := c.clk.Now()
+	c.plays[inst] = &playRecord{
+		viewer:     viewer,
+		file:       file,
+		startBlock: startBlock,
+		bitrate:    bitrate,
+		primary:    primary,
+		slot:       -1,
+		state:      PlayQueued,
+		issued:     now,
+	}
+	sp := msg.StartPlay{
+		Viewer:     viewer,
+		Instance:   inst,
+		Addr:       addr,
+		File:       file,
+		StartBlock: startBlock,
+		Bitrate:    bitrate,
+		Issued:     int64(now),
+	}
+	p := sp
+	p.Primary = true
+	c.net.Send(msg.Controller, primary, &p)
+	r := sp
+	r.Primary = false
+	c.net.Send(msg.Controller, c.cfg.Layout.Successor(primary), &r)
+	c.stats.Starts++
+	return inst, nil
+}
+
+// StopPlay handles a viewer's "stop playing" request: the controller
+// determines which cub the viewer is currently receiving data from and
+// forwards an idempotent deschedule request to it and its successor
+// (§4.1.2).
+func (c *Controller) StopPlay(inst msg.InstanceID) {
+	c.cpu.ChargeStartReq()
+	rec, ok := c.plays[inst]
+	if !ok || rec.state == PlayDone {
+		return
+	}
+	c.stats.Stops++
+	d := msg.Deschedule{
+		Viewer:   rec.viewer,
+		Instance: inst,
+		Slot:     rec.slot, // -1 when still queued: cancels the start
+		Created:  int64(c.clk.Now()),
+	}
+	var target msg.NodeID
+	if rec.state == PlayQueued {
+		target = rec.primary
+	} else {
+		target = c.cfg.Layout.CubOfDisk(c.servingDisk(rec.slot))
+	}
+	d1 := d
+	c.net.Send(msg.Controller, target, &d1)
+	d2 := d
+	c.net.Send(msg.Controller, c.cfg.Layout.Successor(target), &d2)
+	c.finish(rec)
+}
+
+// NotifyEOF records that a viewer reached end of file; the stream left
+// the schedule on its own (§4.1.2: "handling end-of-file is
+// straightforward").
+func (c *Controller) NotifyEOF(inst msg.InstanceID) {
+	rec, ok := c.plays[inst]
+	if !ok || rec.state == PlayDone {
+		return
+	}
+	c.stats.EOFs++
+	c.finish(rec)
+}
+
+func (c *Controller) finish(rec *playRecord) {
+	if rec.state == PlayActive {
+		c.active--
+	}
+	rec.state = PlayDone
+}
+
+// servingDisk returns the disk about to serve the given slot.
+func (c *Controller) servingDisk(slot int32) int {
+	now := c.clk.Now()
+	best, bestT := 0, sim.Time(0)
+	for d := 0; d < c.cfg.Sched.NumDisks; d++ {
+		t := c.cfg.Sched.ServiceTime(d, slot, now)
+		if d == 0 || t < bestT {
+			best, bestT = d, t
+		}
+	}
+	return best
+}
+
+func (c *Controller) pendingAndActive() int {
+	n := 0
+	for _, r := range c.plays {
+		if r.state != PlayDone {
+			n++
+		}
+	}
+	return n
+}
+
+// Deliver implements netsim.Handler for messages addressed to the
+// controller (start acknowledgements from cubs).
+func (c *Controller) Deliver(from msg.NodeID, m msg.Message) {
+	c.cpu.ChargeCtlMsg()
+	a, ok := m.(*msg.StartAck)
+	if !ok {
+		return
+	}
+	rec, found := c.plays[a.Instance]
+	if !found {
+		return
+	}
+	if rec.state == PlayDone {
+		// The viewer stopped while its insertion was in flight: the
+		// queue-cancel deschedule missed. Kill the slot properly now —
+		// deschedules are idempotent, so this is safe even if the cancel
+		// did land (§4.1.2).
+		d := msg.Deschedule{
+			Viewer:   rec.viewer,
+			Instance: a.Instance,
+			Slot:     a.Slot,
+			Created:  int64(c.clk.Now()),
+		}
+		d1 := d
+		c.net.Send(msg.Controller, a.By, &d1)
+		d2 := d
+		c.net.Send(msg.Controller, c.cfg.Layout.Successor(a.By), &d2)
+		return
+	}
+	if rec.state != PlayQueued {
+		return // duplicate ack
+	}
+	rec.slot = a.Slot
+	rec.state = PlayActive
+	c.active++
+	if c.active > c.stats.MaxActive {
+		c.stats.MaxActive = c.active
+	}
+	c.stats.Acks++
+	if c.OnAck != nil {
+		c.OnAck(a.Instance, a.Slot, c.clk.Now().Sub(rec.issued))
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/disk"
+	"tiger/internal/metrics"
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/sim"
+)
+
+// DataPath carries paced block payloads from a cub to viewers. The
+// simulated switch (netsim.Network) and the real-time runtime both
+// implement it.
+type DataPath interface {
+	SendBlock(from msg.NodeID, d netsim.BlockDelivery, pace time.Duration)
+}
+
+// entryKey identifies one schedule entry in a cub's view: slot number
+// plus which copy (part == -1 for the primary, otherwise the mirror
+// piece index).
+type entryKey struct {
+	slot int32
+	part int8  // -1 primary, else mirror piece index
+	due  int64 // the service event's due time: a slot is visited once
+	// per block play time, and with small rings (cycle < MaxVStateLead)
+	// a cub can legitimately hold entries for two successive visits of
+	// the same slot by the same stream.
+}
+
+// entry is one record in a cub's view of the schedule: an upcoming send
+// from one of this cub's disks.
+type entry struct {
+	vs        msg.ViewerState
+	disk      int // this cub's disk that will serve it
+	ready     bool
+	forwarded bool
+	buffered  int64 // bytes of buffer pool held for this entry's read
+	readTimer clock.Timer
+	sendTimer clock.Timer
+}
+
+// descKey identifies a held deschedule record (§4.1.2).
+type descKey struct {
+	slot     int32
+	instance msg.InstanceID
+}
+
+// startReq is a queued start-play request (§4.1.3).
+type startReq struct {
+	sp       msg.StartPlay
+	disk     int // disk holding the first block wanted
+	enqueued sim.Time
+}
+
+// CubStats are cumulative protocol counters for one cub.
+type CubStats struct {
+	BlocksSent   int64 // primary blocks placed on the network
+	PiecesSent   int64 // declustered mirror pieces placed on the network
+	ServerMisses int64 // sends missed (disk not done, or state too late)
+	StatesRecv   int64
+	StatesDup    int64 // idempotent duplicates ignored
+	StatesLate   int64 // viewer states discarded as too late (§4.1.2)
+	Conflicts    int64 // a state for an occupied slot with another instance
+	DeschedRecv  int64
+	DeschedDup   int64
+	Inserts      int64 // slot insertions performed under ownership
+	MirrorsMade  int64 // mirror viewer states created
+	PiecesLost   int64 // mirror pieces undeliverable (covering cub dead)
+	PeakBuffered int64 // peak bytes of block buffers held (the paper's
+	// cubs had 20 MB buffer caches; §3.1 trades buffer usage for
+	// tolerance of disk-performance variation)
+	IndexMisses   int64 // index lookups that failed (always a bug)
+	DeadDeclared  int64 // deadman transitions observed
+	RedundantRuns int64 // redundant start queues promoted after a failure
+}
+
+// Hooks let tests and harnesses observe protocol events without
+// perturbing them.
+type Hooks struct {
+	// OnInsert fires when this cub inserts a viewer into a slot it owns.
+	OnInsert func(cub msg.NodeID, slot int32, inst msg.InstanceID, due sim.Time)
+	// OnServe fires when a block or piece send begins.
+	OnServe func(cub msg.NodeID, vs msg.ViewerState)
+	// OnMiss fires when a scheduled send could not be made.
+	OnMiss func(cub msg.NodeID, vs msg.ViewerState)
+}
+
+// Cub is one content-holding machine of a Tiger system, implementing the
+// distributed schedule management protocol of §4. All methods must be
+// invoked from the node's executor (the simulator, or the rt runtime's
+// per-node goroutine); none of them block.
+type Cub struct {
+	id   msg.NodeID
+	cfg  *Config
+	clk  clock.Clock
+	net  Transport
+	data DataPath
+	rng  *rand.Rand
+
+	disks       map[int]*disk.Disk
+	index       map[int]*diskIndex
+	failedDisks map[int]bool // this cub's own dead drives
+
+	entries map[entryKey]*entry
+	slotOcc map[int32]int // entries per slot, all parts
+
+	desch map[descKey]*msg.Deschedule
+
+	queue          map[int][]*startReq // pending starts per target disk
+	scanning       map[int]bool        // ownership scan active per disk
+	redundantStart map[msg.InstanceID]*startReq
+	cancelledStart map[msg.InstanceID]sim.Time // acks seen; GC'd lazily
+
+	lastSeen     map[msg.NodeID]sim.Time
+	believedDead map[msg.NodeID]bool
+	monitored    []msg.NodeID
+
+	fwdPending map[msg.NodeID][]msg.Message // batch under assembly
+
+	bufBytes int64 // block buffers currently held
+
+	cpu   metrics.CPU
+	stats CubStats
+	loss  *metrics.LossLog
+	hooks Hooks
+
+	started bool
+}
+
+// NewCub constructs a cub. The caller wires the same Transport/DataPath
+// to every node and then calls Start once the whole system is built.
+func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data DataPath, rng *rand.Rand) *Cub {
+	diskNums := cfg.Layout.DisksOfCub(id)
+	c := &Cub{
+		id:             id,
+		cfg:            cfg,
+		clk:            clk,
+		net:            net,
+		data:           data,
+		rng:            rng,
+		disks:          make(map[int]*disk.Disk, len(diskNums)),
+		index:          buildIndexes(cfg, diskNums),
+		failedDisks:    make(map[int]bool),
+		entries:        make(map[entryKey]*entry),
+		slotOcc:        make(map[int32]int),
+		desch:          make(map[descKey]*msg.Deschedule),
+		queue:          make(map[int][]*startReq),
+		scanning:       make(map[int]bool),
+		redundantStart: make(map[msg.InstanceID]*startReq),
+		cancelledStart: make(map[msg.InstanceID]sim.Time),
+		lastSeen:       make(map[msg.NodeID]sim.Time),
+		believedDead:   make(map[msg.NodeID]bool),
+		fwdPending:     make(map[msg.NodeID][]msg.Message),
+	}
+	c.cpu.Model = cfg.CPUModel
+	for _, d := range diskNums {
+		c.disks[d] = disk.New(d, cfg.DiskParams, clk, rng)
+	}
+	// Monitor liveness of the cubs we must make decisions about: up to
+	// max(2, decluster+1) hops in each ring direction.
+	k := cfg.Layout.Decluster + 1
+	if k < 2 {
+		k = 2
+	}
+	if k > cfg.Layout.Cubs-1 {
+		k = cfg.Layout.Cubs - 1
+	}
+	seen := map[msg.NodeID]bool{c.id: true}
+	for i := 1; i <= k; i++ {
+		for _, n := range []msg.NodeID{c.ringAdd(i), c.ringAdd(-i)} {
+			if !seen[n] {
+				seen[n] = true
+				c.monitored = append(c.monitored, n)
+			}
+		}
+	}
+	return c
+}
+
+// ID returns the cub's node ID.
+func (c *Cub) ID() msg.NodeID { return c.id }
+
+// Stats returns a snapshot of the cub's counters.
+func (c *Cub) Stats() CubStats { return c.stats }
+
+// CPUBusy returns cumulative modelled CPU busy time.
+func (c *Cub) CPUBusy() time.Duration { return c.cpu.Busy() }
+
+// ViewSize returns the number of schedule entries currently in the cub's
+// view — the quantity the scalability argument of §4 bounds.
+func (c *Cub) ViewSize() int { return len(c.entries) }
+
+// QueueLen returns the number of start requests waiting for a free slot.
+func (c *Cub) QueueLen() int {
+	n := 0
+	for _, q := range c.queue {
+		n += len(q)
+	}
+	return n
+}
+
+// Disks exposes the cub's drive models for metrics collection.
+func (c *Cub) Disks() map[int]*disk.Disk { return c.disks }
+
+// SetLossLog directs server-side miss reports to a shared loss log.
+func (c *Cub) SetLossLog(l *metrics.LossLog) { c.loss = l }
+
+// SetHooks installs observation hooks (tests only).
+func (c *Cub) SetHooks(h Hooks) { c.hooks = h }
+
+// Start begins the cub's periodic activities: heartbeats and the
+// viewer-state forwarding batcher.
+func (c *Cub) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	now := c.clk.Now()
+	for _, n := range c.monitored {
+		c.lastSeen[n] = now
+	}
+	c.heartbeatTick()
+	c.forwardTick()
+}
+
+// FailDisk marks one of this cub's own drives as dead. The cub itself
+// keeps running and converts schedule entries for that disk into mirror
+// viewer states ("the decision to send this data is made by the cub
+// succeeding the failed component" — for a lone disk, its own cub is the
+// first living component that can decide).
+func (c *Cub) FailDisk(d int) {
+	if _, mine := c.disks[d]; !mine {
+		panic(fmt.Sprintf("cub %v: disk %d is not local", c.id, d))
+	}
+	if c.failedDisks[d] {
+		return
+	}
+	c.failedDisks[d] = true
+	// Convert pending entries on that disk to mirror service.
+	var keys []entryKey
+	for k, e := range c.entries {
+		if k.part == -1 && e.disk == d {
+			keys = append(keys, k)
+		}
+	}
+	sortEntryKeys(keys)
+	for _, k := range keys {
+		e := c.entries[k]
+		if e.vs.Due > int64(c.clk.Now()) {
+			c.createMirrors(e.vs, d)
+		}
+		c.dropEntryRelease(k)
+	}
+	c.flushForwards()
+}
+
+// --- ring arithmetic ---
+
+func (c *Cub) ringAdd(i int) msg.NodeID {
+	n := c.cfg.Layout.Cubs
+	return msg.NodeID(((int(c.id)+i)%n + n) % n)
+}
+
+func ringDist(cfg *Config, from, to msg.NodeID) int {
+	n := cfg.Layout.Cubs
+	return ((int(to)-int(from))%n + n) % n
+}
+
+// nthLivingSuccessor returns the n-th (1-based) successor believed
+// alive, or ok=false if the whole ring seems dead.
+func (c *Cub) nthLivingSuccessor(n int) (msg.NodeID, bool) {
+	found := 0
+	for i := 1; i < c.cfg.Layout.Cubs; i++ {
+		s := c.ringAdd(i)
+		if !c.believedDead[s] {
+			found++
+			if found == n {
+				return s, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// firstLivingSuccessorOf reports whether this cub is the first living
+// successor of z (the decision-maker for z's mirror takeover).
+func (c *Cub) firstLivingSuccessorOf(z msg.NodeID) bool {
+	for i := 1; i < c.cfg.Layout.Cubs; i++ {
+		s := msg.NodeID((int(z) + i) % c.cfg.Layout.Cubs)
+		if s == c.id {
+			return true
+		}
+		if !c.believedDead[s] {
+			return false
+		}
+	}
+	return false
+}
+
+// --- message handling ---
+
+// Deliver implements netsim.Handler: the single entry point for all
+// control messages.
+func (c *Cub) Deliver(from msg.NodeID, m msg.Message) {
+	c.cpu.ChargeCtlMsg()
+	switch t := m.(type) {
+	case *msg.Batch:
+		for _, inner := range t.Msgs {
+			c.deliverOne(from, inner)
+		}
+	default:
+		c.deliverOne(from, m)
+	}
+}
+
+func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.ViewerState:
+		c.onViewerState(*t)
+	case *msg.Deschedule:
+		c.onDeschedule(*t)
+	case *msg.StartPlay:
+		c.onStartPlay(*t)
+	case *msg.StartAck:
+		c.onStartAck(*t)
+	case *msg.Heartbeat:
+		c.lastSeen[t.From] = c.clk.Now()
+		if c.believedDead[t.From] {
+			c.markAlive(t.From)
+		}
+	default:
+		// ReserveReq/Resp belong to the multiple-bitrate node (mbr.go).
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+
+	"tiger/internal/msg"
+)
+
+// This file implements the deadman failure detector (§2.3) and what a
+// cub does on a death: take over the failed peer's schedule load with
+// mirror viewer states and adopt its redundant start requests.
+
+// --- deadman protocol (§2.3) ---
+
+func (c *Cub) heartbeatTick() {
+	now := c.clk.Now()
+	hb := &msg.Heartbeat{From: c.id, Epoch: 0, Now: int64(now)}
+	for _, n := range c.monitored {
+		c.net.Send(c.id, n, hb)
+	}
+	// Check for silent neighbours.
+	for _, n := range c.monitored {
+		if c.believedDead[n] {
+			continue
+		}
+		if now.Sub(c.lastSeen[n]) > c.cfg.DeadmanTimeout {
+			c.markDead(n)
+		}
+	}
+	c.clk.After(c.cfg.HeartbeatInterval, c.heartbeatTick)
+}
+
+func (c *Cub) markDead(z msg.NodeID) {
+	c.believedDead[z] = true
+	c.stats.DeadDeclared++
+	if !c.firstLivingSuccessorOf(z) {
+		return
+	}
+	// We are the decision maker for z's schedule load (§4.1.1): create
+	// mirror viewer states for every not-yet-due service on z's disks
+	// that our view knows about, and adopt z's queued starts we hold
+	// redundant copies of.
+	now := c.clk.Now()
+	bp := int64(c.cfg.Sched.BlockPlay)
+	var keys []entryKey
+	for k := range c.entries {
+		if k.part == -1 {
+			keys = append(keys, k)
+		}
+	}
+	sortEntryKeys(keys)
+	for _, k := range keys {
+		e := c.entries[k]
+		// Walk back through the services that precede ours in the
+		// stream while they land on disks of cubs we believe dead.
+		vs := e.vs
+		d := e.disk
+		for j := 1; j < c.cfg.Layout.Cubs; j++ {
+			pd := (d - j + c.cfg.Sched.NumDisks) % c.cfg.Sched.NumDisks
+			pc := c.cfg.Layout.CubOfDisk(pd)
+			if !c.believedDead[pc] || !c.firstLivingSuccessorOf(pc) {
+				break
+			}
+			pvs := vs
+			pvs.Block = vs.Block - int32(j)
+			pvs.PlaySeq = vs.PlaySeq - int32(j)
+			pvs.Due = vs.Due - int64(j)*bp
+			if pvs.Block < 0 || pvs.Due <= int64(now) {
+				break
+			}
+			c.createMirrors(pvs, pd)
+		}
+	}
+	// Promote redundant start requests targeting z's disks, in instance
+	// order for determinism.
+	var insts []msg.InstanceID
+	for inst, req := range c.redundantStart {
+		if c.cfg.Layout.CubOfDisk(req.disk) == z {
+			insts = append(insts, inst)
+		}
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		req := c.redundantStart[inst]
+		delete(c.redundantStart, inst)
+		c.enqueueStart(req)
+		c.stats.RedundantRuns++
+	}
+	c.flushForwards()
+}
+
+// markAlive handles a heartbeat from a cub previously declared dead: the
+// cub has rejoined, and will rebuild its view from incoming viewer
+// states.
+func (c *Cub) markAlive(z msg.NodeID) {
+	delete(c.believedDead, z)
+}

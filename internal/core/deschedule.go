@@ -1,0 +1,97 @@
+package core
+
+import (
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// This file implements deschedule handling (§4.1.2): idempotent removal
+// records that chase viewer states around the ring and are held after
+// the slot passes so late states cannot resurrect a stopped viewer.
+
+// --- deschedule handling (§4.1.2) ---
+
+func (c *Cub) onDeschedule(d msg.Deschedule) {
+	c.stats.DeschedRecv++
+	if d.Slot < 0 {
+		// The viewer was never inserted: the controller is cancelling a
+		// queued start request. Scrub it from our queues and redundant
+		// copies and leave a tombstone so a late promotion cannot
+		// resurrect it.
+		c.cancelledStart[d.Instance] = c.clk.Now()
+		c.clk.After(time.Minute, func() { delete(c.cancelledStart, d.Instance) })
+		delete(c.redundantStart, d.Instance)
+		for disk, q := range c.queue {
+			for i, req := range q {
+				if req.sp.Instance == d.Instance {
+					c.queue[disk] = append(q[:i:i], q[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	key := descKey{d.Slot, d.Instance}
+	if _, seen := c.desch[key]; seen {
+		c.stats.DeschedDup++
+		return
+	}
+	now := c.clk.Now()
+	rec := d
+	c.desch[key] = &rec
+	// Hold the record until no viewer state for this slot could still
+	// arrive, then forget it.
+	hold := c.cfg.MaxVStateLead + c.cfg.DescheduleHold + c.cfg.Sched.BlockPlay
+	c.clk.After(hold, func() { delete(c.desch, key) })
+
+	// Remove any matching entries: primary and mirror pieces alike. The
+	// semantics are exactly "if this instance is in this slot, remove
+	// it", so a stale request is harmless.
+	var doomed []entryKey
+	for k, e := range c.entries {
+		if k.slot == d.Slot && e.vs.Instance == d.Instance {
+			doomed = append(doomed, k)
+		}
+	}
+	sortEntryKeys(doomed)
+	for _, k := range doomed {
+		c.dropEntryRelease(k)
+	}
+
+	// Forward immediately — deschedules must outrun viewer states — to
+	// the first and second living successors, unless we are already more
+	// than MaxVStateLead in front of the slot, at which point the
+	// request has caught every state it could.
+	if c.myNextServiceOfSlot(d.Slot).Sub(now) <= c.cfg.MaxVStateLead+c.cfg.Sched.BlockPlay {
+		s1, ok1 := c.nthLivingSuccessor(1)
+		s2, ok2 := c.nthLivingSuccessor(2)
+		fwd := d
+		if ok1 {
+			c.net.Send(c.id, s1, &fwd)
+		}
+		if ok2 && s2 != s1 {
+			c.net.Send(c.id, s2, &fwd)
+		}
+	}
+}
+
+// myNextServiceOfSlot returns the earliest upcoming time any of this
+// cub's disks serves the given slot.
+func (c *Cub) myNextServiceOfSlot(slot int32) sim.Time {
+	now := c.clk.Now()
+	var best sim.Time
+	first := true
+	for d := range c.disks {
+		t := c.cfg.Sched.ServiceTime(d, slot, now)
+		if first || t < best {
+			best = t
+			first = false
+		}
+	}
+	if first {
+		return now
+	}
+	return best
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+func TestStartMidFile(t *testing.T) {
+	// A viewer may start at any block; the request routes to the disk
+	// holding that block and the stream plays to EOF from there.
+	o := defaultRigOptions()
+	o.fileBlocks = 40
+	r := newRig(t, o)
+	r.play(1, 0, 25) // 15 blocks remain
+	r.run(30 * time.Second)
+	if got := r.got(1); got != 15 {
+		t.Fatalf("mid-file start delivered %d blocks, want 15", got)
+	}
+	for _, c := range r.cubs {
+		if c.ViewSize() != 0 {
+			t.Fatalf("cub %v retains entries after EOF", c.ID())
+		}
+	}
+}
+
+func TestStartAtLastBlock(t *testing.T) {
+	o := defaultRigOptions()
+	o.fileBlocks = 40
+	r := newRig(t, o)
+	r.play(1, 0, 39)
+	r.run(15 * time.Second)
+	if got := r.got(1); got != 1 {
+		t.Fatalf("last-block start delivered %d blocks, want 1", got)
+	}
+}
+
+func TestEOFDuringFailure(t *testing.T) {
+	// A stream reaching end of file while a cub is down must terminate
+	// cleanly: mirror chains stop at the file boundary.
+	o := defaultRigOptions()
+	o.cubs, o.decluster = 8, 2
+	o.fileBlocks = 30
+	r := newRig(t, o)
+	r.play(1, 0, 0)
+	r.run(10 * time.Second)
+	r.net.Fail(3)
+	r.run(40 * time.Second) // well past EOF at ~32 s
+	got := r.got(1)
+	if got < 26 || got > 30 {
+		t.Fatalf("delivered %d of 30 blocks across failure+EOF", got)
+	}
+	for _, c := range r.cubs {
+		if c.ID() == 3 {
+			continue
+		}
+		if v := c.ViewSize(); v != 0 {
+			t.Fatalf("cub %v retains %d entries after EOF", c.ID(), v)
+		}
+	}
+	if tot := r.totals(); tot.Conflicts != 0 {
+		t.Fatalf("conflicts %d", tot.Conflicts)
+	}
+}
+
+func TestManySimultaneousStops(t *testing.T) {
+	o := defaultRigOptions()
+	r := newRig(t, o)
+	var insts []msg.InstanceID
+	for v := msg.ViewerID(1); v <= 12; v++ {
+		insts = append(insts, r.play(v, msg.FileID(int(v)%o.files), 0))
+	}
+	r.run(15 * time.Second)
+	for _, inst := range insts {
+		r.ctl.StopPlay(inst)
+	}
+	r.run(20 * time.Second)
+	for _, c := range r.cubs {
+		if v := c.ViewSize(); v != 0 {
+			t.Fatalf("cub %v retains %d entries after mass stop", c.ID(), v)
+		}
+	}
+	if r.ctl.Active() != 0 {
+		t.Fatalf("controller still counts %d active", r.ctl.Active())
+	}
+	if tot := r.totals(); tot.Conflicts != 0 {
+		t.Fatalf("conflicts %d", tot.Conflicts)
+	}
+}
+
+func TestAdmissionLimit(t *testing.T) {
+	o := defaultRigOptions()
+	o.mutate = func(c *Config) { c.AdmitLimit = 0.5 }
+	r := newRig(t, o)
+	limit := int(0.5 * float64(r.cfg.Sched.NumSlots))
+	accepted := 0
+	var lastErr error
+	for v := msg.ViewerID(1); int(v) <= limit+10; v++ {
+		_, err := r.ctl.StartPlay(v, msg.FileID(int(v)%4), 0, 2_000_000)
+		if err == nil {
+			accepted++
+		} else {
+			lastErr = err
+		}
+	}
+	if accepted != limit {
+		t.Fatalf("accepted %d, limit %d", accepted, limit)
+	}
+	if lastErr == nil {
+		t.Fatal("no rejection error")
+	}
+	if r.ctl.Stats().Rejected != 10 {
+		t.Fatalf("rejected %d, want 10", r.ctl.Stats().Rejected)
+	}
+	// Stopping a stream frees admission capacity.
+	r.run(5 * time.Second)
+	r.ctl.StopPlay(1)
+	if _, err := r.ctl.StartPlay(999, 0, 0, 2_000_000); err != nil {
+		t.Fatalf("admission not released after stop: %v", err)
+	}
+}
+
+func TestControllerRejectsBadRequests(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	if _, err := r.ctl.StartPlay(1, 99, 0, 2_000_000); err == nil {
+		t.Error("unknown file accepted")
+	}
+	if _, err := r.ctl.StartPlay(1, 0, -1, 2_000_000); err == nil {
+		t.Error("negative block accepted")
+	}
+	if _, err := r.ctl.StartPlay(1, 0, 1_000_000, 2_000_000); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	// Stopping unknown instances is a harmless no-op.
+	r.ctl.StopPlay(424242)
+	r.ctl.NotifyEOF(424242)
+}
+
+func TestHeartbeatKeepsPeersAlive(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	r.run(time.Minute)
+	for _, c := range r.cubs {
+		if len(c.believedDead) != 0 {
+			t.Fatalf("cub %v believes %v dead in a healthy system", c.ID(), c.believedDead)
+		}
+		if c.Stats().DeadDeclared != 0 {
+			t.Fatalf("cub %v declared deaths: %+v", c.ID(), c.Stats())
+		}
+	}
+}
+
+func TestBufferReleasedAfterStop(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	inst := r.play(1, 0, 0)
+	r.run(10 * time.Second)
+	r.ctl.StopPlay(inst)
+	r.run(15 * time.Second)
+	for _, c := range r.cubs {
+		if b := c.BufferedBytes(); b != 0 {
+			t.Fatalf("cub %v leaks %d buffered bytes after stop", c.ID(), b)
+		}
+		if c.Stats().PeakBuffered == 0 && c.Stats().BlocksSent > 0 {
+			t.Fatalf("cub %v sent blocks without buffering", c.ID())
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/sim"
+)
+
+// This file implements the viewer-state gossip of §4.1.1: accepting and
+// deduplicating states, serving their blocks, forwarding next-hop states
+// to the successor and second successor, and the mirror viewer-state
+// chains that cover failed components.
+
+// --- viewer state handling (§4.1.1) ---
+
+func (c *Cub) onViewerState(vs msg.ViewerState) {
+	c.stats.StatesRecv++
+	now := c.clk.Now()
+
+	// Too late to matter: any deschedule for it would already have been
+	// discarded, so accepting it could resurrect a stopped viewer.
+	if vs.Due < int64(now)-int64(c.cfg.DescheduleHold) {
+		c.stats.StatesLate++
+		return
+	}
+	if _, killed := c.desch[descKey{vs.Slot, vs.Instance}]; killed {
+		return
+	}
+
+	if vs.Mirror {
+		c.acceptMirror(vs)
+		c.flushForwards()
+		return
+	}
+
+	target := int(vs.OrigDisk) // primary states carry their target disk
+	hops := ringDist(c.cfg, c.cfg.Layout.CubOfDisk(target), c.id)
+
+	// Create mirror states for any services on the way to us whose cub
+	// we believe dead and whose first living successor we are; this is
+	// both the adjacent-failure case and the bridged-gap case (§2.3).
+	bp := int64(c.cfg.Sched.BlockPlay)
+	for j := 0; j < hops; j++ {
+		d := (target + j) % c.cfg.Sched.NumDisks
+		cd := c.cfg.Layout.CubOfDisk(d)
+		if c.believedDead[cd] && c.firstLivingSuccessorOf(cd) {
+			mvs := vs
+			mvs.Block += int32(j)
+			mvs.PlaySeq += int32(j)
+			mvs.Due += int64(j) * bp
+			if c.fileHasBlock(mvs.File, mvs.Block) && mvs.Due > int64(now) {
+				c.createMirrors(mvs, d)
+			}
+		}
+	}
+
+	// Advance the state to our own disk's service of this stream.
+	mine := vs
+	mine.Block += int32(hops)
+	mine.PlaySeq += int32(hops)
+	mine.Due += int64(hops) * bp
+	myDisk := (target + hops) % c.cfg.Sched.NumDisks
+	if c.cfg.Layout.CubOfDisk(myDisk) != c.id {
+		panic(fmt.Sprintf("cub %v: disk arithmetic broken for target %d hops %d", c.id, target, hops))
+	}
+	mine.OrigDisk = int32(myDisk)
+	if !c.fileHasBlock(mine.File, mine.Block) {
+		return // the stream ends before it reaches us
+	}
+	c.acceptPrimary(mine, myDisk)
+	c.flushForwards()
+}
+
+func (c *Cub) fileHasBlock(f msg.FileID, b int32) bool {
+	file, ok := c.cfg.Files[f]
+	return ok && b >= 0 && int(b) < file.Blocks
+}
+
+// acceptPrimary installs a viewer state for one of this cub's own disks.
+func (c *Cub) acceptPrimary(vs msg.ViewerState, d int) {
+	key := entryKey{vs.Slot, -1, vs.Due}
+	if old, ok := c.entries[key]; ok {
+		if old.vs.Instance == vs.Instance {
+			c.stats.StatesDup++
+		} else {
+			// §4.1.3's ordering argument makes this unreachable in a
+			// correctly functioning system; count it rather than guess.
+			c.stats.Conflicts++
+		}
+		return
+	}
+	now := c.clk.Now()
+	if vs.Due <= int64(now) {
+		// Within the deschedule hold but already overdue: the send is
+		// missed, but the stream must continue downstream (§4.1.2).
+		c.recordMiss(vs)
+		c.forwardEntryNow(vs)
+		return
+	}
+	if c.failedDisks[d] {
+		// Our own drive is dead: we are the deciding component; serve
+		// the block from its declustered mirrors instead.
+		c.createMirrors(vs, d)
+		c.forwardEntryNow(vs)
+		return
+	}
+	e := &entry{vs: vs, disk: d}
+	c.entries[key] = e
+	c.slotOcc[vs.Slot]++
+	c.scheduleEntry(e, key)
+}
+
+// scheduleEntry arms the disk read and network send for an entry.
+func (c *Cub) scheduleEntry(e *entry, key entryKey) {
+	now := c.clk.Now()
+	readAt := sim.Time(e.vs.Due) - sim.Time(c.cfg.ReadAhead)
+	if readAt < now {
+		readAt = now
+	}
+	e.readTimer = c.clk.At(readAt, func() { c.issueRead(key) })
+	e.sendTimer = c.clk.At(sim.Time(e.vs.Due), func() { c.service(key) })
+}
+
+func (c *Cub) issueRead(key entryKey) {
+	e, ok := c.entries[key]
+	if !ok {
+		return // descheduled meanwhile
+	}
+	c.cpu.ChargeDiskOp()
+	idx := c.index[e.disk]
+	part := key.part
+	ie, err := idx.lookup(e.vs.File, e.vs.Block, part)
+	if err != nil {
+		c.stats.IndexMisses++
+		return
+	}
+	inst := e.vs.Instance
+	// The block DMAs into a pre-allocated buffer held until the network
+	// send completes (§2.2's zero-copy disk-to-network path); account
+	// for the pool so tests can check it against the cubs' real memory.
+	e.buffered = ie.bytes
+	c.bufAdjust(ie.bytes)
+	c.disks[e.disk].Read(ie.bytes, ie.zone, sim.Time(e.vs.Due), func(done sim.Time) {
+		cur, still := c.entries[key]
+		if !still || cur.vs.Instance != inst {
+			// The entry was served-as-missed or descheduled while the
+			// read was in flight; discard the buffer.
+			c.bufAdjust(-ie.bytes)
+			return
+		}
+		cur.ready = true
+	})
+}
+
+// service fires at an entry's due time: send the block if its read
+// completed, otherwise report a missed block (§5's server-side loss
+// path).
+func (c *Cub) service(key entryKey) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	c.dropEntry(key)
+	if !e.ready {
+		// The read has not completed: its completion callback will find
+		// the entry gone and release the buffer.
+		c.recordMiss(e.vs)
+		return
+	}
+	pace := c.cfg.Sched.BlockPlay
+	bytes := c.cfg.BlockSize
+	parts := int8(1)
+	if e.vs.Mirror {
+		pace = c.cfg.MirrorPace()
+		bytes = c.cfg.MirrorPartSize()
+		parts = int8(c.cfg.Layout.Decluster)
+	}
+	c.cpu.ChargeData(bytes)
+	c.data.SendBlock(c.id, netsim.BlockDelivery{
+		Viewer:   e.vs.Viewer,
+		Instance: e.vs.Instance,
+		Addr:     e.vs.Addr,
+		File:     e.vs.File,
+		Block:    e.vs.Block,
+		PlaySeq:  e.vs.PlaySeq,
+		Bytes:    bytes,
+		Mirror:   e.vs.Mirror,
+		Part:     maxI8(e.vs.Part, 0),
+		Parts:    parts,
+	}, pace)
+	if e.vs.Mirror {
+		c.stats.PiecesSent++
+	} else {
+		c.stats.BlocksSent++
+	}
+	// The buffer frees once the paced send finishes.
+	held := e.buffered
+	c.clk.After(pace, func() { c.bufAdjust(-held) })
+	if c.hooks.OnServe != nil {
+		c.hooks.OnServe(c.id, e.vs)
+	}
+}
+
+func maxI8(a, b int8) int8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (c *Cub) bufAdjust(delta int64) {
+	c.bufBytes += delta
+	if c.bufBytes > c.stats.PeakBuffered {
+		c.stats.PeakBuffered = c.bufBytes
+	}
+}
+
+// BufferedBytes returns the block buffers currently held.
+func (c *Cub) BufferedBytes() int64 { return c.bufBytes }
+
+func (c *Cub) recordMiss(vs msg.ViewerState) {
+	c.stats.ServerMisses++
+	if c.loss != nil {
+		c.loss.RecordServerMiss(c.clk.Now())
+	}
+	if c.hooks.OnMiss != nil {
+		c.hooks.OnMiss(c.id, vs)
+	}
+}
+
+// dropEntryRelease removes an entry and releases any completed read's
+// buffer. Deschedule and disk-failure paths use it; the service path
+// uses dropEntry directly because it frees the buffer after the send.
+func (c *Cub) dropEntryRelease(key entryKey) {
+	if e, ok := c.entries[key]; ok && e.ready && e.buffered > 0 {
+		c.bufAdjust(-e.buffered)
+		e.buffered = 0
+	}
+	c.dropEntry(key)
+}
+
+func (c *Cub) dropEntry(key entryKey) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	if e.readTimer != nil {
+		e.readTimer.Stop()
+	}
+	if e.sendTimer != nil {
+		e.sendTimer.Stop()
+	}
+	delete(c.entries, key)
+	if n := c.slotOcc[key.slot] - 1; n > 0 {
+		c.slotOcc[key.slot] = n
+	} else {
+		delete(c.slotOcc, key.slot)
+	}
+}
+
+// --- mirror viewer states (§4.1.1) ---
+
+// createMirrors starts the mirror viewer-state chain for the service of
+// block vs.Block on dead (or failed) disk d. The paper forwards ONE
+// mirror viewer state from covering cub to covering cub — "for each
+// primary viewer state forwarded, the mirroring cub must also forward a
+// mirror viewer state" — with each piece's send paced blockPlay/decluster
+// after the previous (§4.1.1). That hop-forwarding is what keeps
+// failed-mode control traffic at roughly double the unfailed rate.
+func (c *Cub) createMirrors(vs msg.ViewerState, d int) {
+	mvs := vs
+	mvs.Mirror = true
+	mvs.Part = 0
+	mvs.OrigDisk = int32(d)
+	c.stats.MirrorsMade++
+	c.routeMirror(mvs)
+}
+
+// routeMirror delivers a mirror viewer state to the cub holding its
+// piece's disk, skipping (and counting) pieces whose holders are dead.
+// Like primary states, mirror states are sent redundantly — a second,
+// pre-derived copy goes to the following piece's cub — so the loss of a
+// single covering cub does not sever the piece chain.
+func (c *Cub) routeMirror(mvs msg.ViewerState) {
+	pace := int64(c.cfg.MirrorPace())
+	for int(mvs.Part) < c.cfg.Layout.Decluster {
+		pd := c.cfg.Layout.SecondaryDiskFor(int(mvs.OrigDisk), int(mvs.Part))
+		pc := c.cfg.Layout.CubOfDisk(pd)
+		if c.believedDead[pc] {
+			c.stats.PiecesLost++
+			mvs.Part++
+			mvs.Due += pace
+			continue
+		}
+		if pc == c.id {
+			// Local accept re-enters routeMirror for the next piece,
+			// which provides the redundant send itself.
+			c.acceptMirror(mvs)
+			return
+		}
+		cp := mvs
+		c.enqueueForward(pc, &cp)
+		// Redundant copy of the next piece's state to its holder, so a
+		// single covering-cub failure cannot sever the chain (the mirror
+		// analogue of primary double forwarding).
+		next := mvs
+		next.Part++
+		next.Due += pace
+		if int(next.Part) < c.cfg.Layout.Decluster {
+			nd := c.cfg.Layout.SecondaryDiskFor(int(next.OrigDisk), int(next.Part))
+			nc := c.cfg.Layout.CubOfDisk(nd)
+			if nc != pc && nc != c.id && !c.believedDead[nc] {
+				c.enqueueForward(nc, &next)
+			}
+		}
+		return
+	}
+}
+
+// acceptMirror installs a mirror viewer state on the cub holding that
+// piece's disk and forwards the next piece's state onward.
+func (c *Cub) acceptMirror(vs msg.ViewerState) {
+	pd := c.cfg.Layout.SecondaryDiskFor(int(vs.OrigDisk), int(vs.Part))
+	if c.cfg.Layout.CubOfDisk(pd) != c.id {
+		return // mis-routed; the piece will be reported lost client-side
+	}
+	key := entryKey{vs.Slot, vs.Part, vs.Due}
+	if old, ok := c.entries[key]; ok {
+		if old.vs.Instance == vs.Instance {
+			c.stats.StatesDup++
+		} else {
+			c.stats.Conflicts++
+		}
+		return // the original acceptance already forwarded the chain
+	}
+	switch {
+	case c.failedDisks[pd]:
+		c.stats.PiecesLost++
+	case vs.Due <= int64(c.clk.Now()):
+		c.recordMiss(vs)
+	default:
+		e := &entry{vs: vs, disk: pd}
+		c.entries[key] = e
+		c.slotOcc[vs.Slot]++
+		c.scheduleEntry(e, key)
+	}
+	// Pass the mirror state to the next piece's cub, due one mirror pace
+	// later, whether or not our own piece could be served: the stream
+	// should miss as little as possible.
+	next := vs
+	next.Part++
+	next.Due += int64(c.cfg.MirrorPace())
+	if int(next.Part) < c.cfg.Layout.Decluster {
+		c.routeMirror(next)
+	}
+}
+
+// --- forwarding (§4.1.1) ---
+
+// forwardTick is the periodic batcher: it forwards, to the successor and
+// second successor, the next-hop viewer state of every entry whose
+// successor service has come within MaxVStateLead.
+func (c *Cub) forwardTick() {
+	now := c.clk.Now()
+	horizon := int64(now) + int64(c.cfg.MaxVStateLead)
+	bp := int64(c.cfg.Sched.BlockPlay)
+	// Collect then sort so runs are deterministic: Go map iteration
+	// order would otherwise make batch composition vary between runs.
+	var due []entryKey
+	for k, e := range c.entries {
+		if e.forwarded || e.vs.Mirror {
+			continue
+		}
+		if e.vs.Due+bp > horizon {
+			continue // too far ahead; wait (§4.1.1's max lead rule)
+		}
+		due = append(due, k)
+	}
+	sortEntryKeys(due)
+	for _, k := range due {
+		e := c.entries[k]
+		e.forwarded = true
+		c.forwardEntryNow(e.vs)
+	}
+	c.flushForwards()
+	c.clk.After(c.cfg.ForwardInterval, c.forwardTick)
+}
+
+// sortEntryKeys orders keys by (due, slot, part) for deterministic
+// iteration.
+func sortEntryKeys(ks []entryKey) {
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].due != ks[j].due {
+			return ks[i].due < ks[j].due
+		}
+		if ks[i].slot != ks[j].slot {
+			return ks[i].slot < ks[j].slot
+		}
+		return ks[i].part < ks[j].part
+	})
+}
+
+// forwardEntryNow queues the next-hop state derived from vs for delivery
+// to the first and second living successors.
+func (c *Cub) forwardEntryNow(vs msg.ViewerState) {
+	next := vs
+	next.Block++
+	next.PlaySeq++
+	next.Due += int64(c.cfg.Sched.BlockPlay)
+	nextDisk := (int(vs.OrigDisk) + 1) % c.cfg.Sched.NumDisks
+	next.OrigDisk = int32(nextDisk)
+	if !c.fileHasBlock(next.File, next.Block) {
+		return // end of file: the viewer leaves the schedule (§4.1.2)
+	}
+	if c.cfg.Layout.CubOfDisk(nextDisk) == c.id {
+		// The next service is on one of our own disks. This happens when
+		// we proxy-inserted for a dead predecessor's disk (the stream's
+		// next block is ours to send) and in single-cub systems.
+		if c.failedDisks[nextDisk] {
+			c.createMirrors(next, nextDisk)
+			c.forwardEntryNow(next)
+		} else {
+			c.acceptPrimary(next, nextDisk)
+		}
+	}
+	s1, ok1 := c.nthLivingSuccessor(1)
+	if ok1 {
+		c.enqueueForward(s1, &next)
+	}
+	if c.cfg.SingleForward {
+		return
+	}
+	s2, ok2 := c.nthLivingSuccessor(2)
+	if ok2 && s2 != s1 {
+		cp := next
+		c.enqueueForward(s2, &cp)
+	}
+}
+
+func (c *Cub) enqueueForward(to msg.NodeID, m msg.Message) {
+	c.fwdPending[to] = append(c.fwdPending[to], m)
+}
+
+// flushForwards sends all queued per-target batches, in target order
+// for run-to-run determinism.
+func (c *Cub) flushForwards() {
+	if len(c.fwdPending) == 0 {
+		return
+	}
+	targets := make([]msg.NodeID, 0, len(c.fwdPending))
+	for to := range c.fwdPending {
+		targets = append(targets, to)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, to := range targets {
+		msgs := c.fwdPending[to]
+		if len(msgs) == 0 {
+			continue
+		}
+		delete(c.fwdPending, to)
+		if len(msgs) == 1 {
+			c.net.Send(c.id, to, msgs[0])
+		} else {
+			c.net.Send(c.id, to, &msg.Batch{Msgs: msgs})
+		}
+		c.cpu.ChargeCtlMsg()
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// This file implements slot insertion (§4.1.3): queued start requests,
+// the per-disk ownership scan, and the insertion itself, which is safe
+// without global coordination because a cub may insert only into an
+// empty slot it currently owns.
+
+// --- start-play handling (§4.1.3) ---
+
+func (c *Cub) onStartPlay(sp msg.StartPlay) {
+	f, ok := c.cfg.Files[sp.File]
+	if !ok || !c.fileHasBlock(sp.File, sp.StartBlock) {
+		return // unknown content; the controller validated, so ignore
+	}
+	d := c.cfg.Layout.PrimaryDisk(f, int(sp.StartBlock))
+	req := &startReq{sp: sp, disk: d, enqueued: c.clk.Now()}
+	if !sp.Primary {
+		if _, done := c.cancelledStart[sp.Instance]; done {
+			return
+		}
+		// If the primary target is already known dead and we are its
+		// acting successor, take the request immediately; otherwise hold
+		// the redundant copy in case it dies before inserting (§4.1.3).
+		tc := c.cfg.Layout.CubOfDisk(d)
+		if c.believedDead[tc] && c.firstLivingSuccessorOf(tc) {
+			c.enqueueStart(req)
+			c.stats.RedundantRuns++
+			return
+		}
+		c.redundantStart[sp.Instance] = req
+		return
+	}
+	c.enqueueStart(req)
+}
+
+func (c *Cub) enqueueStart(req *startReq) {
+	c.queue[req.disk] = append(c.queue[req.disk], req)
+	c.ensureScan(req.disk)
+}
+
+func (c *Cub) onStartAck(a msg.StartAck) {
+	delete(c.redundantStart, a.Instance)
+	c.cancelledStart[a.Instance] = c.clk.Now()
+	// Lazy GC of the tombstone.
+	c.clk.After(time.Minute, func() { delete(c.cancelledStart, a.Instance) })
+}
+
+// ensureScan starts the ownership scan loop for a disk with queued
+// starts. The loop wakes at each ownership-window opening — the only
+// moments this cub may insert into a slot (§4.1.3) — and stops when the
+// queue drains.
+func (c *Cub) ensureScan(d int) {
+	if c.scanning[d] {
+		return
+	}
+	c.scanning[d] = true
+	c.scanTick(d)
+}
+
+func (c *Cub) scanTick(d int) {
+	if len(c.queue[d]) == 0 {
+		c.scanning[d] = false
+		return
+	}
+	now := c.clk.Now()
+	slot, due, ok := c.cfg.Sched.SlotUnderOwnership(d, now)
+	if ok {
+		c.tryInsert(d, slot, due)
+	}
+	// Wake at the next window opening.
+	next := c.nextWindowOpen(d, now)
+	c.clk.At(next, func() { c.scanTick(d) })
+}
+
+// nextWindowOpen returns the next time disk d's pointer enters a new
+// slot's ownership window.
+func (c *Cub) nextWindowOpen(d int, now sim.Time) sim.Time {
+	p := c.cfg.Sched
+	off := int64(p.PointerOffset(d, now))
+	target := (off + int64(p.SchedLead)) % int64(p.CycleLen())
+	bs := int64(p.BlockService)
+	into := target % bs
+	wait := bs - into
+	return now.Add(time.Duration(wait) + time.Nanosecond)
+}
+
+// tryInsert inserts the head queued viewer into slot if our view shows
+// it free. "A cub may insert into a slot if and only if it owns that
+// slot and the slot is empty" (§4.1.3).
+func (c *Cub) tryInsert(d int, slot int32, due sim.Time) {
+	if c.slotOcc[slot] != 0 {
+		return
+	}
+	q := c.queue[d]
+	var req *startReq
+	for len(q) > 0 {
+		head := q[0]
+		q = q[1:]
+		if _, cancelled := c.cancelledStart[head.sp.Instance]; cancelled {
+			continue
+		}
+		req = head
+		break
+	}
+	c.queue[d] = q
+	if req == nil {
+		return
+	}
+
+	vs := msg.ViewerState{
+		Viewer:   req.sp.Viewer,
+		Instance: req.sp.Instance,
+		Addr:     req.sp.Addr,
+		File:     req.sp.File,
+		Block:    req.sp.StartBlock,
+		Slot:     slot,
+		PlaySeq:  0,
+		Due:      int64(due),
+		Bitrate:  req.sp.Bitrate,
+		OrigDisk: int32(d),
+	}
+	c.stats.Inserts++
+	if c.hooks.OnInsert != nil {
+		c.hooks.OnInsert(c.id, slot, vs.Instance, due)
+	}
+
+	if c.cfg.Layout.CubOfDisk(d) != c.id || c.failedDisks[d] {
+		// Proxy insertion for a dead predecessor's disk, or our own dead
+		// drive: the first block is served from its mirrors.
+		c.createMirrors(vs, d)
+	} else {
+		c.acceptPrimary(vs, d)
+		if e, ok := c.entries[entryKey{slot, -1, vs.Due}]; ok {
+			e.forwarded = true // forwarded inline below; avoid a duplicate
+		}
+	}
+	// Tell the next owner of the slot about the assignment right away:
+	// there is at least blockPlay−ownDur for this to arrive (§4.1.3).
+	c.forwardEntryNow(vs)
+	c.flushForwards()
+
+	ack := &msg.StartAck{Viewer: vs.Viewer, Instance: vs.Instance, Slot: slot, By: c.id}
+	c.net.Send(c.id, msg.Controller, ack)
+	if s1, ok := c.nthLivingSuccessor(1); ok {
+		c.net.Send(c.id, s1, ack)
+	}
+	if len(c.queue[d]) > 0 {
+		c.ensureScan(d)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// ViewEntry is one record of a cub's view of the schedule, for
+// introspection and debugging (the paper's Figure 7 shows exactly this:
+// per-cub views of the same schedule region, transiently different yet
+// coherent).
+type ViewEntry struct {
+	Slot     int32
+	Viewer   msg.ViewerID
+	Instance msg.InstanceID
+	Block    int32
+	Due      sim.Time
+	Disk     int
+	Mirror   bool
+	Part     int8
+	Ready    bool
+}
+
+// ViewWindow returns the cub's current view, ordered by due time — the
+// slice of the hallucinated global schedule this cub can see.
+func (c *Cub) ViewWindow() []ViewEntry {
+	out := make([]ViewEntry, 0, len(c.entries))
+	for k, e := range c.entries {
+		out = append(out, ViewEntry{
+			Slot:     k.slot,
+			Viewer:   e.vs.Viewer,
+			Instance: e.vs.Instance,
+			Block:    e.vs.Block,
+			Due:      sim.Time(e.vs.Due),
+			Disk:     e.disk,
+			Mirror:   e.vs.Mirror,
+			Part:     maxI8(e.vs.Part, 0),
+			Ready:    e.ready,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Due != out[j].Due {
+			return out[i].Due < out[j].Due
+		}
+		return out[i].Part < out[j].Part
+	})
+	return out
+}
+
+// SlotView reports what this cub currently believes about a slot:
+// "free", or the occupying instance. Held deschedules are reported too,
+// mirroring Figure 7's annotations.
+func (c *Cub) SlotView(slot int32) string {
+	var parts []string
+	for k, e := range c.entries {
+		if k.slot != slot {
+			continue
+		}
+		tag := ""
+		if e.vs.Mirror {
+			tag = fmt.Sprintf(" mirror#%d", e.vs.Part)
+		}
+		parts = append(parts, fmt.Sprintf("viewer %d (inst %d, block %d%s)",
+			e.vs.Viewer, e.vs.Instance, e.vs.Block, tag))
+	}
+	for k := range c.desch {
+		if k.slot == slot {
+			parts = append(parts, fmt.Sprintf("deschedule held (inst %d)", k.instance))
+		}
+	}
+	if len(parts) == 0 {
+		return "free"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "; ")
+}
+
+// DumpView renders the cub's view window as text, one line per entry —
+// the textual analogue of Figure 7.
+func (c *Cub) DumpView() string {
+	var b strings.Builder
+	now := c.clk.Now()
+	fmt.Fprintf(&b, "cub %v view at %v (%d entries, %d held deschedules):\n",
+		c.id, now, len(c.entries), len(c.desch))
+	for _, e := range c.ViewWindow() {
+		kind := "primary"
+		if e.Mirror {
+			kind = fmt.Sprintf("mirror#%d", e.Part)
+		}
+		ready := ""
+		if e.Ready {
+			ready = " [read done]"
+		}
+		fmt.Fprintf(&b, "  slot %4d  due +%-8v disk %2d  %-9s viewer %d block %d%s\n",
+			e.Slot, e.Due.Sub(now).Round(time.Millisecond), e.Disk, kind,
+			e.Viewer, e.Block, ready)
+	}
+	return b.String()
+}
+
+// HeldDeschedules returns the slots with live deschedule records.
+func (c *Cub) HeldDeschedules() []int32 {
+	out := make([]int32, 0, len(c.desch))
+	for k := range c.desch {
+		out = append(out, k.slot)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,246 @@
+// Package disk models the drives in a Tiger cub: zoned transfer rates
+// (fast outer tracks for primary data, slow inner tracks for declustered
+// secondaries, §2.3), a FIFO service queue, stochastic service-time
+// jitter, and the rare slow outliers ("blips") that produce the paper's
+// occasional late blocks (§5).
+//
+// The model exposes both the nominal behaviour used during simulation and
+// the worst-case per-operation budgets used for capacity planning: Tiger
+// sizes its block service time from the worst case so that disks run
+// below saturation in normal operation and near (but under) saturation
+// when covering for a failed peer.
+package disk
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/sim"
+)
+
+// Zone selects which part of a disk a read targets. Primaries are stored
+// on the faster outer tracks, secondaries on the slower inner ones.
+type Zone int
+
+const (
+	Outer Zone = iota
+	Inner
+)
+
+func (z Zone) String() string {
+	if z == Outer {
+		return "outer"
+	}
+	return "inner"
+}
+
+// Params describe a drive model. The defaults are calibrated so that a
+// 0.25 MB-block, decluster-4 system matches the paper's measured
+// capacity of about 10.75 streams per disk (§5).
+type Params struct {
+	SeekAvg time.Duration // mean seek time
+	RotHalf time.Duration // mean rotational latency (half a revolution)
+
+	OuterRate float64 // bytes/s sustained on the outer half
+	InnerRate float64 // bytes/s sustained on the inner half
+
+	// WorstCaseMargin scales the mean per-operation time to the
+	// worst-case budget used for capacity planning. Actual operations
+	// are drawn around the mean, so planned schedules retain slack.
+	WorstCaseMargin float64
+
+	// JitterFrac is the +/- fractional uniform jitter applied to every
+	// operation's service time.
+	JitterFrac float64
+
+	// BlipProb is the per-read probability of a slow outlier (thermal
+	// recalibration, remapped sector, bus contention); BlipMin/BlipMax
+	// bound the extra delay. Blips that exceed the cub's read-ahead
+	// slack become the late blocks the paper reports.
+	BlipProb float64
+	BlipMin  time.Duration
+	BlipMax  time.Duration
+
+	// Discipline orders outstanding reads; the default EDF models the
+	// paper's schedule-ordered disk service.
+	Discipline QueueDiscipline
+}
+
+// DefaultParams returns a model of the paper's IBM Ultrastar-class drive.
+func DefaultParams() Params {
+	return Params{
+		SeekAvg:   7 * time.Millisecond,
+		RotHalf:   4200 * time.Microsecond,
+		OuterRate: 5.08e6,
+		InnerRate: 4.55e6,
+		// Planning margin and jitter band: the paper's 10.75 streams/disk
+		// is a worst-case rating, and its drives ran stably at >95% duty;
+		// the jitter band must therefore fit inside the planning margin
+		// or a fully loaded covering disk drifts into backlog.
+		WorstCaseMargin: 1.052,
+		JitterFrac:      0.02,
+		BlipProb:        2e-6,
+		BlipMin:         300 * time.Millisecond,
+		BlipMax:         1200 * time.Millisecond,
+	}
+}
+
+// Rate returns the sustained transfer rate of the given zone.
+func (p Params) Rate(z Zone) float64 {
+	if z == Outer {
+		return p.OuterRate
+	}
+	return p.InnerRate
+}
+
+// MeanServiceTime returns the expected time to read size bytes from the
+// given zone: seek + rotational latency + transfer.
+func (p Params) MeanServiceTime(size int64, z Zone) time.Duration {
+	xfer := time.Duration(float64(size) / p.Rate(z) * float64(time.Second))
+	return p.SeekAvg + p.RotHalf + xfer
+}
+
+// WorstServiceTime returns the planning budget for one read.
+func (p Params) WorstServiceTime(size int64, z Zone) time.Duration {
+	return time.Duration(float64(p.MeanServiceTime(size, z)) * p.WorstCaseMargin)
+}
+
+// Disk is one simulated drive. It is not safe for concurrent use; all
+// calls must come from the owning node's executor (trivially true in the
+// single-threaded simulator).
+type Disk struct {
+	ID     int
+	params Params
+	clk    clock.Clock
+	rng    *rand.Rand
+
+	pending pendingHeap
+	seq     uint64
+	busy    bool
+
+	// statistics
+	reads     int64
+	busyTotal time.Duration // cumulative service time
+	bytes     int64
+	maxQueue  int
+}
+
+// New creates a disk using the given clock and random source.
+func New(id int, params Params, clk clock.Clock, rng *rand.Rand) *Disk {
+	if params.OuterRate <= 0 || params.InnerRate <= 0 {
+		panic(fmt.Sprintf("disk %d: non-positive transfer rate", id))
+	}
+	return &Disk{ID: id, params: params, clk: clk, rng: rng}
+}
+
+// Params returns the drive's model parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// Read enqueues a read of size bytes from zone z, needed by due. done is
+// invoked at the virtual time the read completes. Under EDF the queue is
+// served in due order; under FIFO in arrival order.
+func (d *Disk) Read(size int64, z Zone, due sim.Time, done func(completed sim.Time)) {
+	d.seq++
+	p := &pending{size: size, zone: z, due: due, seq: d.seq, done: done}
+	if d.params.Discipline == FIFO {
+		p.due = 0 // degenerate key: seq (arrival order) decides
+	}
+	heap.Push(&d.pending, p)
+	if q := d.QueueLen(); q > d.maxQueue {
+		d.maxQueue = q
+	}
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+func (d *Disk) startNext() {
+	if len(d.pending) == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	p := heap.Pop(&d.pending).(*pending)
+	svc := d.serviceTime(p.size, p.zone)
+	completed := d.clk.Now().Add(svc)
+	d.reads++
+	d.bytes += p.size
+	d.busyTotal += svc
+	d.clk.At(completed, func() {
+		if p.done != nil {
+			p.done(completed)
+		}
+		d.startNext()
+	})
+}
+
+func (d *Disk) serviceTime(size int64, z Zone) time.Duration {
+	mean := d.params.MeanServiceTime(size, z)
+	jit := 1 + d.params.JitterFrac*(2*d.rng.Float64()-1)
+	svc := time.Duration(float64(mean) * jit)
+	if d.params.BlipProb > 0 && d.rng.Float64() < d.params.BlipProb {
+		span := d.params.BlipMax - d.params.BlipMin
+		svc += d.params.BlipMin + time.Duration(d.rng.Int63n(int64(span)+1))
+	}
+	return svc
+}
+
+// QueueLen returns the number of outstanding reads (including the one
+// in service).
+func (d *Disk) QueueLen() int {
+	n := len(d.pending)
+	if d.busy {
+		n++
+	}
+	return n
+}
+
+// Stats is a snapshot of cumulative disk activity.
+type Stats struct {
+	Reads     int64
+	Bytes     int64
+	BusyTotal time.Duration
+	MaxQueue  int
+}
+
+// Stats returns cumulative counters; callers diff snapshots to compute
+// duty cycles over a window, as the paper does over 50 s intervals.
+func (d *Disk) Stats() Stats {
+	return Stats{Reads: d.reads, Bytes: d.bytes, BusyTotal: d.busyTotal, MaxQueue: d.maxQueue}
+}
+
+// Capacity computes per-disk and whole-system stream capacity the way
+// Tiger plans it (§3.1): the block service time is the worst-case time to
+// read one primary block plus, if the system is fault tolerant, one
+// declustered secondary piece; the system as a whole must source an
+// integral number of streams.
+type Capacity struct {
+	BlockService   time.Duration // worst-case per-stream service budget
+	StreamsPerDisk float64
+	Streams        int // whole-system capacity, rounded down
+}
+
+// PlanCapacity computes capacity for numDisks disks serving blockSize
+// blocks with the given block play time and decluster factor. A
+// decluster of 0 plans a non-fault-tolerant system (no secondary
+// budget).
+func PlanCapacity(p Params, numDisks int, blockSize int64, blockPlay time.Duration, decluster int) Capacity {
+	svc := p.WorstServiceTime(blockSize, Outer)
+	if decluster > 0 {
+		part := (blockSize + int64(decluster) - 1) / int64(decluster)
+		svc += p.WorstServiceTime(part, Inner)
+	}
+	perDisk := float64(blockPlay) / float64(svc)
+	total := int(float64(numDisks) * perDisk)
+	cap := Capacity{BlockService: svc, StreamsPerDisk: perDisk, Streams: total}
+	// The schedule must be an integral multiple of both the block play
+	// and block service times (§3.1): lengthen the service time so that
+	// Streams slots exactly tile numDisks block play times.
+	if total > 0 {
+		cap.BlockService = time.Duration(int64(numDisks) * int64(blockPlay) / int64(total))
+	}
+	return cap
+}

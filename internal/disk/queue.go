@@ -1,0 +1,60 @@
+package disk
+
+import (
+	"container/heap"
+
+	"tiger/internal/sim"
+)
+
+// QueueDiscipline selects how a drive orders outstanding reads.
+type QueueDiscipline int
+
+const (
+	// EDF serves the read with the earliest due time first. This models
+	// the paper's disk schedule: reads happen in schedule order, so a
+	// freshly inserted viewer's first block (smallest lead) is not stuck
+	// behind prefetches for far-future sends (§3.1).
+	EDF QueueDiscipline = iota
+	// FIFO serves reads in arrival order; kept as an ablation of the
+	// schedule-ordered service.
+	FIFO
+)
+
+func (q QueueDiscipline) String() string {
+	if q == FIFO {
+		return "fifo"
+	}
+	return "edf"
+}
+
+type pending struct {
+	size int64
+	zone Zone
+	due  sim.Time
+	seq  uint64
+	done func(completed sim.Time)
+}
+
+// pendingHeap orders by (due, seq); with FIFO the cub pushes monotonically
+// increasing seq as the primary key by passing due=0.
+type pendingHeap []*pending
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendingHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x any)   { *h = append(*h, x.(*pending)) }
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}
+
+var _ heap.Interface = (*pendingHeap)(nil)

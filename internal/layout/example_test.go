@@ -1,0 +1,25 @@
+package layout_test
+
+import (
+	"fmt"
+
+	"tiger/internal/layout"
+)
+
+// Example shows the §2.2 striping and §2.3 declustered mirroring for
+// the paper's Figure 2 configuration: three disks, decluster factor 2.
+func Example() {
+	cfg := layout.Config{Cubs: 3, DisksPerCub: 1, Decluster: 2}
+	f := layout.File{ID: 1, StartDisk: 0, Blocks: 6, BlockSize: 262144}
+	for b := 0; b < 3; b++ {
+		p := cfg.PrimaryDisk(f, b)
+		fmt.Printf("block %d: primary on disk %d, mirror pieces on disks %d and %d\n",
+			b, p, cfg.SecondaryDisk(f, b, 0), cfg.SecondaryDisk(f, b, 1))
+	}
+	fmt.Printf("failover reserve: %.0f%% of bandwidth\n", cfg.FailoverBandwidthFraction()*100)
+	// Output:
+	// block 0: primary on disk 0, mirror pieces on disks 1 and 2
+	// block 1: primary on disk 1, mirror pieces on disks 2 and 0
+	// block 2: primary on disk 2, mirror pieces on disks 0 and 1
+	// failover reserve: 33% of bandwidth
+}

@@ -1,0 +1,211 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tiger/internal/msg"
+)
+
+func cfg(cubs, dpc, dc int) Config {
+	return Config{Cubs: cubs, DisksPerCub: dpc, Decluster: dc}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		c  Config
+		ok bool
+	}{
+		{cfg(14, 4, 4), true},
+		{cfg(1, 2, 1), true},
+		{cfg(0, 1, 1), false},
+		{cfg(1, 0, 1), false},
+		{cfg(2, 1, 0), false},
+		{cfg(2, 1, 2), false}, // decluster must be < numDisks
+		{cfg(2, 2, 3), true},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%+v: err=%v, want ok=%v", tc.c, err, tc.ok)
+		}
+	}
+}
+
+func TestCubMinorNumbering(t *testing.T) {
+	// §2.2: disk 0 on cub 0, disk 1 on cub 1, disk n on cub 0...
+	c := cfg(14, 4, 4)
+	if c.NumDisks() != 56 {
+		t.Fatalf("NumDisks=%d", c.NumDisks())
+	}
+	if c.CubOfDisk(0) != 0 || c.CubOfDisk(1) != 1 || c.CubOfDisk(14) != 0 || c.CubOfDisk(15) != 1 {
+		t.Fatal("cub-minor order broken")
+	}
+	// Consecutive disks are always on consecutive cubs.
+	for d := 0; d < c.NumDisks(); d++ {
+		got := c.CubOfDisk(c.NextDisk(d))
+		want := c.Successor(c.CubOfDisk(d))
+		if got != want {
+			t.Fatalf("disk %d: next disk on %v, successor is %v", d, got, want)
+		}
+	}
+}
+
+func TestDisksOfCub(t *testing.T) {
+	c := cfg(3, 2, 2)
+	all := map[int]bool{}
+	for cub := 0; cub < c.Cubs; cub++ {
+		disks := c.DisksOfCub(msg.NodeID(cub))
+		if len(disks) != c.DisksPerCub {
+			t.Fatalf("cub %d has %d disks", cub, len(disks))
+		}
+		for _, d := range disks {
+			if c.CubOfDisk(d) != msg.NodeID(cub) {
+				t.Fatalf("disk %d not on cub %d", d, cub)
+			}
+			if all[d] {
+				t.Fatalf("disk %d assigned twice", d)
+			}
+			all[d] = true
+		}
+	}
+	if len(all) != c.NumDisks() {
+		t.Fatalf("covered %d of %d disks", len(all), c.NumDisks())
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	c := cfg(5, 1, 2)
+	for i := 0; i < 5; i++ {
+		n := msg.NodeID(i)
+		if c.Predecessor(c.Successor(n)) != n {
+			t.Fatalf("pred(succ(%v)) != %v", n, n)
+		}
+	}
+	if c.Successor(4) != 0 || c.Predecessor(0) != 4 {
+		t.Fatal("ring does not wrap")
+	}
+}
+
+func TestStriping(t *testing.T) {
+	c := cfg(4, 2, 2)
+	f := File{ID: 1, StartDisk: 5, Blocks: 20, BlockSize: 1000}
+	if c.PrimaryDisk(f, 0) != 5 {
+		t.Fatal("block 0 not on start disk")
+	}
+	// Blocks advance one disk at a time, wrapping (§2.2).
+	for b := 1; b < f.Blocks; b++ {
+		if c.PrimaryDisk(f, b) != c.NextDisk(c.PrimaryDisk(f, b-1)) {
+			t.Fatalf("block %d breaks round-robin", b)
+		}
+	}
+}
+
+func TestMirrorPlacement(t *testing.T) {
+	// §2.3: "Tiger always stores the secondary parts of a block on the
+	// disks immediately following the disk holding the primary copy."
+	c := cfg(7, 2, 3)
+	f := File{ID: 2, StartDisk: 0, Blocks: 30, BlockSize: 999}
+	for b := 0; b < f.Blocks; b++ {
+		p := c.PrimaryDisk(f, b)
+		for part := 0; part < c.Decluster; part++ {
+			s := c.SecondaryDisk(f, b, part)
+			if s != (p+1+part)%c.NumDisks() {
+				t.Fatalf("block %d part %d on disk %d, primary %d", b, part, s, p)
+			}
+			if s == p {
+				t.Fatalf("mirror part on the primary's own disk")
+			}
+			// A disk failure must never take a block's primary and one
+			// of its pieces together; a cub failure must not either.
+			if c.CubOfDisk(s) == c.CubOfDisk(p) && c.Decluster < c.Cubs {
+				t.Fatalf("block %d part %d shares cub with primary", b, part)
+			}
+		}
+	}
+}
+
+func TestCoveringDisks(t *testing.T) {
+	c := cfg(14, 4, 4)
+	cov := c.CoveringDisks(55)
+	want := []int{0, 1, 2, 3}
+	for i, d := range cov {
+		if d != want[i] {
+			t.Fatalf("covering disks for 55 = %v", cov)
+		}
+	}
+}
+
+func TestFailoverFractions(t *testing.T) {
+	// §2.3's examples: decluster 4 → 1/5 reserved, vulnerable span 8;
+	// decluster 2 → 1/3 reserved.
+	c4 := cfg(14, 4, 4)
+	if got := c4.FailoverBandwidthFraction(); got != 0.2 {
+		t.Fatalf("decluster 4 reserve = %v", got)
+	}
+	if got := c4.VulnerabilitySpan(); got != 8 {
+		t.Fatalf("decluster 4 span = %v", got)
+	}
+	c2 := cfg(14, 4, 2)
+	if got := c2.FailoverBandwidthFraction(); got < 0.333 || got > 0.334 {
+		t.Fatalf("decluster 2 reserve = %v", got)
+	}
+}
+
+func TestMirrorPartSize(t *testing.T) {
+	c := cfg(3, 1, 2)
+	f := File{BlockSize: 7}
+	if c.MirrorPartSize(f) != 4 { // ceil(7/2)
+		t.Fatalf("part size %d", c.MirrorPartSize(f))
+	}
+}
+
+func TestPanicsOnBadBlock(t *testing.T) {
+	c := cfg(3, 1, 2)
+	f := File{ID: 1, StartDisk: 0, Blocks: 5}
+	for _, fn := range []func(){
+		func() { c.PrimaryDisk(f, -1) },
+		func() { c.PrimaryDisk(f, 5) },
+		func() { c.SecondaryDisk(f, 0, -1) },
+		func() { c.SecondaryDisk(f, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every disk holds the same number of primary blocks of a
+// whole-multiple-length file (perfect balance), and secondaries of one
+// disk's blocks land on exactly the decluster following disks.
+func TestQuickBalance(t *testing.T) {
+	f := func(cubsRaw, dpcRaw, dcRaw uint8, startRaw uint16) bool {
+		cubs := int(cubsRaw%8) + 2
+		dpc := int(dpcRaw%4) + 1
+		c := cfg(cubs, dpc, int(dcRaw)%(cubs*dpc-1)+1)
+		if c.Validate() != nil {
+			return true
+		}
+		n := c.NumDisks()
+		file := File{ID: 1, StartDisk: int(startRaw) % n, Blocks: 3 * n, BlockSize: 64}
+		count := make([]int, n)
+		for b := 0; b < file.Blocks; b++ {
+			count[c.PrimaryDisk(file, b)]++
+		}
+		for _, cnt := range count {
+			if cnt != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package layout
+
+import (
+	"fmt"
+	"time"
+)
+
+// Move describes one block (or mirror piece) that must change disks when
+// the system is reconfigured.
+type Move struct {
+	File     File
+	Block    int
+	Part     int // -1 for the primary copy, else the mirror piece index
+	From, To int // disk numbers in old and new configurations
+	Bytes    int64
+}
+
+// RestripePlan is the result of planning a configuration change (§2.2:
+// "changing the system configuration by adding or removing cubs and/or
+// disks requires changing the layout of all of the files").
+type RestripePlan struct {
+	Old, New Config
+	Moves    []Move
+	// BytesOut[d] / BytesIn[d] are total bytes leaving / entering each
+	// disk, indexed by old / new disk number respectively.
+	BytesOut []int64
+	BytesIn  []int64
+}
+
+// PlanRestripe computes the moves needed to convert files laid out under
+// old into the layout under new. Start disks are remapped modulo the new
+// disk count so files remain evenly spread.
+func PlanRestripe(old, new Config, files []File) (*RestripePlan, error) {
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("old config: %w", err)
+	}
+	if err := new.Validate(); err != nil {
+		return nil, fmt.Errorf("new config: %w", err)
+	}
+	p := &RestripePlan{
+		Old:      old,
+		New:      new,
+		BytesOut: make([]int64, old.NumDisks()),
+		BytesIn:  make([]int64, new.NumDisks()),
+	}
+	for _, f := range files {
+		nf := f
+		nf.StartDisk = f.StartDisk % new.NumDisks()
+		for b := 0; b < f.Blocks; b++ {
+			from := old.PrimaryDisk(f, b)
+			to := new.PrimaryDisk(nf, b)
+			if from != to {
+				p.add(Move{File: f, Block: b, Part: -1, From: from, To: to, Bytes: f.BlockSize})
+			}
+			// Mirror pieces: compare piece placement under each config.
+			// Decluster factors may differ, in which case every piece moves.
+			for part := 0; part < new.Decluster; part++ {
+				to := new.SecondaryDisk(nf, b, part)
+				var from int
+				if part < old.Decluster {
+					from = old.SecondaryDisk(f, b, part)
+				} else {
+					from = old.PrimaryDisk(f, b) // sourced from the primary copy
+				}
+				if from != to || old.Decluster != new.Decluster {
+					p.add(Move{File: f, Block: b, Part: part, From: from, To: to,
+						Bytes: new.MirrorPartSize(nf)})
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+func (p *RestripePlan) add(m Move) {
+	p.Moves = append(p.Moves, m)
+	p.BytesOut[m.From] += m.Bytes
+	p.BytesIn[m.To] += m.Bytes
+}
+
+// EstimateDuration returns the restripe time assuming every disk streams
+// at diskRate bytes/s and all transfers proceed in parallel through the
+// switched network. The answer is governed by the most-loaded single
+// disk — not by system size — which is the paper's point: the switched
+// network between the cubs means restripe time depends only on the size
+// and speed of the cubs and their disks.
+func (p *RestripePlan) EstimateDuration(diskRate float64) time.Duration {
+	if diskRate <= 0 {
+		return 0
+	}
+	var worst int64
+	for d, out := range p.BytesOut {
+		total := out
+		if d < len(p.BytesIn) {
+			total += p.BytesIn[d]
+		}
+		if total > worst {
+			worst = total
+		}
+	}
+	for d, in := range p.BytesIn {
+		if d < len(p.BytesOut) {
+			continue // already counted
+		}
+		if in > worst {
+			worst = in
+		}
+	}
+	return time.Duration(float64(worst) / diskRate * float64(time.Second))
+}
+
+// TotalBytes returns the total volume moved.
+func (p *RestripePlan) TotalBytes() int64 {
+	var n int64
+	for _, m := range p.Moves {
+		n += m.Bytes
+	}
+	return n
+}

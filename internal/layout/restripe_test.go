@@ -1,0 +1,121 @@
+package layout
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+func TestRestripeIdentityIsEmpty(t *testing.T) {
+	c := cfg(4, 2, 2)
+	files := []File{{ID: 1, StartDisk: 3, Blocks: 100, BlockSize: 64}}
+	p, err := PlanRestripe(c, c, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 0 {
+		t.Fatalf("identity restripe moved %d blocks", len(p.Moves))
+	}
+}
+
+func TestRestripeAddCub(t *testing.T) {
+	old := cfg(4, 2, 2)
+	new := cfg(5, 2, 2)
+	files := []File{{ID: 1, StartDisk: 0, Blocks: 400, BlockSize: 64}}
+	p, err := PlanRestripe(old, new, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) == 0 {
+		t.Fatal("adding a cub moved nothing")
+	}
+	// Every move's destination must match the new layout.
+	nf := files[0]
+	nf.StartDisk = files[0].StartDisk % new.NumDisks()
+	for _, m := range p.Moves {
+		if m.Part == -1 {
+			if want := new.PrimaryDisk(nf, m.Block); m.To != want {
+				t.Fatalf("block %d moved to %d, want %d", m.Block, m.To, want)
+			}
+		} else {
+			if want := new.SecondaryDisk(nf, m.Block, m.Part); m.To != want {
+				t.Fatalf("block %d part %d moved to %d, want %d", m.Block, m.Part, m.To, want)
+			}
+		}
+	}
+}
+
+// TestRestripeTimeIndependentOfSystemSize demonstrates §2.2's claim: the
+// time to restripe depends on per-disk volume, not system size. Doubling
+// the system (with proportionally more content) leaves the per-disk move
+// volume — and hence the estimated duration — within a small factor.
+func TestRestripeTimeIndependentOfSystemSize(t *testing.T) {
+	perDiskBlocks := 200
+	duration := func(cubs int) time.Duration {
+		old := cfg(cubs, 2, 2)
+		new := cfg(cubs+1, 2, 2)
+		nfiles := cubs // content scales with system size
+		files := make([]File, nfiles)
+		for i := range files {
+			files[i] = File{
+				ID:        msg.FileID(i),
+				StartDisk: (i * 3) % old.NumDisks(),
+				Blocks:    perDiskBlocks * old.NumDisks() / nfiles,
+				BlockSize: 262144,
+			}
+		}
+		p, err := PlanRestripe(old, new, files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.EstimateDuration(5e6)
+	}
+	small := duration(4)
+	large := duration(16)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("durations: %v vs %v", small, large)
+	}
+	ratio := float64(large) / float64(small)
+	if ratio > 2.0 {
+		t.Fatalf("restripe time grew %.1fx when system grew 4x (%v -> %v)", ratio, small, large)
+	}
+}
+
+func TestRestripeByteAccounting(t *testing.T) {
+	old := cfg(3, 1, 1)
+	new := cfg(4, 1, 1)
+	files := []File{{ID: 9, StartDisk: 1, Blocks: 60, BlockSize: 100}}
+	p, err := PlanRestripe(old, new, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, in int64
+	for _, b := range p.BytesOut {
+		out += b
+	}
+	for _, b := range p.BytesIn {
+		in += b
+	}
+	if out != in || out != p.TotalBytes() {
+		t.Fatalf("bytes out %d != in %d != total %d", out, in, p.TotalBytes())
+	}
+}
+
+func TestRestripeRejectsBadConfigs(t *testing.T) {
+	good := cfg(3, 1, 1)
+	bad := cfg(0, 1, 1)
+	if _, err := PlanRestripe(bad, good, nil); err == nil {
+		t.Error("bad old config accepted")
+	}
+	if _, err := PlanRestripe(good, bad, nil); err == nil {
+		t.Error("bad new config accepted")
+	}
+}
+
+func TestEstimateDurationZeroRate(t *testing.T) {
+	p := &RestripePlan{}
+	if p.EstimateDuration(0) != 0 {
+		t.Error("zero rate should estimate 0")
+	}
+}

@@ -1,0 +1,52 @@
+package msg
+
+import "testing"
+
+func BenchmarkEncodeViewerState(b *testing.B) {
+	vs := &ViewerState{Viewer: 7, Instance: 99, File: 4, Block: 1234,
+		Slot: 17, PlaySeq: 55, Due: 1234567890, Bitrate: 2_000_000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Encode(vs)
+		if len(buf) != vs.Size() {
+			b.Fatal("size mismatch")
+		}
+	}
+}
+
+func BenchmarkDecodeViewerState(b *testing.B) {
+	buf := Encode(&ViewerState{Viewer: 7, Instance: 99, Due: 42})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBatch32(b *testing.B) {
+	batch := &Batch{}
+	for i := 0; i < 32; i++ {
+		batch.Msgs = append(batch.Msgs, &ViewerState{Viewer: ViewerID(i), Due: int64(i)})
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(batch.Size()))
+	for i := 0; i < b.N; i++ {
+		Encode(batch)
+	}
+}
+
+func BenchmarkDecodeBatch32(b *testing.B) {
+	batch := &Batch{}
+	for i := 0; i < 32; i++ {
+		batch.Msgs = append(batch.Msgs, &ViewerState{Viewer: ViewerID(i), Due: int64(i)})
+	}
+	buf := Encode(batch)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package msg
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		&ViewerState{
+			Viewer: 7, Instance: 99, Addr: [16]byte{1, 2, 3}, File: 4,
+			Block: 1234, Slot: 17, PlaySeq: 55, Due: 1234567890,
+			Bitrate: 2_000_000, Mirror: true, Part: 3, OrigDisk: 41, Epoch: 2,
+		},
+		&Deschedule{Viewer: 1, Instance: 2, Slot: -1, Created: 42},
+		&StartPlay{Viewer: 3, Instance: 4, Addr: [16]byte{9}, File: 5,
+			StartBlock: 6, Bitrate: 7, Primary: true, Issued: 8},
+		&StartAck{Viewer: 9, Instance: 10, Slot: 11, By: -1},
+		&Heartbeat{From: 12, Epoch: 13, Now: 14},
+		&ReserveReq{Viewer: 15, Instance: 16, Start: 17, Bitrate: 18, Seq: 19},
+		&ReserveResp{Instance: 20, Seq: 21, OK: true},
+	}
+}
+
+func TestRoundTripAll(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b := Encode(m)
+		if len(b) != m.Size() {
+			t.Errorf("%v: encoded %d bytes, Size() says %d", m.Type(), len(b), m.Size())
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type(), err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v: round trip mismatch:\n in: %+v\nout: %+v", m.Type(), m, got)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := &Batch{Msgs: sampleMessages()}
+	enc := Encode(b)
+	if len(enc) != b.Size() {
+		t.Errorf("batch encoded %d bytes, Size() says %d", len(enc), b.Size())
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, ok := got.(*Batch)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if !reflect.DeepEqual(b.Msgs, gb.Msgs) {
+		t.Error("batch contents mismatch")
+	}
+}
+
+func TestNestedBatch(t *testing.T) {
+	inner := &Batch{Msgs: []Message{&Heartbeat{From: 1}}}
+	outer := &Batch{Msgs: []Message{inner, &Heartbeat{From: 2}}}
+	got, err := Decode(Encode(outer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outer, got) {
+		t.Error("nested batch mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty buffer decoded")
+	}
+	if _, err := Decode([]byte{0xFF, 1, 2}); err == nil {
+		t.Error("unknown type decoded")
+	}
+	// Truncations of every sample must error, never panic.
+	for _, m := range sampleMessages() {
+		b := Encode(m)
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := Decode(b[:cut]); err == nil {
+				t.Errorf("%v truncated to %d bytes decoded successfully", m.Type(), cut)
+			}
+		}
+		// Trailing garbage must also error.
+		if _, err := Decode(append(append([]byte{}, b...), 0)); err == nil {
+			t.Errorf("%v with trailing byte decoded", m.Type())
+		}
+	}
+}
+
+func TestConsumeSequence(t *testing.T) {
+	var buf []byte
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		buf = Append(buf, m)
+	}
+	rest := buf
+	for i := 0; len(rest) > 0; i++ {
+		m, r, err := Consume(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, msgs[i]) {
+			t.Fatalf("message %d mismatch", i)
+		}
+		rest = r
+	}
+}
+
+func TestViewerStateSizeIsPaperScale(t *testing.T) {
+	// §3.3 sizes the control messages at about 100 bytes.
+	s := (&ViewerState{}).Size()
+	if s < 60 || s > 140 {
+		t.Fatalf("viewer state is %d bytes; the paper's analysis assumes ~100", s)
+	}
+}
+
+func TestQuickViewerStateRoundTrip(t *testing.T) {
+	f := func(v ViewerState) bool {
+		got, err := Decode(Encode(&v))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(&v, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Controller.String() != "controller" {
+		t.Error(Controller.String())
+	}
+	if NodeID(3).String() != "cub3" {
+		t.Error(NodeID(3).String())
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, m := range sampleMessages() {
+		if bytes.Contains([]byte(m.Type().String()), []byte("Type(")) {
+			t.Errorf("missing name for type %d", m.Type())
+		}
+	}
+	if Type(200).String() != "Type(200)" {
+		t.Error("unknown type should format numerically")
+	}
+}

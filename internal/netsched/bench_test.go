@@ -1,0 +1,49 @@
+package netsched
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+func filledSchedule(b *testing.B, n int) *Schedule {
+	b.Helper()
+	s, err := New(14, time.Second, 1_000_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		e := Entry{
+			Instance: msg.InstanceID(i + 1),
+			Start:    time.Duration(i*37%14000) * time.Millisecond,
+			Bitrate:  2_000_000,
+			State:    Committed,
+		}
+		if err := s.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkCanInsert200(b *testing.B) {
+	s := filledSchedule(b, 200)
+	for i := 0; i < b.N; i++ {
+		s.CanInsert(time.Duration(i%14000)*time.Millisecond, 2_000_000)
+	}
+}
+
+func BenchmarkOccupancyAt200(b *testing.B) {
+	s := filledSchedule(b, 200)
+	for i := 0; i < b.N; i++ {
+		s.OccupancyAt(time.Duration(i%14000) * time.Millisecond)
+	}
+}
+
+func BenchmarkFindStartQuantized(b *testing.B) {
+	s := filledSchedule(b, 200)
+	for i := 0; i < b.N; i++ {
+		s.FindStart(time.Duration(i%14000)*time.Millisecond, 2_000_000, 250*time.Millisecond)
+	}
+}

@@ -1,0 +1,27 @@
+package netsched_test
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/netsched"
+)
+
+// Example reproduces Figure 4's network schedule: a 3-cub system with a
+// 6 Mbit/s NIC, where the gap left between two entries is free
+// bandwidth that no one-block-play-time entry can use (§3.2).
+func Example() {
+	s, _ := netsched.New(3, time.Second, 6_000_000)
+	s.Insert(netsched.Entry{Instance: 4, Start: 0, Bitrate: 2_000_000})
+	s.Insert(netsched.Entry{Instance: 0, Start: 1125 * time.Millisecond, Bitrate: 3_000_000})
+	s.Insert(netsched.Entry{Instance: 2, Start: 1500 * time.Millisecond, Bitrate: 2_000_000})
+
+	fmt.Printf("occupancy at 1.6s: %d bit/s\n", s.OccupancyAt(1600*time.Millisecond))
+	fmt.Printf("3 Mbit/s entry fits at 1.0s: %v\n", s.CanInsert(time.Second, 3_000_001))
+	start, ok := s.FindStart(0, 2_000_000, 250*time.Millisecond)
+	fmt.Printf("first quantized start for 2 Mbit/s: %v (ok=%v)\n", start, ok)
+	// Output:
+	// occupancy at 1.6s: 5000000 bit/s
+	// 3 Mbit/s entry fits at 1.0s: false
+	// first quantized start for 2 Mbit/s: 0s (ok=true)
+}

@@ -1,0 +1,238 @@
+// Package netsched implements the two-dimensional network schedule used
+// by multiple-bitrate Tiger systems (§3.2, §4.2). The x-axis is time
+// (cyclic, numCubs block play times long), the y-axis bandwidth. Every
+// entry is exactly one block play time long and as tall as its stream's
+// bitrate; the sum of heights at any instant must not exceed a cub NIC's
+// bandwidth.
+//
+// Entries pass through three states during the distributed insertion
+// protocol: Tentative on the originating cub while it asks its successor,
+// Reserved on the successor (capacity held, no work generated), and
+// Committed once the originating cub confirms.
+package netsched
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+// State tracks an entry through the two-phase insertion of §4.2.
+type State int
+
+const (
+	Tentative State = iota
+	Reserved
+	Committed
+)
+
+func (s State) String() string {
+	switch s {
+	case Tentative:
+		return "tentative"
+	case Reserved:
+		return "reserved"
+	case Committed:
+		return "committed"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Entry is one stream's occupancy of the network schedule.
+type Entry struct {
+	Viewer   msg.ViewerID
+	Instance msg.InstanceID
+	Start    time.Duration // offset of the entry within the cycle
+	Bitrate  int64         // bits per second (the entry's height)
+	State    State
+}
+
+// Schedule is one cub's view of the network schedule. As with the disk
+// schedule there is no global instance; each cub holds the region near
+// its own pointer plus reservations it has granted.
+type Schedule struct {
+	cycle     time.Duration // numCubs × blockPlay
+	blockPlay time.Duration
+	capacity  int64 // bits/s of one NIC
+	entries   map[msg.InstanceID]*Entry
+}
+
+// New creates an empty schedule. capacityBps is the NIC bandwidth in
+// bits per second.
+func New(numCubs int, blockPlay time.Duration, capacityBps int64) (*Schedule, error) {
+	if numCubs < 1 || blockPlay <= 0 || capacityBps <= 0 {
+		return nil, fmt.Errorf("netsched: bad geometry (%d cubs, %v play, %d bps)",
+			numCubs, blockPlay, capacityBps)
+	}
+	return &Schedule{
+		cycle:     time.Duration(numCubs) * blockPlay,
+		blockPlay: blockPlay,
+		capacity:  capacityBps,
+		entries:   make(map[msg.InstanceID]*Entry),
+	}, nil
+}
+
+// Cycle returns the schedule's total length.
+func (s *Schedule) Cycle() time.Duration { return s.cycle }
+
+// Capacity returns the NIC bandwidth modelled, in bits per second.
+func (s *Schedule) Capacity() int64 { return s.capacity }
+
+// BlockPlay returns the fixed entry length.
+func (s *Schedule) BlockPlay() time.Duration { return s.blockPlay }
+
+// Len returns the number of entries (any state).
+func (s *Schedule) Len() int { return len(s.entries) }
+
+func (s *Schedule) norm(t time.Duration) time.Duration {
+	t %= s.cycle
+	if t < 0 {
+		t += s.cycle
+	}
+	return t
+}
+
+// overlap reports how the entry at start covers instant t (cyclically).
+func (s *Schedule) covers(start, t time.Duration) bool {
+	d := s.norm(t - start)
+	return d < s.blockPlay
+}
+
+// OccupancyAt returns the summed bitrate of entries covering instant t.
+func (s *Schedule) OccupancyAt(t time.Duration) int64 {
+	t = s.norm(t)
+	var sum int64
+	for _, e := range s.entries {
+		if s.covers(e.Start, t) {
+			sum += e.Bitrate
+		}
+	}
+	return sum
+}
+
+// FreeAt reports the spare bandwidth at instant t.
+func (s *Schedule) FreeAt(t time.Duration) int64 {
+	return s.capacity - s.OccupancyAt(t)
+}
+
+// CanInsert reports whether an entry of the given bitrate starting at
+// start would keep occupancy within capacity over its entire extent. The
+// check only needs to evaluate occupancy at start and at each existing
+// entry boundary inside the window: occupancy is piecewise constant.
+func (s *Schedule) CanInsert(start time.Duration, bitrate int64) bool {
+	start = s.norm(start)
+	if bitrate <= 0 || bitrate > s.capacity {
+		return false
+	}
+	if s.OccupancyAt(start)+bitrate > s.capacity {
+		return false
+	}
+	for _, e := range s.entries {
+		// Boundaries where occupancy can step up inside our window are
+		// existing entries' starts.
+		d := s.norm(e.Start - start)
+		if d > 0 && d < s.blockPlay {
+			if s.OccupancyAt(e.Start)+bitrate > s.capacity {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Insert adds an entry, enforcing the capacity invariant.
+func (s *Schedule) Insert(e Entry) error {
+	if _, dup := s.entries[e.Instance]; dup {
+		return fmt.Errorf("netsched: instance %d already present", e.Instance)
+	}
+	if !s.CanInsert(e.Start, e.Bitrate) {
+		return fmt.Errorf("netsched: inserting %d bps at %v would exceed capacity %d",
+			e.Bitrate, e.Start, s.capacity)
+	}
+	e.Start = s.norm(e.Start)
+	s.entries[e.Instance] = &e
+	return nil
+}
+
+// Get returns the entry for an instance, if present.
+func (s *Schedule) Get(id msg.InstanceID) (Entry, bool) {
+	e, ok := s.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// SetState transitions an entry's state (reservation → committed, etc).
+func (s *Schedule) SetState(id msg.InstanceID, st State) error {
+	e, ok := s.entries[id]
+	if !ok {
+		return fmt.Errorf("netsched: no entry for instance %d", id)
+	}
+	e.State = st
+	return nil
+}
+
+// Remove deletes an entry; removing an absent instance is a no-op, in
+// keeping with deschedule idempotence.
+func (s *Schedule) Remove(id msg.InstanceID) {
+	delete(s.entries, id)
+}
+
+// Utilization returns occupied bandwidth-time as a fraction of
+// capacity × cycle.
+func (s *Schedule) Utilization() float64 {
+	var area float64
+	for _, e := range s.entries {
+		area += float64(e.Bitrate) * s.blockPlay.Seconds()
+	}
+	return area / (float64(s.capacity) * s.cycle.Seconds())
+}
+
+// FindStart searches for the first start position >= after (cyclically,
+// scanning at the given quantum) where an entry of the given bitrate
+// fits. The paper found fragmentation acceptable only when starts are
+// quantized to blockPlay/decluster (§3.2); passing a smaller quantum
+// reproduces the fragmented case for the ablation. ok is false if no
+// position in the whole cycle fits.
+func (s *Schedule) FindStart(after time.Duration, bitrate int64, quantum time.Duration) (time.Duration, bool) {
+	if quantum <= 0 {
+		quantum = time.Millisecond
+	}
+	// Round 'after' up to the quantization grid.
+	start := ((after + quantum - 1) / quantum) * quantum
+	steps := int(s.cycle/quantum) + 1
+	for i := 0; i < steps; i++ {
+		pos := s.norm(start + time.Duration(i)*quantum)
+		if s.CanInsert(pos, bitrate) {
+			return pos, true
+		}
+	}
+	return 0, false
+}
+
+// FragmentationLoss measures schedule-area that is free but unusable:
+// the fraction of the cycle (at the given scan quantum) where free
+// bandwidth is at least bitrate yet no blockPlay-long entry of that
+// bitrate can start. This is the quantity Figure 4's discussion
+// describes ("the free bandwidth ... is unusable, because any new entry
+// would be one block play time long").
+func (s *Schedule) FragmentationLoss(bitrate int64, quantum time.Duration) float64 {
+	if quantum <= 0 {
+		quantum = 10 * time.Millisecond
+	}
+	var freeSlots, wastedSlots int
+	for pos := time.Duration(0); pos < s.cycle; pos += quantum {
+		if s.FreeAt(pos) >= bitrate {
+			freeSlots++
+			if !s.CanInsert(pos, bitrate) {
+				wastedSlots++
+			}
+		}
+	}
+	if freeSlots == 0 {
+		return 0
+	}
+	return float64(wastedSlots) / float64(freeSlots)
+}

@@ -1,0 +1,265 @@
+package netsched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+const cap6M = 6_000_000 // the 6 Mbit/s NIC of Figure 4's example
+
+func newSched(t *testing.T) *Schedule {
+	t.Helper()
+	s, err := New(3, time.Second, cap6M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewErrors(t *testing.T) {
+	for _, bad := range []struct {
+		cubs int
+		bp   time.Duration
+		cap  int64
+	}{{0, time.Second, 1}, {1, 0, 1}, {1, time.Second, 0}} {
+		if _, err := New(bad.cubs, bad.bp, bad.cap); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestFigure4Example(t *testing.T) {
+	// Figure 4: viewer 4 runs at 2 Mbit/s from time 0 to 1; viewer 0 at
+	// 3 Mbit/s from 1.125 to 2.125, on a 3-cub, 1 s block play system.
+	s := newSched(t)
+	must := func(e Entry) {
+		t.Helper()
+		if err := s.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Entry{Instance: 4, Start: 0, Bitrate: 2_000_000, State: Committed})
+	must(Entry{Instance: 0, Start: 1125 * time.Millisecond, Bitrate: 3_000_000, State: Committed})
+	must(Entry{Instance: 2, Start: 1500 * time.Millisecond, Bitrate: 2_000_000, State: Committed})
+
+	if got := s.OccupancyAt(1200 * time.Millisecond); got != 3_000_000 {
+		t.Fatalf("occupancy at 1.2s = %d", got)
+	}
+	if got := s.OccupancyAt(1600 * time.Millisecond); got != 5_000_000 {
+		t.Fatalf("occupancy at 1.6s = %d", got)
+	}
+	if got := s.OccupancyAt(500 * time.Millisecond); got != 2_000_000 {
+		t.Fatalf("occupancy at 0.5s = %d", got)
+	}
+	// The gap between viewer 4's end (1.0) and viewer 2's start (1.5) has
+	// 6-3=3 Mbit/s free below capacity, but a 1 s entry of 3 Mbit/s
+	// cannot start at 1.0 because it would overlap viewer 0 + viewer 2.
+	if s.CanInsert(time.Second, 3_000_001) {
+		t.Fatal("overcommit accepted")
+	}
+}
+
+func TestCapacityInvariant(t *testing.T) {
+	s := newSched(t)
+	if err := s.Insert(Entry{Instance: 1, Start: 0, Bitrate: cap6M}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(Entry{Instance: 2, Start: 500 * time.Millisecond, Bitrate: 1}); err == nil {
+		t.Fatal("capacity exceeded")
+	}
+	// But an entry in the untouched region fits.
+	if err := s.Insert(Entry{Instance: 3, Start: time.Second, Bitrate: cap6M}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclicWraparound(t *testing.T) {
+	s := newSched(t)
+	// An entry near the cycle end wraps into the beginning.
+	if err := s.Insert(Entry{Instance: 1, Start: 2500 * time.Millisecond, Bitrate: cap6M}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OccupancyAt(200 * time.Millisecond); got != cap6M {
+		t.Fatalf("wrapped occupancy %d", got)
+	}
+	if s.CanInsert(0, 1) {
+		t.Fatal("overlap with wrapped entry accepted")
+	}
+}
+
+func TestRemoveIsIdempotent(t *testing.T) {
+	s := newSched(t)
+	if err := s.Insert(Entry{Instance: 1, Start: 0, Bitrate: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	s.Remove(1)
+	s.Remove(1) // no-op
+	if s.Len() != 0 {
+		t.Fatal("entry survived removal")
+	}
+	if !s.CanInsert(0, cap6M) {
+		t.Fatal("capacity not released")
+	}
+}
+
+func TestDuplicateInstanceRejected(t *testing.T) {
+	s := newSched(t)
+	if err := s.Insert(Entry{Instance: 1, Start: 0, Bitrate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(Entry{Instance: 1, Start: time.Second, Bitrate: 1}); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	s := newSched(t)
+	if err := s.Insert(Entry{Instance: 1, Start: 0, Bitrate: 1, State: Reserved}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetState(1, Committed); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Get(1)
+	if !ok || e.State != Committed {
+		t.Fatalf("entry %+v ok=%v", e, ok)
+	}
+	if err := s.SetState(99, Committed); err == nil {
+		t.Fatal("missing instance accepted")
+	}
+	for _, st := range []State{Tentative, Reserved, Committed, State(9)} {
+		_ = st.String()
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := newSched(t)
+	if u := s.Utilization(); u != 0 {
+		t.Fatalf("empty utilization %v", u)
+	}
+	// One full-rate entry for one of three seconds: 1/3 utilization.
+	if err := s.Insert(Entry{Instance: 1, Start: 0, Bitrate: cap6M}); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.Utilization(); u < 0.33 || u > 0.34 {
+		t.Fatalf("utilization %v, want ~1/3", u)
+	}
+}
+
+func TestFindStartQuantized(t *testing.T) {
+	s := newSched(t)
+	if err := s.Insert(Entry{Instance: 1, Start: 0, Bitrate: cap6M}); err != nil {
+		t.Fatal(err)
+	}
+	q := 250 * time.Millisecond // blockPlay/decluster with decluster 4
+	start, ok := s.FindStart(0, cap6M, q)
+	if !ok {
+		t.Fatal("no start found")
+	}
+	if start != time.Second {
+		t.Fatalf("found start %v, want 1s", start)
+	}
+	if start%q != 0 {
+		t.Fatalf("start %v not on the quantization grid", start)
+	}
+}
+
+func TestFindStartFullScheduleFails(t *testing.T) {
+	s := newSched(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Insert(Entry{Instance: msg.InstanceID(i), Start: time.Duration(i) * time.Second, Bitrate: cap6M}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.FindStart(0, 1, 250*time.Millisecond); ok {
+		t.Fatal("found a start in a full schedule")
+	}
+}
+
+// TestFragmentationQuantizationHelps reproduces §3.2's finding in miniature:
+// with arbitrary start times fragmentation wastes free bandwidth, while
+// quantizing starts to blockPlay/decluster admits more streams.
+func TestFragmentationQuantizationHelps(t *testing.T) {
+	admit := func(quantum time.Duration, rng *rand.Rand) int {
+		s, err := New(8, time.Second, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := 0; i < 200; i++ {
+			// Arrive at a random phase, then search from there.
+			after := time.Duration(rng.Int63n(int64(s.Cycle())))
+			if quantum > 0 {
+				after = after / quantum * quantum
+			}
+			br := int64(1_000_000 + rng.Int63n(2_000_000))
+			searchQ := quantum
+			if searchQ <= 0 {
+				searchQ = time.Millisecond
+			}
+			if start, ok := s.FindStart(after, br, searchQ); ok {
+				if err := s.Insert(Entry{Instance: msg.InstanceID(i), Start: start, Bitrate: br, State: Committed}); err == nil {
+					n++
+					continue
+				}
+			}
+			break
+		}
+		return n
+	}
+	quantized := admit(250*time.Millisecond, rand.New(rand.NewSource(11)))
+	arbitrary := admit(0, rand.New(rand.NewSource(11)))
+	t.Logf("admitted: quantized=%d arbitrary(1ms grid)=%d", quantized, arbitrary)
+	if quantized < arbitrary {
+		t.Fatalf("quantization should not admit fewer streams: %d vs %d", quantized, arbitrary)
+	}
+}
+
+func TestFragmentationLossMeasure(t *testing.T) {
+	s := newSched(t)
+	// Occupy [0,1) fully and [1.5,2.5) fully: the half-second gap at
+	// [1.0,1.5) is free but unusable for a 1 s entry.
+	if err := s.Insert(Entry{Instance: 1, Start: 0, Bitrate: cap6M}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(Entry{Instance: 2, Start: 1500 * time.Millisecond, Bitrate: cap6M}); err != nil {
+		t.Fatal(err)
+	}
+	loss := s.FragmentationLoss(cap6M, 10*time.Millisecond)
+	if loss <= 0.9 {
+		// All free instants (the gap) are unusable: loss should be ~1.
+		t.Fatalf("fragmentation loss %v, want ~1", loss)
+	}
+}
+
+// Property: Insert never lets occupancy exceed capacity anywhere.
+func TestQuickNeverOverCapacity(t *testing.T) {
+	f := func(startsRaw []uint32, ratesRaw []uint16) bool {
+		s, err := New(4, time.Second, 5_000_000)
+		if err != nil {
+			return false
+		}
+		n := len(startsRaw)
+		if len(ratesRaw) < n {
+			n = len(ratesRaw)
+		}
+		for i := 0; i < n; i++ {
+			start := time.Duration(startsRaw[i]) % s.Cycle()
+			rate := int64(ratesRaw[i]) * 100
+			_ = s.Insert(Entry{Instance: msg.InstanceID(i), Start: start, Bitrate: rate})
+		}
+		for off := time.Duration(0); off < s.Cycle(); off += 50 * time.Millisecond {
+			if s.OccupancyAt(off) > s.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package netsim models Tiger's switched network (§2.1): an ATM-class
+// switch with enough aggregate bandwidth that only per-NIC capacity and
+// per-link latency matter. Control messages between nodes are delivered
+// reliably and in order per sender/receiver pair, mirroring the paper's
+// use of TCP between cubs (§4.1.3 relies on this ordering for the
+// insert-after-deschedule argument). Failed nodes neither send nor
+// receive.
+//
+// The data path — paced block sends from cubs to viewers — is modelled as
+// per-NIC bandwidth occupancy plus a delivery event for the block's last
+// byte, which is what the paper's verification clients time.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// Params describe the network model.
+type Params struct {
+	LatencyBase   time.Duration // one-way propagation + switching
+	LatencyJitter time.Duration // additional uniform [0,J) per message
+	NICRate       float64       // usable bytes/s of one cub's network interface
+}
+
+// DefaultParams model the paper's FORE OC-3 ATM adapters: 155 Mbit/s raw,
+// roughly 16.5 MB/s usable after cell and AAL5 overhead, sub-millisecond
+// switch latency.
+func DefaultParams() Params {
+	return Params{
+		LatencyBase:   300 * time.Microsecond,
+		LatencyJitter: 400 * time.Microsecond,
+		NICRate:       16.5e6,
+	}
+}
+
+// Handler receives control messages addressed to a node.
+type Handler interface {
+	Deliver(from msg.NodeID, m msg.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from msg.NodeID, m msg.Message)
+
+func (f HandlerFunc) Deliver(from msg.NodeID, m msg.Message) { f(from, m) }
+
+// BlockDelivery describes one block (or declustered mirror piece) sent to
+// a viewer.
+type BlockDelivery struct {
+	Viewer   msg.ViewerID
+	Instance msg.InstanceID
+	Addr     [16]byte // viewer network address (used by the rt transport)
+	File     msg.FileID
+	Block    int32
+	PlaySeq  int32
+	From     msg.NodeID
+	Bytes    int64
+	Mirror   bool
+	Part     int8 // mirror piece index; Parts==1 for primary sends
+	Parts    int8 // total pieces making up this block
+	Start    sim.Time
+	LastByte sim.Time
+}
+
+// DataSink receives block deliveries for a viewer.
+type DataSink interface {
+	DeliverBlock(d BlockDelivery)
+}
+
+type pairKey struct{ from, to msg.NodeID }
+
+// nodeStats tracks per-node traffic. Control and data are separated
+// because the paper reports control traffic alone (Figures 8-9).
+type nodeStats struct {
+	ctlBytes  int64
+	ctlMsgs   int64
+	dataBytes int64
+
+	// NIC occupancy accounting: integrate active send rate over time.
+	activeRate float64 // bytes/s currently being sent
+	lastChange sim.Time
+	byteSecs   float64 // integral of activeRate dt, in bytes
+	peakRate   float64
+	overloadNs int64 // time spent with activeRate > NICRate
+}
+
+// Network is the simulated switch.
+type Network struct {
+	clk    clock.Clock
+	rng    *rand.Rand
+	params Params
+
+	nodes   map[msg.NodeID]Handler
+	viewers map[msg.ViewerID]DataSink
+	failed  map[msg.NodeID]bool
+	lastArr map[pairKey]sim.Time
+	stats   map[msg.NodeID]*nodeStats
+
+	// DropControl, if non-nil, is consulted for each control message;
+	// returning true drops it. Used by fault-injection tests only — the
+	// real system runs control traffic over TCP.
+	DropControl func(from, to msg.NodeID, m msg.Message) bool
+}
+
+// New creates an empty network.
+func New(params Params, clk clock.Clock, rng *rand.Rand) *Network {
+	return &Network{
+		clk:     clk,
+		rng:     rng,
+		params:  params,
+		nodes:   make(map[msg.NodeID]Handler),
+		viewers: make(map[msg.ViewerID]DataSink),
+		failed:  make(map[msg.NodeID]bool),
+		lastArr: make(map[pairKey]sim.Time),
+		stats:   make(map[msg.NodeID]*nodeStats),
+	}
+}
+
+// Register attaches a node to the switch.
+func (n *Network) Register(id msg.NodeID, h Handler) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: node %v registered twice", id))
+	}
+	n.nodes[id] = h
+	n.stats[id] = &nodeStats{lastChange: n.clk.Now()}
+}
+
+// RegisterViewer attaches a viewer endpoint.
+func (n *Network) RegisterViewer(id msg.ViewerID, s DataSink) {
+	n.viewers[id] = s
+}
+
+// UnregisterViewer detaches a viewer endpoint; subsequent block sends to
+// it are discarded.
+func (n *Network) UnregisterViewer(id msg.ViewerID) {
+	delete(n.viewers, id)
+}
+
+// Fail marks a node down: it silently loses everything in flight to it
+// and everything it would send, like the paper's power-cut test (§5).
+func (n *Network) Fail(id msg.NodeID) { n.failed[id] = true }
+
+// Revive brings a failed node back.
+func (n *Network) Revive(id msg.NodeID) { delete(n.failed, id) }
+
+// Failed reports whether a node is currently marked down.
+func (n *Network) Failed(id msg.NodeID) bool { return n.failed[id] }
+
+func (n *Network) latency() time.Duration {
+	l := n.params.LatencyBase
+	if n.params.LatencyJitter > 0 {
+		l += time.Duration(n.rng.Int63n(int64(n.params.LatencyJitter)))
+	}
+	return l
+}
+
+// Send delivers a control message from one node to another, reliably and
+// in order with respect to other messages on the same (from, to) pair.
+func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
+	st := n.stats[from]
+	if st == nil {
+		st = &nodeStats{lastChange: n.clk.Now()}
+		n.stats[from] = st
+	}
+	if n.failed[from] || n.failed[to] {
+		return
+	}
+	if n.DropControl != nil && n.DropControl(from, to, m) {
+		return
+	}
+	st.ctlBytes += int64(m.Size())
+	st.ctlMsgs++
+
+	arrive := n.clk.Now().Add(n.latency())
+	key := pairKey{from, to}
+	if last := n.lastArr[key]; arrive <= last {
+		arrive = last + 1 // preserve FIFO per pair
+	}
+	n.lastArr[key] = arrive
+	n.clk.At(arrive, func() {
+		if n.failed[to] || n.failed[from] {
+			return // failed while in flight
+		}
+		h := n.nodes[to]
+		if h == nil {
+			return
+		}
+		h.Deliver(from, m)
+	})
+}
+
+// SendBlock starts a paced data send of d.Bytes from a cub to a viewer
+// over pace (one block play time for primaries, blockPlay/decluster for
+// mirror pieces, §4.1.1). The viewer's DeliverBlock fires when the last
+// byte arrives.
+func (n *Network) SendBlock(from msg.NodeID, d BlockDelivery, pace time.Duration) {
+	if n.failed[from] {
+		return
+	}
+	st := n.stats[from]
+	if st == nil {
+		st = &nodeStats{lastChange: n.clk.Now()}
+		n.stats[from] = st
+	}
+	st.dataBytes += d.Bytes
+
+	rate := float64(d.Bytes) / pace.Seconds()
+	n.nicAdjust(st, +rate)
+	n.clk.After(pace, func() { n.nicAdjust(st, -rate) })
+
+	d.From = from
+	d.Start = n.clk.Now()
+	d.LastByte = n.clk.Now().Add(pace + n.latency())
+	n.clk.At(d.LastByte, func() {
+		if s := n.viewers[d.Viewer]; s != nil {
+			s.DeliverBlock(d)
+		}
+	})
+}
+
+func (n *Network) nicAdjust(st *nodeStats, delta float64) {
+	now := n.clk.Now()
+	dt := now.Sub(st.lastChange).Seconds()
+	if dt > 0 {
+		st.byteSecs += st.activeRate * dt
+		if st.activeRate > n.params.NICRate {
+			st.overloadNs += int64(now.Sub(st.lastChange))
+		}
+	}
+	st.lastChange = now
+	st.activeRate += delta
+	if st.activeRate < 0 {
+		st.activeRate = 0 // float drift
+	}
+	if st.activeRate > st.peakRate {
+		st.peakRate = st.activeRate
+	}
+}
+
+// Stats is a snapshot of one node's cumulative traffic counters.
+type Stats struct {
+	CtlBytes   int64
+	CtlMsgs    int64
+	DataBytes  int64
+	ByteSecs   float64 // integral of send rate over time
+	PeakRate   float64 // bytes/s
+	OverloadNs int64
+}
+
+// NodeStats returns cumulative counters for a node; diff snapshots to get
+// rates over a window.
+func (n *Network) NodeStats(id msg.NodeID) Stats {
+	st := n.stats[id]
+	if st == nil {
+		return Stats{}
+	}
+	// Fold in occupancy up to now so ByteSecs is current.
+	n.nicAdjust(st, 0)
+	return Stats{
+		CtlBytes:   st.ctlBytes,
+		CtlMsgs:    st.ctlMsgs,
+		DataBytes:  st.dataBytes,
+		ByteSecs:   st.byteSecs,
+		PeakRate:   st.peakRate,
+		OverloadNs: st.overloadNs,
+	}
+}
+
+// Params returns the network's parameters.
+func (n *Network) Params() Params { return n.params }

@@ -1,0 +1,220 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+type recorder struct {
+	from []msg.NodeID
+	msgs []msg.Message
+	at   []sim.Time
+	eng  *sim.Engine
+}
+
+func (r *recorder) Deliver(from msg.NodeID, m msg.Message) {
+	r.from = append(r.from, from)
+	r.msgs = append(r.msgs, m)
+	r.at = append(r.at, r.eng.Now())
+}
+
+func testNet(t *testing.T, mutate func(*Params)) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.New(1)
+	p := DefaultParams()
+	if mutate != nil {
+		mutate(&p)
+	}
+	return eng, New(p, clock.Sim{Eng: eng}, rand.New(rand.NewSource(9)))
+}
+
+func TestDeliveryWithLatency(t *testing.T) {
+	eng, n := testNet(t, func(p *Params) { p.LatencyJitter = 0 })
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	eng.Run()
+	if len(r.msgs) != 1 {
+		t.Fatalf("%d deliveries", len(r.msgs))
+	}
+	if r.at[0] != sim.Time(n.Params().LatencyBase) {
+		t.Fatalf("arrived at %v, want %v", r.at[0], n.Params().LatencyBase)
+	}
+	if r.from[0] != 1 {
+		t.Fatalf("from %v", r.from[0])
+	}
+}
+
+func TestPairwiseFIFO(t *testing.T) {
+	// §4.1.3 relies on TCP ordering between cub pairs: messages sent
+	// earlier arrive earlier, despite latency jitter.
+	eng, n := testNet(t, func(p *Params) { p.LatencyJitter = 5 * time.Millisecond })
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	for i := 0; i < 50; i++ {
+		n.Send(1, 0, &msg.Heartbeat{From: 1, Epoch: int32(i)})
+	}
+	eng.Run()
+	if len(r.msgs) != 50 {
+		t.Fatalf("%d deliveries", len(r.msgs))
+	}
+	for i, m := range r.msgs {
+		if m.(*msg.Heartbeat).Epoch != int32(i) {
+			t.Fatalf("message %d out of order", i)
+		}
+	}
+	for i := 1; i < len(r.at); i++ {
+		if r.at[i] <= r.at[i-1] {
+			t.Fatalf("arrival times not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestFailedNodeSendsAndReceivesNothing(t *testing.T) {
+	eng, n := testNet(t, nil)
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.Fail(1)
+	n.Send(1, 0, &msg.Heartbeat{From: 1}) // from failed: dropped
+	n.Revive(1)
+	n.Fail(0)
+	n.Send(1, 0, &msg.Heartbeat{From: 1}) // to failed: dropped
+	eng.Run()
+	if len(r.msgs) != 0 {
+		t.Fatalf("failed-node traffic delivered: %d", len(r.msgs))
+	}
+}
+
+func TestFailureWhileInFlight(t *testing.T) {
+	eng, n := testNet(t, nil)
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	n.Fail(0) // receiver dies with the message in flight
+	eng.Run()
+	if len(r.msgs) != 0 {
+		t.Fatal("message delivered to a node that failed while it was in flight")
+	}
+}
+
+func TestControlByteAccounting(t *testing.T) {
+	eng, n := testNet(t, nil)
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	hb := &msg.Heartbeat{From: 0}
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, hb)
+	}
+	eng.Run()
+	st := n.NodeStats(0)
+	if st.CtlMsgs != 10 || st.CtlBytes != int64(10*hb.Size()) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDropControlHook(t *testing.T) {
+	eng, n := testNet(t, nil)
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	drop := true
+	n.DropControl = func(from, to msg.NodeID, m msg.Message) bool { return drop }
+	n.Send(1, 0, &msg.Heartbeat{})
+	drop = false
+	n.Send(1, 0, &msg.Heartbeat{})
+	eng.Run()
+	if len(r.msgs) != 1 {
+		t.Fatalf("%d deliveries, want 1", len(r.msgs))
+	}
+}
+
+type sink struct {
+	got []BlockDelivery
+}
+
+func (s *sink) DeliverBlock(d BlockDelivery) { s.got = append(s.got, d) }
+
+func TestBlockDelivery(t *testing.T) {
+	eng, n := testNet(t, func(p *Params) { p.LatencyJitter = 0 })
+	s := &sink{}
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.RegisterViewer(7, s)
+	n.SendBlock(0, BlockDelivery{Viewer: 7, Bytes: 262144, Parts: 1}, time.Second)
+	eng.Run()
+	if len(s.got) != 1 {
+		t.Fatalf("%d deliveries", len(s.got))
+	}
+	d := s.got[0]
+	if d.From != 0 || d.Start != 0 {
+		t.Fatalf("delivery %+v", d)
+	}
+	if want := sim.Time(time.Second + n.Params().LatencyBase); d.LastByte != want {
+		t.Fatalf("last byte at %v, want %v", d.LastByte, want)
+	}
+	if st := n.NodeStats(0); st.DataBytes != 262144 {
+		t.Fatalf("data bytes %d", st.DataBytes)
+	}
+}
+
+func TestUnregisteredViewerDiscarded(t *testing.T) {
+	eng, n := testNet(t, nil)
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	s := &sink{}
+	n.RegisterViewer(7, s)
+	n.UnregisterViewer(7)
+	n.SendBlock(0, BlockDelivery{Viewer: 7, Bytes: 1, Parts: 1}, time.Second)
+	eng.Run()
+	if len(s.got) != 0 {
+		t.Fatal("delivery to unregistered viewer")
+	}
+}
+
+func TestNICOccupancyAccounting(t *testing.T) {
+	eng, n := testNet(t, nil)
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	// Two concurrent 1 MB/s sends for 1 s each.
+	n.SendBlock(0, BlockDelivery{Viewer: 1, Bytes: 1_000_000, Parts: 1}, time.Second)
+	n.SendBlock(0, BlockDelivery{Viewer: 2, Bytes: 1_000_000, Parts: 1}, time.Second)
+	eng.Run()
+	st := n.NodeStats(0)
+	if st.PeakRate < 1.99e6 || st.PeakRate > 2.01e6 {
+		t.Fatalf("peak rate %v", st.PeakRate)
+	}
+	// Integral: 2 MB of byte-seconds.
+	if st.ByteSecs < 1.99e6 || st.ByteSecs > 2.01e6 {
+		t.Fatalf("byte-seconds %v", st.ByteSecs)
+	}
+	if st.OverloadNs != 0 {
+		t.Fatal("overload recorded below NIC capacity")
+	}
+}
+
+func TestNICOverloadDetected(t *testing.T) {
+	eng, n := testNet(t, func(p *Params) { p.NICRate = 1e6 })
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.SendBlock(0, BlockDelivery{Viewer: 1, Bytes: 2_000_000, Parts: 1}, time.Second)
+	eng.Run()
+	if st := n.NodeStats(0); st.OverloadNs == 0 {
+		t.Fatal("2 MB/s on a 1 MB/s NIC not flagged")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	_, n := testNet(t, nil)
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+}

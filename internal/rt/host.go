@@ -1,0 +1,294 @@
+package rt
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"tiger/internal/core"
+	"tiger/internal/msg"
+	"tiger/internal/wire"
+)
+
+// CubHost runs one cub as a real network node.
+type CubHost struct {
+	Node *Node
+	Mesh *Mesh
+	Cub  *core.Cub
+}
+
+// StartCubHost builds and starts a cub listening on listenAddr. addrs
+// maps every node in the system to its control address. epoch is the
+// shared system epoch (see FetchEpoch).
+func StartCubHost(id msg.NodeID, cfg *core.Config, listenAddr string,
+	addrs map[msg.NodeID]string, epoch time.Time, seed int64) (*CubHost, error) {
+	node := NewNode(epoch)
+	var cub *core.Cub
+	mesh, err := NewMesh(id, node, listenAddr, addrs,
+		func(from msg.NodeID, m msg.Message) { cub.Deliver(from, m) })
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	cub = core.NewCub(id, cfg, node, mesh, mesh, rand.New(rand.NewSource(seed)))
+	node.Do(cub.Start)
+	return &CubHost{Node: node, Mesh: mesh, Cub: cub}, nil
+}
+
+// Close stops the cub host.
+func (h *CubHost) Close() {
+	h.Mesh.Close()
+	h.Node.Close()
+}
+
+// ControllerHost runs the controller as a real network node. It also
+// serves clients: viewers connect with a ClientNode hello, issue
+// StartPlay/Deschedule requests, and receive StartAck frames at their
+// own listen address (carried in StartPlay.Addr).
+type ControllerHost struct {
+	Node *Node
+	Mesh *Mesh
+	Ctl  *core.Controller
+
+	mu        sync.Mutex
+	ackAddrs  map[msg.InstanceID]string
+	epochUnix int64
+}
+
+// StartControllerHost builds and starts the controller.
+func StartControllerHost(cfg *core.Config, listenAddr string,
+	addrs map[msg.NodeID]string, epoch time.Time) (*ControllerHost, error) {
+	node := NewNode(epoch)
+	h := &ControllerHost{
+		Node:      node,
+		ackAddrs:  make(map[msg.InstanceID]string),
+		epochUnix: epoch.UnixNano(),
+	}
+	mesh, err := NewMesh(msg.Controller, node, listenAddr, addrs, h.handle)
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	h.Mesh = mesh
+	h.Ctl = core.NewController(cfg, node, mesh)
+	h.Ctl.OnAck = h.onAck
+	return h, nil
+}
+
+func (h *ControllerHost) handle(from msg.NodeID, m msg.Message) {
+	if from == ClientNode {
+		h.handleClient(m)
+		return
+	}
+	h.Ctl.Deliver(from, m)
+}
+
+func (h *ControllerHost) handleClient(m msg.Message) {
+	switch t := m.(type) {
+	case *msg.StartPlay:
+		inst, err := h.Ctl.StartPlayFrom(t.Viewer, t.Addr, t.File, t.StartBlock, t.Bitrate)
+		if err != nil {
+			return // the client times out; admission refusals are silent here
+		}
+		h.mu.Lock()
+		h.ackAddrs[inst] = DecodeAddr(t.Addr)
+		h.mu.Unlock()
+	case *msg.Deschedule:
+		h.Ctl.StopPlay(t.Instance)
+	case *msg.ClockSync:
+		// Answered inline at connection level via FetchEpoch; nothing to
+		// do when it arrives through the normal path.
+	}
+}
+
+func (h *ControllerHost) onAck(inst msg.InstanceID, slot int32, waited time.Duration) {
+	h.mu.Lock()
+	addr := h.ackAddrs[inst]
+	delete(h.ackAddrs, inst)
+	h.mu.Unlock()
+	if addr == "" {
+		return
+	}
+	h.Mesh.viewerPeer(addr).send(&msg.StartAck{Instance: inst, Slot: slot}, h.Mesh)
+}
+
+// Close stops the controller host.
+func (h *ControllerHost) Close() {
+	h.Mesh.Close()
+	h.Node.Close()
+}
+
+// FetchEpoch asks the controller — the system clock master (§2.1) — for
+// the shared epoch. It speaks a one-shot inline protocol: Hello,
+// ClockSync request, ClockSync reply.
+func FetchEpoch(controllerAddr string) (time.Time, error) {
+	c, err := net.DialTimeout("tcp", controllerAddr, 2*time.Second)
+	if err != nil {
+		return time.Time{}, err
+	}
+	conn := wire.NewConn(c)
+	defer conn.Close()
+	if err := conn.Send(&msg.Hello{From: ClientNode}); err != nil {
+		return time.Time{}, err
+	}
+	if err := conn.Send(&msg.ClockSync{}); err != nil {
+		return time.Time{}, err
+	}
+	c.SetReadDeadline(time.Now().Add(3 * time.Second))
+	m, err := conn.Recv()
+	if err != nil {
+		return time.Time{}, err
+	}
+	cs, ok := m.(*msg.ClockSync)
+	if !ok {
+		return time.Time{}, fmt.Errorf("rt: epoch reply was %v", m.Type())
+	}
+	return time.Unix(0, cs.EpochUnixNano), nil
+}
+
+// ServeEpoch answers FetchEpoch requests. The controller host runs this
+// on its own mesh by intercepting inline ClockSync frames; because the
+// generic mesh has no reply channel, the controller instead runs a tiny
+// dedicated responder on a second listener.
+func (h *ControllerHost) ServeEpoch(listenAddr string) (string, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn := wire.NewConn(c)
+				defer conn.Close()
+				for {
+					m, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					if _, ok := m.(*msg.ClockSync); ok {
+						conn.Send(&msg.ClockSync{EpochUnixNano: h.epochUnix})
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// ViewerClient receives StartAck and BlockData frames for one or more
+// viewers, standing in for the paper's measurement client application.
+type ViewerClient struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	OnBlock func(*msg.BlockData)
+	OnAck   func(*msg.StartAck)
+}
+
+// NewViewerClient listens on listenAddr for data and ack frames.
+func NewViewerClient(listenAddr string) (*ViewerClient, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	v := &ViewerClient{ln: ln}
+	go v.acceptLoop()
+	return v, nil
+}
+
+// Addr returns the client's listen address, to be passed in
+// StartPlay.Addr.
+func (v *ViewerClient) Addr() string { return v.ln.Addr().String() }
+
+// EncodedAddr returns the 16-byte form of Addr.
+func (v *ViewerClient) EncodedAddr() ([16]byte, error) { return EncodeAddr(v.Addr()) }
+
+func (v *ViewerClient) acceptLoop() {
+	for {
+		c, err := v.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			conn := wire.NewConn(c)
+			defer conn.Close()
+			for {
+				m, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				v.mu.Lock()
+				onBlock, onAck := v.OnBlock, v.OnAck
+				v.mu.Unlock()
+				switch t := m.(type) {
+				case *msg.BlockData:
+					if onBlock != nil {
+						onBlock(t)
+					}
+				case *msg.StartAck:
+					if onAck != nil {
+						onAck(t)
+					}
+				case *msg.Hello:
+					// connection preamble; ignore
+				}
+			}
+		}()
+	}
+}
+
+// SetHandlers installs the block and ack callbacks.
+func (v *ViewerClient) SetHandlers(onBlock func(*msg.BlockData), onAck func(*msg.StartAck)) {
+	v.mu.Lock()
+	v.OnBlock = onBlock
+	v.OnAck = onAck
+	v.mu.Unlock()
+}
+
+// Close stops the listener.
+func (v *ViewerClient) Close() { v.ln.Close() }
+
+// ControlClient is a control-plane connection to the controller.
+type ControlClient struct {
+	conn *wire.Conn
+}
+
+// DialController connects and identifies as a client.
+func DialController(addr string) (*ControlClient, error) {
+	c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn := wire.NewConn(c)
+	if err := conn.Send(&msg.Hello{From: ClientNode}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &ControlClient{conn: conn}, nil
+}
+
+// Start requests a play; the ack (with the instance ID) arrives at the
+// viewer's listener.
+func (c *ControlClient) Start(viewer msg.ViewerID, viewerAddr string, file msg.FileID, startBlock int32, bitrate int32) error {
+	addr, err := EncodeAddr(viewerAddr)
+	if err != nil {
+		return err
+	}
+	return c.conn.Send(&msg.StartPlay{
+		Viewer: viewer, Addr: addr, File: file, StartBlock: startBlock, Bitrate: bitrate,
+	})
+}
+
+// Stop requests a deschedule for an instance.
+func (c *ControlClient) Stop(inst msg.InstanceID) error {
+	return c.conn.Send(&msg.Deschedule{Instance: inst})
+}
+
+// Close closes the control connection.
+func (c *ControlClient) Close() { c.conn.Close() }

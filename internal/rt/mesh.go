@@ -1,0 +1,273 @@
+package rt
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/wire"
+)
+
+// ClientNode is the Hello identity used by viewer/control clients
+// connecting to the controller (they are not ring members).
+const ClientNode msg.NodeID = -2
+
+// EncodeAddr packs a "host:port" endpoint into a viewer address field.
+// It must fit the 16 bytes the viewer-state record reserves.
+func EncodeAddr(hostport string) ([16]byte, error) {
+	var a [16]byte
+	if len(hostport) > len(a) {
+		return a, fmt.Errorf("rt: address %q longer than 16 bytes", hostport)
+	}
+	copy(a[:], hostport)
+	return a, nil
+}
+
+// DecodeAddr unpacks EncodeAddr's format.
+func DecodeAddr(a [16]byte) string {
+	return strings.TrimRight(string(a[:]), "\x00")
+}
+
+// peer is one outbound connection with an async send queue, so protocol
+// code never blocks on TCP backpressure.
+type peer struct {
+	ch   chan msg.Message
+	quit chan struct{}
+}
+
+// Mesh is the TCP control-message transport plus the real data path. It
+// implements core.Transport and core.DataPath for one node.
+type Mesh struct {
+	self    msg.NodeID
+	node    *Node
+	addrs   map[msg.NodeID]string
+	ln      net.Listener
+	handler func(from msg.NodeID, m msg.Message)
+
+	mu      sync.Mutex
+	peers   map[msg.NodeID]*peer
+	viewers map[string]*peer
+	closed  bool
+
+	// Logf, if set, receives transport diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// NewMesh starts listening on listenAddr and begins accepting control
+// connections. addrs maps every node (cubs and controller) to its
+// listen address. handler is invoked on the node executor for each
+// inbound message.
+func NewMesh(self msg.NodeID, node *Node, listenAddr string, addrs map[msg.NodeID]string,
+	handler func(from msg.NodeID, m msg.Message)) (*Mesh, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		self:    self,
+		node:    node,
+		addrs:   addrs,
+		ln:      ln,
+		handler: handler,
+		peers:   make(map[msg.NodeID]*peer),
+		viewers: make(map[string]*peer),
+	}
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+func (m *Mesh) logf(format string, args ...any) {
+	if m.Logf != nil {
+		m.Logf(format, args...)
+	}
+}
+
+func (m *Mesh) acceptLoop() {
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go m.serveConn(wire.NewConn(c))
+	}
+}
+
+func (m *Mesh) serveConn(c *wire.Conn) {
+	defer c.Close()
+	first, err := c.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := first.(*msg.Hello)
+	if !ok {
+		m.logf("rt: first frame from %v was %v, not Hello", c.RemoteAddr(), first.Type())
+		return
+	}
+	from := hello.From
+	for {
+		mm, err := c.Recv()
+		if err != nil {
+			return
+		}
+		m.node.Do(func() { m.handler(from, mm) })
+	}
+}
+
+// Send implements core.Transport. The from argument must be this mesh's
+// own node (each machine has its own mesh).
+func (m *Mesh) Send(from, to msg.NodeID, mm msg.Message) {
+	if from != m.self {
+		panic(fmt.Sprintf("rt: node %v sending as %v", m.self, from))
+	}
+	addr, ok := m.addrs[to]
+	if !ok {
+		m.logf("rt: no address for %v", to)
+		return
+	}
+	m.peerFor(to, addr).send(mm, m)
+}
+
+func (m *Mesh) peerFor(to msg.NodeID, addr string) *peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[to]; ok {
+		return p
+	}
+	p := m.newPeer(addr)
+	m.peers[to] = p
+	return p
+}
+
+// newPeer spawns the writer goroutine for one outbound connection; it
+// (re)dials lazily and drops messages while the peer is unreachable,
+// exactly like the simulated network drops traffic to failed nodes.
+func (m *Mesh) newPeer(addr string) *peer {
+	p := &peer{ch: make(chan msg.Message, 4096), quit: make(chan struct{})}
+	go func() {
+		var conn *wire.Conn
+		defer func() {
+			if conn != nil {
+				conn.Close()
+			}
+		}()
+		for {
+			var mm msg.Message
+			select {
+			case mm = <-p.ch:
+			case <-p.quit:
+				return
+			}
+			for attempt := 0; attempt < 2; attempt++ {
+				if conn == nil {
+					c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+					if err != nil {
+						m.logf("rt: dial %s: %v", addr, err)
+						break // drop the message; peer presumed down
+					}
+					conn = wire.NewConn(c)
+					if err := conn.Send(&msg.Hello{From: m.self}); err != nil {
+						conn.Close()
+						conn = nil
+						continue
+					}
+				}
+				if err := conn.Send(mm); err != nil {
+					conn.Close()
+					conn = nil
+					continue // one redial attempt
+				}
+				break
+			}
+		}
+	}()
+	return p
+}
+
+func (p *peer) send(mm msg.Message, m *Mesh) {
+	select {
+	case p.ch <- mm:
+	default:
+		m.logf("rt: outbound queue full; dropping %v", mm.Type())
+	}
+}
+
+// SendBlock implements core.DataPath: pace the send in real time, then
+// deliver a BlockData frame (descriptor plus truncated test pattern) to
+// the viewer's address.
+func (m *Mesh) SendBlock(from msg.NodeID, d netsim.BlockDelivery, pace time.Duration) {
+	addr := DecodeAddr(d.Addr)
+	if addr == "" {
+		return
+	}
+	payload := testPattern(d.Bytes)
+	m.node.After(pace, func() {
+		bd := &msg.BlockData{
+			Viewer:   d.Viewer,
+			Instance: d.Instance,
+			File:     d.File,
+			Block:    d.Block,
+			PlaySeq:  d.PlaySeq,
+			Part:     d.Part,
+			Parts:    d.Parts,
+			Mirror:   d.Mirror,
+			Bytes:    d.Bytes,
+			Payload:  payload,
+		}
+		m.viewerPeer(addr).send(bd, m)
+	})
+}
+
+func (m *Mesh) viewerPeer(addr string) *peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.viewers[addr]; ok {
+		return p
+	}
+	p := m.newPeer(addr)
+	m.viewers[addr] = p
+	return p
+}
+
+// testPattern returns a deterministic stand-in for video payload,
+// truncated so demo traffic stays light.
+func testPattern(blockBytes int64) []byte {
+	n := blockBytes
+	if n > 1024 {
+		n = 1024
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+// Close shuts the mesh down: the listener and all peer writers.
+func (m *Mesh) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	peers := make([]*peer, 0, len(m.peers)+len(m.viewers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	for _, p := range m.viewers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+
+	m.ln.Close()
+	for _, p := range peers {
+		close(p.quit)
+	}
+}

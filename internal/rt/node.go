@@ -1,0 +1,98 @@
+// Package rt runs the Tiger protocol (internal/core) in real time over
+// real TCP connections: goroutine-per-node executors, wall-clock timers,
+// and the wire framing. The identical cub and controller code that runs
+// under the simulator runs here — that is the point of the clock and
+// transport abstractions.
+package rt
+
+import (
+	"sync"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/sim"
+)
+
+// Node is one machine's executor: a serial event loop that all timers
+// and message deliveries for the node are funnelled through, giving the
+// protocol code the same single-threaded discipline it has under the
+// simulator.
+type Node struct {
+	epoch time.Time
+	exec  chan func()
+	quit  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+// NewNode creates and starts a node executor. All nodes of one system
+// must share the same epoch (the controller is the clock master, §2.1).
+func NewNode(epoch time.Time) *Node {
+	n := &Node{
+		epoch: epoch,
+		exec:  make(chan func(), 4096),
+		quit:  make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.loop()
+	return n
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.exec:
+			fn()
+		case <-n.quit:
+			// Drain whatever is already queued, then stop.
+			for {
+				select {
+				case fn := <-n.exec:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Do schedules fn on the node's executor. It never blocks the caller
+// indefinitely: if the node has stopped, the call is dropped.
+func (n *Node) Do(fn func()) {
+	select {
+	case n.exec <- fn:
+	case <-n.quit:
+	}
+}
+
+// Close stops the executor after draining queued work.
+func (n *Node) Close() {
+	n.once.Do(func() { close(n.quit) })
+	n.wg.Wait()
+}
+
+// Now implements clock.Clock: nanoseconds since the system epoch.
+func (n *Node) Now() sim.Time { return sim.Time(time.Since(n.epoch)) }
+
+type rtTimer struct {
+	t *time.Timer
+}
+
+func (t rtTimer) Stop() bool { return t.t.Stop() }
+
+// After implements clock.Clock; the callback runs on the executor.
+func (n *Node) After(d time.Duration, fn func()) clock.Timer {
+	if d < 0 {
+		d = 0
+	}
+	return rtTimer{time.AfterFunc(d, func() { n.Do(fn) })}
+}
+
+// At implements clock.Clock.
+func (n *Node) At(t sim.Time, fn func()) clock.Timer {
+	return n.After(time.Duration(t-n.Now()), fn)
+}
+
+var _ clock.Clock = (*Node)(nil)

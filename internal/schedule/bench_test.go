@@ -1,0 +1,49 @@
+package schedule
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/sim"
+)
+
+func benchParams(b *testing.B) Params {
+	b.Helper()
+	p, err := NewParams(time.Second, 56, 602)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkServiceTime(b *testing.B) {
+	p := benchParams(b)
+	var sink sim.Time
+	for i := 0; i < b.N; i++ {
+		sink = p.ServiceTime(i%56, int32(i%602), sim.Time(i))
+	}
+	_ = sink
+}
+
+func BenchmarkSlotUnderOwnership(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		p.SlotUnderOwnership(i%56, sim.Time(i)*1000)
+	}
+}
+
+func BenchmarkPointerOffset(b *testing.B) {
+	p := benchParams(b)
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink = p.PointerOffset(i%56, sim.Time(i)*997)
+	}
+	_ = sink
+}
+
+func BenchmarkOwnerAt(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		p.OwnerAt(int32(i%602), sim.Time(i)*31337)
+	}
+}

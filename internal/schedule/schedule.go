@@ -1,0 +1,207 @@
+// Package schedule implements the timing mathematics of Tiger's
+// single-bitrate disk schedule (§3.1) and the slot-ownership rule that
+// makes distributed insertion safe (§4.1.3).
+//
+// The schedule is conceptually a cyclic array of slots, one per stream of
+// system capacity, indexed by time: slot s occupies
+// [s·blockService, (s+1)·blockService) within a cycle of length
+// numDisks·blockPlay. Each disk owns a pointer that advances through the
+// cycle in real time, offset one block play time behind its predecessor
+// disk. No machine stores the whole schedule — cubs keep only windows of
+// it — but all of them compute positions within it using this package, so
+// their views are views of the *same* hallucinated object.
+package schedule
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/sim"
+)
+
+// Params fixes the global schedule geometry. All cubs in a system must
+// agree on it exactly; it is distributed as configuration, never
+// negotiated.
+type Params struct {
+	BlockPlay    time.Duration // duration of one block of every file (§2.2)
+	BlockService time.Duration // one slot's width, after integral rounding
+	NumDisks     int
+	NumSlots     int
+
+	// SchedLead is how far before a slot's service time its ownership
+	// window opens: at least one block service time, typically more, to
+	// give the inserting cub time for the first disk read (§4.1.3).
+	SchedLead time.Duration
+	// OwnDur is the length of the ownership window, small relative to
+	// the block play time.
+	OwnDur time.Duration
+}
+
+// NewParams derives a consistent schedule from the block play time, the
+// number of disks, and the system stream capacity (from
+// disk.PlanCapacity). It lengthens the block service time so that the
+// schedule is an integral multiple of both times (§3.1).
+func NewParams(blockPlay time.Duration, numDisks, numSlots int) (Params, error) {
+	if numDisks < 1 || numSlots < 1 {
+		return Params{}, fmt.Errorf("schedule: need disks and slots, have %d/%d", numDisks, numSlots)
+	}
+	cycle := int64(numDisks) * int64(blockPlay)
+	// Lengthen the block service time so an integral number of slots
+	// fits ("If not, the block service time is lengthened enough to make
+	// it so", §3.1). Floor division leaves a sub-microsecond remainder
+	// at the end of the cycle — a dead zone that is never owned and
+	// never serves; physically this is the paper's rounding-down of
+	// system capacity to a whole stream.
+	svc := cycle / int64(numSlots)
+	if svc <= 0 {
+		return Params{}, fmt.Errorf("schedule: %d slots do not fit in cycle %v", numSlots, time.Duration(cycle))
+	}
+	// The scheduling lead must cover the first block's disk read plus
+	// queueing; the paper's measured startup floor attributes ~800 ms to
+	// network latency plus scheduling lead (§5), so default to eight
+	// block service times (~744 ms in the reference configuration).
+	p := Params{
+		BlockPlay:    blockPlay,
+		BlockService: time.Duration(svc),
+		NumDisks:     numDisks,
+		NumSlots:     numSlots,
+		SchedLead:    8 * time.Duration(svc),
+		OwnDur:       time.Duration(svc),
+	}
+	return p, p.Validate()
+}
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.BlockPlay <= 0:
+		return fmt.Errorf("schedule: non-positive block play time %v", p.BlockPlay)
+	case p.NumSlots <= 0 || p.NumDisks <= 0:
+		return fmt.Errorf("schedule: empty schedule")
+	case p.BlockService != time.Duration(int64(p.CycleLen())/int64(p.NumSlots)):
+		return fmt.Errorf("schedule: block service %v is not cycle %v / %d slots",
+			p.BlockService, p.CycleLen(), p.NumSlots)
+	case p.OwnDur > p.BlockPlay:
+		return fmt.Errorf("schedule: ownership window %v exceeds block play %v; two pointers could own one slot",
+			p.OwnDur, p.BlockPlay)
+	case p.SchedLead < p.BlockService:
+		return fmt.Errorf("schedule: scheduling lead %v below one block service time %v",
+			p.SchedLead, p.BlockService)
+	}
+	return nil
+}
+
+// CycleLen returns the total schedule length: numDisks block play times.
+func (p Params) CycleLen() time.Duration {
+	return time.Duration(int64(p.NumDisks) * int64(p.BlockPlay))
+}
+
+// SlotAtOffset returns the slot whose time range contains the given
+// offset within the cycle.
+func (p Params) SlotAtOffset(off time.Duration) int32 {
+	s := int32(int64(off) / int64(p.BlockService))
+	if s >= int32(p.NumSlots) {
+		s = int32(p.NumSlots) - 1
+	}
+	return s
+}
+
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// PointerOffset returns where disk's pointer is within the cycle at time
+// t: pointers move in real time, each disk one block play time behind
+// its predecessor (§3.1).
+func (p Params) PointerOffset(disk int, t sim.Time) time.Duration {
+	return time.Duration(mod(int64(t)-int64(disk)*int64(p.BlockPlay), int64(p.CycleLen())))
+}
+
+// ServiceTime returns the unique time in [after, after+cycle) at which
+// disk's pointer reaches the start of slot, i.e. when that disk's send
+// for the slot's viewer is due.
+func (p Params) ServiceTime(disk int, slot int32, after sim.Time) sim.Time {
+	cycle := int64(p.CycleLen())
+	// Solve (t - disk·blockPlay) mod cycle == slot·blockService for the
+	// smallest t >= after.
+	base := int64(disk)*int64(p.BlockPlay) + int64(slot)*int64(p.BlockService)
+	return after.Add(time.Duration(mod(base-int64(after), cycle)))
+}
+
+// NextServiceAfter is like ServiceTime but strictly after `after`.
+func (p Params) NextServiceAfter(disk int, slot int32, after sim.Time) sim.Time {
+	t := p.ServiceTime(disk, slot, after)
+	if t == after {
+		t = p.ServiceTime(disk, slot, after+1)
+	}
+	return t
+}
+
+// OwnershipWindow returns the window during which disk owns slot ahead of
+// serving it at due: [due-SchedLead, due-SchedLead+OwnDur). A cub may
+// insert into a slot if and only if its disk's pointer is inside the
+// window and the slot is empty in its view (§4.1.3).
+func (p Params) OwnershipWindow(due sim.Time) (open, close sim.Time) {
+	open = due.Add(-p.SchedLead)
+	return open, open.Add(p.OwnDur)
+}
+
+// OwnerAt returns which disk (if any) owns slot at time t, and the due
+// time of the service the ownership precedes. ok is false when the slot
+// is unowned at t.
+func (p Params) OwnerAt(slot int32, t sim.Time) (disk int, due sim.Time, ok bool) {
+	// The pointer at offset slotStart-SchedLead+x (x in [0,OwnDur))
+	// belongs to exactly one disk; find it.
+	slotStart := int64(slot) * int64(p.BlockService)
+	cycle := int64(p.CycleLen())
+	for d := 0; d < p.NumDisks; d++ {
+		off := int64(p.PointerOffset(d, t))
+		delta := mod(slotStart-off, cycle) // time until d's pointer reaches the slot
+		if delta > int64(p.SchedLead)-int64(p.OwnDur) && delta <= int64(p.SchedLead) {
+			return d, t.Add(time.Duration(delta)), true
+		}
+	}
+	return 0, 0, false
+}
+
+// NextOwnership returns the first time >= after at which disk owns slot,
+// along with the corresponding due time.
+func (p Params) NextOwnership(disk int, slot int32, after sim.Time) (open, due sim.Time) {
+	due = p.ServiceTime(disk, slot, after.Add(p.SchedLead))
+	open = due.Add(-p.SchedLead)
+	return open, due
+}
+
+// SlotUnderOwnership returns the slot whose ownership window disk's
+// pointer is inside at time t, if any. This is what a cub evaluates on
+// each ownership tick.
+func (p Params) SlotUnderOwnership(disk int, t sim.Time) (slot int32, due sim.Time, ok bool) {
+	// The pointer owns the slot whose start lies SchedLead-OwnDur..SchedLead
+	// ahead of it.
+	off := int64(p.PointerOffset(disk, t))
+	cycle := int64(p.CycleLen())
+	target := mod(off+int64(p.SchedLead), cycle)
+	// target is inside the owned slot if the pointer has been in the
+	// window for < OwnDur.
+	slotStart := (target / int64(p.BlockService)) * int64(p.BlockService)
+	into := target - slotStart // how far past the window opening we are
+	if into >= int64(p.OwnDur) {
+		return 0, 0, false
+	}
+	slot = int32(slotStart / int64(p.BlockService))
+	if slot >= int32(p.NumSlots) {
+		// The pointer is in the dead zone left by service-time rounding;
+		// no slot lives there.
+		return 0, 0, false
+	}
+	due = t.Add(time.Duration(int64(p.SchedLead) - into))
+	return slot, due, true
+}
+
+// DiskForNextBlock returns the disk that will serve the next block after
+// the one served by disk: striping order is simply the next disk (§2.2).
+func (p Params) DiskForNextBlock(disk int) int { return (disk + 1) % p.NumDisks }

@@ -1,0 +1,251 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tiger/internal/sim"
+)
+
+func paperParams(t *testing.T) Params {
+	t.Helper()
+	p, err := NewParams(time.Second, 56, 602)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewParamsRounding(t *testing.T) {
+	p := paperParams(t)
+	if p.NumSlots != 602 {
+		t.Fatalf("slots %d", p.NumSlots)
+	}
+	// §3.1: the block service time is lengthened so slots tile the cycle.
+	if p.BlockService != time.Duration(int64(56*time.Second)/602) {
+		t.Fatalf("block service %v", p.BlockService)
+	}
+	if p.CycleLen() != 56*time.Second {
+		t.Fatalf("cycle %v", p.CycleLen())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewParamsErrors(t *testing.T) {
+	if _, err := NewParams(time.Second, 0, 10); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if _, err := NewParams(time.Nanosecond, 1, 10); err == nil {
+		t.Error("over-subscribed schedule accepted")
+	}
+}
+
+func TestPointerSpacing(t *testing.T) {
+	// §3.1: "The pointer for each disk is one block play time behind the
+	// pointer for its predecessor."
+	p := paperParams(t)
+	at := sim.Time(123456789123)
+	for d := 1; d < p.NumDisks; d++ {
+		gap := p.PointerOffset(d-1, at) - p.PointerOffset(d, at)
+		if gap < 0 {
+			gap += p.CycleLen()
+		}
+		if gap != p.BlockPlay {
+			t.Fatalf("disk %d trails by %v", d, gap)
+		}
+	}
+	// The distance between the last and the first disk is also one block
+	// play time.
+	gap := p.PointerOffset(p.NumDisks-1, at) - p.PointerOffset(0, at)
+	if gap < 0 {
+		gap += p.CycleLen()
+	}
+	if gap != p.CycleLen()-time.Duration(p.NumDisks-1)*p.BlockPlay {
+		t.Fatalf("wraparound gap %v", gap)
+	}
+}
+
+func TestServiceTimeProperties(t *testing.T) {
+	p := paperParams(t)
+	for _, after := range []sim.Time{0, 1, sim.Time(30 * time.Second), sim.Time(90 * time.Second)} {
+		for _, disk := range []int{0, 1, 13, 55} {
+			for _, slot := range []int32{0, 1, 300, 601} {
+				tt := p.ServiceTime(disk, slot, after)
+				if tt < after {
+					t.Fatalf("service %v before after %v", tt, after)
+				}
+				if tt.Sub(after) >= p.CycleLen() {
+					t.Fatalf("service %v more than a cycle after %v", tt, after)
+				}
+				// At the service time the pointer is at the slot start.
+				if off := p.PointerOffset(disk, tt); off != time.Duration(slot)*p.BlockService {
+					t.Fatalf("pointer at %v, slot start %v", off, time.Duration(slot)*p.BlockService)
+				}
+			}
+		}
+	}
+}
+
+func TestConsecutiveDisksServeOneBlockPlayApart(t *testing.T) {
+	// The lockstep property: the viewer in slot s is served by disk d+1
+	// exactly one block play time after disk d (§3).
+	p := paperParams(t)
+	slot := int32(77)
+	t0 := p.ServiceTime(0, slot, sim.Time(10*time.Second))
+	for d := 1; d < p.NumDisks; d++ {
+		td := p.ServiceTime(d, slot, t0)
+		if td.Sub(t0) != time.Duration(d)*p.BlockPlay {
+			t.Fatalf("disk %d serves %v after disk 0, want %v", d, td.Sub(t0), time.Duration(d)*p.BlockPlay)
+		}
+	}
+}
+
+func TestNextServiceAfterStrict(t *testing.T) {
+	p := paperParams(t)
+	due := p.ServiceTime(3, 10, 0)
+	next := p.NextServiceAfter(3, 10, due)
+	if next != due+sim.Time(p.CycleLen()) {
+		t.Fatalf("next service %v, want one cycle later", next)
+	}
+}
+
+func TestOwnershipWindows(t *testing.T) {
+	p := paperParams(t)
+	slot := int32(42)
+	// Find an ownership period and verify exactly one disk owns the slot
+	// inside it and none outside.
+	due := p.ServiceTime(7, slot, sim.Time(time.Minute))
+	open, close := p.OwnershipWindow(due)
+	mid := open.Add(close.Sub(open) / 2)
+	d, gotDue, ok := p.OwnerAt(slot, mid)
+	if !ok || d != 7 {
+		t.Fatalf("owner at window mid = %d (ok=%v), want 7", d, ok)
+	}
+	if gotDue != due {
+		t.Fatalf("owner due %v, want %v", gotDue, due)
+	}
+	// Immediately after the window closes, nobody owns the slot (OwnDur
+	// < BlockPlay guarantees a gap).
+	if _, _, ok := p.OwnerAt(slot, close.Add(time.Microsecond)); ok {
+		t.Fatal("slot owned right after window close")
+	}
+}
+
+func TestSlotUnderOwnershipConsistency(t *testing.T) {
+	p := paperParams(t)
+	// Whenever SlotUnderOwnership reports (slot, due), OwnerAt agrees.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		at := sim.Time(rng.Int63n(int64(3 * p.CycleLen())))
+		disk := rng.Intn(p.NumDisks)
+		slot, due, ok := p.SlotUnderOwnership(disk, at)
+		if !ok {
+			continue
+		}
+		if slot < 0 || slot >= int32(p.NumSlots) {
+			t.Fatalf("slot %d out of range", slot)
+		}
+		od, odue, ook := p.OwnerAt(slot, at)
+		if !ook || od != disk || odue != due {
+			t.Fatalf("OwnerAt disagrees: disk %d/%v vs %d/%v (ok=%v)", od, odue, disk, due, ook)
+		}
+		// The due time matches the schedule's service time for the slot.
+		if svc := p.ServiceTime(disk, slot, at); svc != due {
+			t.Fatalf("due %v but service time %v", due, svc)
+		}
+	}
+}
+
+func TestAtMostOneOwnerEver(t *testing.T) {
+	// §4.1.3: "Tiger assigns ownership of each slot to at most one cub at
+	// a time." Sample instants and check no two disks own the same slot.
+	p, err := NewParams(100*time.Millisecond, 8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		at := sim.Time(rng.Int63n(int64(2 * p.CycleLen())))
+		owned := map[int32]int{}
+		for d := 0; d < p.NumDisks; d++ {
+			if slot, _, ok := p.SlotUnderOwnership(d, at); ok {
+				if prev, dup := owned[slot]; dup {
+					t.Fatalf("slot %d owned by disks %d and %d at %v", slot, prev, d, at)
+				}
+				owned[slot] = d
+			}
+		}
+	}
+}
+
+func TestNextOwnership(t *testing.T) {
+	p := paperParams(t)
+	after := sim.Time(5 * time.Second)
+	open, due := p.NextOwnership(9, 100, after)
+	if open < after {
+		t.Fatalf("window opens at %v, before %v", open, after)
+	}
+	if due.Sub(open) != p.SchedLead {
+		t.Fatalf("window opens %v before due, want %v", due.Sub(open), p.SchedLead)
+	}
+	// The due really is disk 9's service of slot 100.
+	if p.PointerOffset(9, due) != 100*time.Duration(p.BlockService) {
+		t.Fatal("ownership due is not the service time")
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	good := paperParams(t)
+	bad := good
+	bad.OwnDur = 2 * bad.BlockPlay
+	if bad.Validate() == nil {
+		t.Error("ownership window longer than block play accepted")
+	}
+	bad = good
+	bad.SchedLead = bad.BlockService / 2
+	if bad.Validate() == nil {
+		t.Error("scheduling lead under one block service accepted")
+	}
+	bad = good
+	bad.BlockService = bad.BlockService + 1
+	if bad.Validate() == nil {
+		t.Error("inconsistent block service accepted")
+	}
+}
+
+func TestSlotAtOffsetClamps(t *testing.T) {
+	p := paperParams(t)
+	if s := p.SlotAtOffset(p.CycleLen() - 1); s != int32(p.NumSlots-1) {
+		t.Fatalf("dead zone mapped to slot %d", s)
+	}
+	if s := p.SlotAtOffset(0); s != 0 {
+		t.Fatalf("offset 0 mapped to slot %d", s)
+	}
+}
+
+func TestDiskForNextBlock(t *testing.T) {
+	p := paperParams(t)
+	if p.DiskForNextBlock(55) != 0 || p.DiskForNextBlock(3) != 4 {
+		t.Fatal("striping successor broken")
+	}
+}
+
+// Property: ServiceTime is the unique service instant in [after,
+// after+cycle) — idempotent when re-anchored at its own result.
+func TestQuickServiceTimeUnique(t *testing.T) {
+	p := paperParams(t)
+	f := func(afterRaw uint32, diskRaw uint8, slotRaw uint16) bool {
+		after := sim.Time(afterRaw)
+		disk := int(diskRaw) % p.NumDisks
+		slot := int32(slotRaw) % int32(p.NumSlots)
+		tt := p.ServiceTime(disk, slot, after)
+		return p.ServiceTime(disk, slot, tt) == tt && tt >= after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}

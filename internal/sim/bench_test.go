@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkTimerChurn(b *testing.B) {
+	// The cubs' dominant pattern: schedule a timer, usually stop it.
+	e := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := e.After(time.Second, func() {})
+		if i%8 != 0 {
+			t.Stop()
+		}
+		if i%1024 == 1023 {
+			e.RunFor(time.Millisecond)
+		}
+	}
+}
+
+func BenchmarkEventCascade(b *testing.B) {
+	// Self-perpetuating event chain: the pure engine overhead per event.
+	e := New(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, step)
+	e.Run()
+}

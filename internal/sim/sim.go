@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All Tiger protocol experiments run in virtual time on this engine: the
+// paper's hour-long measurement runs complete in seconds of wall time, and
+// every run is reproducible from its RNG seed. The engine is deliberately
+// single-threaded; determinism comes from a total order on events (time,
+// then insertion sequence).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, measured in nanoseconds since the
+// start of the simulation. It is kept distinct from time.Time so that a
+// wall-clock value can never be mixed into a simulation by accident.
+type Time int64
+
+// Duration re-exports time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // insertion order; breaks ties deterministically
+	fn    func()
+	index int // heap index; -1 once popped or stopped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event; Stop cancels it if it has not
+// yet fired.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.eng.events, t.ev.index)
+	t.ev.fn = nil
+	return true
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// New.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	// running guards against re-entrant Run calls.
+	running bool
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All stochastic
+// models (disk jitter, network latency, workload arrivals) must draw from
+// this source so a run is a pure function of the seed.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it
+// is always a model bug, and silently clamping would hide it.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{eng: e, ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the single earliest event. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil { // stopped timer
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	e.enter()
+	defer e.leave()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with at-time <= t, then advances the clock to
+// exactly t. Events scheduled at t run; later ones remain queued.
+func (e *Engine) RunUntil(t Time) {
+	e.enter()
+	defer e.leave()
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) enter() {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+}
+
+func (e *Engine) leave() { e.running = false }

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.After(3*time.Second, func() { got = append(got, 3) })
+	e.After(1*time.Second, func() { got = append(got, 1) })
+	e.After(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != Time(3*time.Second) {
+		t.Fatalf("clock at %v, want 3s", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(time.Second), func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not in insertion order: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestStopDuringRun(t *testing.T) {
+	e := New(1)
+	fired := false
+	var tm *Timer
+	e.After(time.Second, func() { tm.Stop() })
+	tm = e.After(2*time.Second, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("timer stopped mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Time(time.Second), func() { count++ })
+	}
+	e.RunUntil(Time(5 * time.Second))
+	if count != 5 {
+		t.Fatalf("ran %d events, want 5", count)
+	}
+	if e.Now() != Time(5*time.Second) {
+		t.Fatalf("clock at %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("%d pending, want 5", e.Pending())
+	}
+}
+
+func TestRunForAdvancesEvenWhenIdle(t *testing.T) {
+	e := New(1)
+	e.RunFor(7 * time.Second)
+	if e.Now() != Time(7*time.Second) {
+		t.Fatalf("clock at %v, want 7s", e.Now())
+	}
+}
+
+func TestSchedulingInsideEvent(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			e.After(time.Millisecond, recur)
+		}
+	}
+	e.After(0, recur)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("chain depth %d, want 100", depth)
+	}
+	if e.Now() != Time(99*time.Millisecond) {
+		t.Fatalf("clock %v, want 99ms", e.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New(1)
+	e.RunFor(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(Time(time.Millisecond), func() {})
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := New(1)
+	e.RunFor(time.Second)
+	fired := false
+	e.After(-5*time.Second, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("clock moved to %v", e.Now())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		e := New(seed)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, int64(e.Now()), e.Rand().Int63n(1000))
+			if len(out) < 200 {
+				e.After(time.Duration(e.Rand().Intn(50)+1)*time.Millisecond, step)
+			}
+		}
+		e.After(0, step)
+		e.Run()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time
+// order and the final clock equals the maximum delay.
+func TestQuickEventOrder(t *testing.T) {
+	f := func(delays []uint32) bool {
+		e := New(7)
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d % 1_000_000_000)
+			if at > max {
+				max = at
+			}
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	x := Time(1500 * time.Millisecond)
+	if x.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", x.Seconds())
+	}
+	if x.Add(500*time.Millisecond) != Time(2*time.Second) {
+		t.Fatal("Add broken")
+	}
+	if x.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Fatal("Sub broken")
+	}
+	if x.String() != "1.5s" {
+		t.Fatalf("String = %q", x.String())
+	}
+}

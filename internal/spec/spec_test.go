@@ -1,0 +1,112 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := Default(4)
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip:\n in: %+v\nout: %+v", s, got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt JSON loaded")
+	}
+}
+
+func TestConfigExpansion(t *testing.T) {
+	s := Default(4)
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Layout.Cubs != 4 || cfg.BlockSize != 65536 {
+		t.Fatalf("config %+v", cfg.Layout)
+	}
+	// Scaled defaults: minVStateLead = 4 block plays.
+	if cfg.MinVStateLead != time.Second {
+		t.Fatalf("min lead %v", cfg.MinVStateLead)
+	}
+	// Explicit override wins.
+	s.MinVStateLeadMs = 2000
+	s.MaxVStateLeadMs = 4000
+	cfg, err = s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinVStateLead != 2*time.Second || cfg.MaxVStateLead != 4*time.Second {
+		t.Fatalf("overrides lost: %v/%v", cfg.MinVStateLead, cfg.MaxVStateLead)
+	}
+}
+
+func TestConfigRejectsBadShape(t *testing.T) {
+	s := Default(2)
+	s.Decluster = 5 // exceeds disk count
+	if _, err := s.Config(); err == nil {
+		t.Error("bad shape accepted")
+	}
+}
+
+func TestNodeAddrs(t *testing.T) {
+	s := Default(3)
+	addrs, err := s.NodeAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 4 {
+		t.Fatalf("addrs %v", addrs)
+	}
+	if addrs[msg.Controller] == "" || addrs[msg.NodeID(2)] == "" {
+		t.Fatalf("addrs %v", addrs)
+	}
+	s.Addrs["bogus"] = "x"
+	if _, err := s.NodeAddrs(); err == nil {
+		t.Error("bogus key accepted")
+	}
+	delete(s.Addrs, "bogus")
+	s.Addrs["9"] = "x" // out of range for 3 cubs
+	if _, err := s.NodeAddrs(); err == nil {
+		t.Error("out-of-range cub accepted")
+	}
+}
+
+func TestMissingAddrs(t *testing.T) {
+	s := Default(3)
+	if m := s.MissingAddrs(); len(m) != 0 {
+		t.Fatalf("default spec missing %v", m)
+	}
+	delete(s.Addrs, "1")
+	delete(s.Addrs, "ctl")
+	m := s.MissingAddrs()
+	if len(m) != 2 || m[0] != "1" || m[1] != "ctl" {
+		t.Fatalf("missing %v", m)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

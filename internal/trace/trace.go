@@ -1,0 +1,137 @@
+// Package trace is a bounded, allocation-free protocol event log for
+// post-mortem debugging of Tiger runs: which cub inserted, served, or
+// missed what, and when. The harness wires it to the protocol's
+// observation hooks; it never perturbs the protocol itself.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// Insert is a slot insertion under ownership (§4.1.3).
+	Insert Kind = iota + 1
+	// Serve is a block or mirror-piece send.
+	Serve
+	// Miss is a send that could not be made (late read or late state).
+	Miss
+	// Deschedule is a processed stop request.
+	Deschedule
+	// Dead is a deadman declaration.
+	Dead
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Serve:
+		return "serve"
+	case Miss:
+		return "miss"
+	case Deschedule:
+		return "desched"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one protocol occurrence.
+type Event struct {
+	At       sim.Time
+	Node     msg.NodeID
+	Kind     Kind
+	Slot     int32
+	Instance msg.InstanceID
+	Block    int32
+	Mirror   bool
+}
+
+// String renders the event one-per-line for dumps.
+func (e Event) String() string {
+	m := ""
+	if e.Mirror {
+		m = " mirror"
+	}
+	return fmt.Sprintf("%-12v %-10v %-8v slot=%d inst=%d block=%d%s",
+		e.At, e.Node, e.Kind, e.Slot, e.Instance, e.Block, m)
+}
+
+// Ring is a fixed-capacity event buffer keeping the most recent events.
+// It is not safe for concurrent use; in the simulator everything is
+// single-threaded, and the rt runtime would wrap it per node.
+type Ring struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Add records an event, evicting the oldest when full.
+func (r *Ring) Add(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns how many events were ever recorded.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Len returns how many events are currently retained.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Events returns retained events in chronological order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Filter returns retained events matching the predicate, in order.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SlotHistory returns the retained events touching one slot — the
+// natural question when investigating a suspected conflict.
+func (r *Ring) SlotHistory(slot int32) []Event {
+	return r.Filter(func(e Event) bool { return e.Slot == slot })
+}
+
+// Dump renders the retained events as text.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d retained of %d total\n", r.Len(), r.Total())
+	for _, e := range r.Events() {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tiger/internal/sim"
+)
+
+func ev(at int64, slot int32, k Kind) Event {
+	return Event{At: sim.Time(at), Node: 1, Kind: k, Slot: slot, Instance: 7, Block: 3}
+}
+
+func TestRingRetainsChronological(t *testing.T) {
+	r := NewRing(4)
+	for i := int64(1); i <= 10; i++ {
+		r.Add(ev(i, int32(i), Serve))
+	}
+	if r.Total() != 10 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+	got := r.Events()
+	for i, e := range got {
+		if e.At != sim.Time(7+i) {
+			t.Fatalf("event %d at %v; want chronological tail", i, e.At)
+		}
+	}
+}
+
+func TestRingUnderfilled(t *testing.T) {
+	r := NewRing(8)
+	r.Add(ev(1, 1, Insert))
+	r.Add(ev(2, 2, Serve))
+	got := r.Events()
+	if len(got) != 2 || got[0].At != 1 || got[1].At != 2 {
+		t.Fatalf("events %v", got)
+	}
+}
+
+func TestSlotHistory(t *testing.T) {
+	r := NewRing(16)
+	r.Add(ev(1, 5, Insert))
+	r.Add(ev(2, 6, Insert))
+	r.Add(ev(3, 5, Serve))
+	r.Add(ev(4, 5, Deschedule))
+	h := r.SlotHistory(5)
+	if len(h) != 3 {
+		t.Fatalf("slot history %v", h)
+	}
+	if h[0].Kind != Insert || h[1].Kind != Serve || h[2].Kind != Deschedule {
+		t.Fatalf("wrong order: %v", h)
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	r := NewRing(4)
+	r.Add(Event{At: sim.Time(1e9), Node: 3, Kind: Miss, Slot: 9, Instance: 2, Block: 4, Mirror: true})
+	d := r.Dump()
+	for _, want := range []string{"cub3", "miss", "slot=9", "mirror", "1 retained"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump lacks %q:\n%s", want, d)
+		}
+	}
+	for _, k := range []Kind{Insert, Serve, Miss, Deschedule, Dead, Kind(99)} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	r := NewRing(0)
+	r.Add(ev(1, 1, Serve))
+	r.Add(ev(2, 2, Serve))
+	if r.Len() != 1 || r.Events()[0].At != 2 {
+		t.Fatalf("clamped ring kept %d events", r.Len())
+	}
+}

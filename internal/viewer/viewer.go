@@ -1,0 +1,233 @@
+// Package viewer implements Tiger's verification clients. Like the
+// paper's measurement client (§5), a viewer renders nothing: it checks
+// that every expected block arrives by its deadline, reports losses, and
+// measures startup latency (the Figure 10 metric).
+package viewer
+
+import (
+	"math/rand"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/metrics"
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/sim"
+)
+
+// Machine models one client computer receiving multiple streams. The
+// paper's client machines handled 15-25 simultaneous streams; beyond
+// capacity they occasionally dropped blocks, which is where the
+// non-failed test's 8 client-reported losses came from (§5).
+type Machine struct {
+	Capacity int
+	DropProb float64 // per-block drop probability while over capacity
+	streams  int
+	rng      *rand.Rand
+}
+
+// NewMachine creates a client machine model.
+func NewMachine(capacity int, dropProb float64, rng *rand.Rand) *Machine {
+	return &Machine{Capacity: capacity, DropProb: dropProb, rng: rng}
+}
+
+// Attach registers one more stream on the machine.
+func (m *Machine) Attach() { m.streams++ }
+
+// Detach removes a stream.
+func (m *Machine) Detach() {
+	if m.streams > 0 {
+		m.streams--
+	}
+}
+
+// Streams returns the number of attached streams.
+func (m *Machine) Streams() int { return m.streams }
+
+// drops reports whether an arriving block is lost to client overload.
+func (m *Machine) drops() bool {
+	return m.Capacity > 0 && m.streams > m.Capacity && m.rng.Float64() < m.DropProb
+}
+
+// Stats counts what one viewer observed.
+type Stats struct {
+	BlocksOK     int64
+	BlocksLost   int64 // expected but missing or incomplete at deadline
+	PiecesSeen   int64
+	MirrorBlocks int64 // blocks assembled from declustered pieces
+	WrongData    int64 // deliveries carrying the wrong file or block
+}
+
+// Viewer consumes one stream and verifies its timeliness.
+type Viewer struct {
+	ID  msg.ViewerID
+	clk clock.Clock
+
+	blockPlay time.Duration
+	slack     time.Duration
+
+	machine *Machine
+	loss    *metrics.LossLog
+
+	instance    msg.InstanceID
+	file        msg.FileID
+	startBlock  int32
+	requested   sim.Time
+	firstByteAt sim.Time
+	gotFirst    bool
+	totalBlocks int32 // blocks this play will deliver
+
+	nextCheck int32
+	received  map[int32]partState
+
+	stats Stats
+
+	consecLost int32
+
+	// OnFirstBlock reports startup latency: request to last byte of the
+	// first block, the paper's Figure 10 quantity.
+	OnFirstBlock func(latency time.Duration)
+	// OnDone fires when the final block's deadline has passed (end of
+	// file).
+	OnDone func()
+	// StallThreshold and OnStalled model a real client giving up: after
+	// StallThreshold consecutive lost blocks, OnStalled fires once (the
+	// client would re-request the stream). Zero disables it.
+	StallThreshold int32
+	OnStalled      func()
+}
+
+type partState struct {
+	parts int8
+	need  int8
+}
+
+// New creates a viewer. slack is the grace period after a block's
+// nominal arrival time before it is declared lost.
+func New(id msg.ViewerID, clk clock.Clock, blockPlay, slack time.Duration, machine *Machine, loss *metrics.LossLog) *Viewer {
+	return &Viewer{
+		ID:        id,
+		clk:       clk,
+		blockPlay: blockPlay,
+		slack:     slack,
+		machine:   machine,
+		loss:      loss,
+		received:  make(map[int32]partState),
+	}
+}
+
+// Stats returns the viewer's cumulative observations.
+func (v *Viewer) Stats() Stats { return v.stats }
+
+// Begin arms the viewer for a new play of totalBlocks blocks of file
+// starting at startBlock, under the given instance. Deliveries for
+// other instances are ignored; deliveries for the wrong file or block
+// are counted as corrupt (the paper's test-pattern check).
+func (v *Viewer) Begin(inst msg.InstanceID, file msg.FileID, startBlock, totalBlocks int32) {
+	v.instance = inst
+	v.file = file
+	v.startBlock = startBlock
+	v.requested = v.clk.Now()
+	v.gotFirst = false
+	v.totalBlocks = totalBlocks
+	v.nextCheck = 0
+	v.consecLost = 0
+	v.received = make(map[int32]partState)
+	if v.machine != nil {
+		v.machine.Attach()
+	}
+}
+
+// End detaches the viewer from its machine (stop or finished).
+func (v *Viewer) End() {
+	if v.machine != nil {
+		v.machine.Detach()
+	}
+	v.instance = 0
+}
+
+// DeliverBlock implements netsim.DataSink.
+func (v *Viewer) DeliverBlock(d netsim.BlockDelivery) {
+	if d.Instance != v.instance {
+		return // stale delivery from a previous play
+	}
+	if v.machine != nil && v.machine.drops() {
+		return // client overload: the block is gone (client-side loss)
+	}
+	v.stats.PiecesSeen++
+	// Content check: play sequence k must carry block startBlock+k of
+	// the requested file — the striping and schedule math end to end.
+	if d.File != v.file || d.Block != v.startBlock+d.PlaySeq {
+		v.stats.WrongData++
+		return
+	}
+	ps := v.received[d.PlaySeq]
+	ps.parts++
+	ps.need = d.Parts
+	v.received[d.PlaySeq] = ps
+	// The timeline anchors on the completion of the first block — the
+	// paper's client records "the receive time of a block to be when the
+	// last byte of the block arrives". A mirror-served first block
+	// completes with its final declustered piece.
+	if !v.gotFirst && (d.PlaySeq == 0 && ps.parts >= ps.need || d.PlaySeq > 0) {
+		// Anchor on the completed first block; if the first block was
+		// lost entirely, infer the timeline from a later delivery so the
+		// loss is still detected.
+		v.gotFirst = true
+		v.firstByteAt = d.LastByte.Add(-time.Duration(d.PlaySeq) * v.blockPlay)
+		if v.OnFirstBlock != nil {
+			v.OnFirstBlock(v.firstByteAt.Sub(v.requested))
+		}
+		v.scheduleCheck()
+	}
+}
+
+// deadline for play sequence k: nominal arrival plus slack. The first
+// block's own arrival anchors the timeline, as the paper's client does.
+func (v *Viewer) deadline(k int32) sim.Time {
+	return v.firstByteAt.Add(time.Duration(k)*v.blockPlay + v.slack)
+}
+
+func (v *Viewer) scheduleCheck() {
+	k := v.nextCheck
+	inst := v.instance
+	at := v.deadline(k)
+	if now := v.clk.Now(); at < now {
+		at = now // inferred timeline: the deadline already passed
+	}
+	v.clk.At(at, func() { v.check(k, inst) })
+}
+
+func (v *Viewer) check(k int32, inst msg.InstanceID) {
+	if v.instance != inst {
+		return // stopped or replaced meanwhile
+	}
+	ps, ok := v.received[k]
+	delete(v.received, k)
+	complete := ok && ps.need > 0 && ps.parts >= ps.need
+	if complete {
+		v.stats.BlocksOK++
+		v.consecLost = 0
+		if ps.need > 1 {
+			v.stats.MirrorBlocks++
+		}
+	} else {
+		v.stats.BlocksLost++
+		v.consecLost++
+		if v.loss != nil {
+			v.loss.RecordClientMiss(v.clk.Now())
+		}
+		if v.StallThreshold > 0 && v.consecLost == v.StallThreshold && v.OnStalled != nil {
+			v.OnStalled()
+			return // the stall handler replaces this play
+		}
+	}
+	v.nextCheck = k + 1
+	if v.nextCheck >= v.totalBlocks {
+		if v.OnDone != nil {
+			v.OnDone()
+		}
+		return
+	}
+	v.scheduleCheck()
+}

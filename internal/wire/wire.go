@@ -1,0 +1,92 @@
+// Package wire frames Tiger control messages for TCP transport: a
+// 4-byte little-endian length prefix followed by the msg codec's
+// encoding. Tiger uses TCP between cubs precisely because the insertion
+// argument of §4.1.3 depends on in-order pairwise delivery.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"tiger/internal/msg"
+)
+
+// MaxFrame bounds a single frame; far above any batch the cubs produce,
+// low enough to fail fast on stream corruption.
+const MaxFrame = 16 << 20
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m msg.Message) error {
+	body := msg.Encode(m)
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r io.Reader) (msg.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return msg.Decode(body)
+}
+
+// Conn is a framed, write-locked connection. Reads are not locked; run
+// them from a single reader goroutine.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Send frames, writes, and flushes one message. Safe for concurrent use.
+func (c *Conn) Send(m msg.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteMessage(c.bw, m); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next message. Single-reader only.
+func (c *Conn) Recv() (msg.Message, error) {
+	return ReadMessage(c.br)
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }

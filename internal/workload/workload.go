@@ -1,0 +1,140 @@
+// Package workload generates viewer demand for Tiger experiments:
+// arrival processes, file-popularity distributions, and session-length
+// models. The paper's motivation is exactly skewed demand — "the system
+// will not overload even if all of the viewers request the same file" —
+// so workloads here range from uniform to single-title flash crowds.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Popularity chooses which file each arriving viewer requests.
+type Popularity interface {
+	// Pick returns a file index in [0, n).
+	Pick(rng *rand.Rand, n int) int
+}
+
+// Uniform popularity: every title equally likely.
+type Uniform struct{}
+
+// Pick implements Popularity.
+func (Uniform) Pick(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// Zipf popularity with exponent S (typical video-on-demand catalogues:
+// 0.8-1.3). Title 0 is the most popular.
+type Zipf struct {
+	S float64
+	z *rand.Zipf
+	n int
+}
+
+// Pick implements Popularity.
+func (z *Zipf) Pick(rng *rand.Rand, n int) int {
+	if z.z == nil || z.n != n {
+		s := z.S
+		if s <= 1 {
+			s = 1.0001 // rand.Zipf requires s > 1
+		}
+		z.z = rand.NewZipf(rng, s, 1, uint64(n-1))
+		z.n = n
+	}
+	return int(z.z.Uint64())
+}
+
+// SingleTitle popularity: the flash crowd — everyone wants file Title.
+type SingleTitle struct{ Title int }
+
+// Pick implements Popularity.
+func (s SingleTitle) Pick(rng *rand.Rand, n int) int {
+	if s.Title < 0 || s.Title >= n {
+		return 0
+	}
+	return s.Title
+}
+
+// Arrivals produces the number of new viewers in each tick.
+type Arrivals interface {
+	// Next returns how many viewers arrive during a tick of length dt.
+	Next(rng *rand.Rand, dt time.Duration) int
+}
+
+// Poisson arrivals at Rate viewers per second.
+type Poisson struct{ Rate float64 }
+
+// Next implements Arrivals by inversion sampling.
+func (p Poisson) Next(rng *rand.Rand, dt time.Duration) int {
+	lambda := p.Rate * dt.Seconds()
+	if lambda <= 0 {
+		return 0
+	}
+	// Knuth's method; lambda per tick is small in practice.
+	l := math.Exp(-lambda)
+	k, prod := 0, 1.0
+	for {
+		prod *= rng.Float64()
+		if prod <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // guard against pathological parameters
+		}
+	}
+}
+
+// Burst arrivals: everyone shows up in the first tick — the premiere.
+type Burst struct {
+	Size int
+	done bool
+}
+
+// Next implements Arrivals.
+func (b *Burst) Next(rng *rand.Rand, dt time.Duration) int {
+	if b.done {
+		return 0
+	}
+	b.done = true
+	return b.Size
+}
+
+// Sessions models how long a viewer stays.
+type Sessions interface {
+	// Leaves reports whether a viewer departs during a tick of length dt.
+	Leaves(rng *rand.Rand, dt time.Duration) bool
+}
+
+// Exponential session lengths with the given mean. Mean <= 0 means
+// viewers never stop (play to end of file).
+type Exponential struct{ Mean time.Duration }
+
+// Leaves implements Sessions.
+func (e Exponential) Leaves(rng *rand.Rand, dt time.Duration) bool {
+	if e.Mean <= 0 {
+		return false
+	}
+	p := 1 - math.Exp(-dt.Seconds()/e.Mean.Seconds())
+	return rng.Float64() < p
+}
+
+// Spec bundles a workload.
+type Spec struct {
+	Arrivals   Arrivals
+	Popularity Popularity
+	Sessions   Sessions
+	Tick       time.Duration
+}
+
+// Validate checks the spec is runnable.
+func (s Spec) Validate() error {
+	if s.Arrivals == nil || s.Popularity == nil || s.Sessions == nil {
+		return fmt.Errorf("workload: incomplete spec %+v", s)
+	}
+	if s.Tick <= 0 {
+		return fmt.Errorf("workload: non-positive tick")
+	}
+	return nil
+}

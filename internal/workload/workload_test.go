@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestUniformCoversCatalogue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		f := (Uniform{}).Pick(rng, 8)
+		if f < 0 || f >= 8 {
+			t.Fatalf("out of range: %d", f)
+		}
+		seen[f] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d of 8 titles picked", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := &Zipf{S: 1.2}
+	counts := make([]int, 16)
+	for i := 0; i < 20000; i++ {
+		counts[z.Pick(rng, 16)]++
+	}
+	if counts[0] < 3*counts[8] {
+		t.Fatalf("no skew: head=%d mid=%d", counts[0], counts[8])
+	}
+	// Re-dimensioning the catalogue re-seeds the sampler.
+	if f := z.Pick(rng, 4); f < 0 || f >= 4 {
+		t.Fatalf("resized pick out of range: %d", f)
+	}
+}
+
+func TestSingleTitle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := SingleTitle{Title: 5}
+	for i := 0; i < 20; i++ {
+		if s.Pick(rng, 8) != 5 {
+			t.Fatal("flash crowd wandered")
+		}
+	}
+	if (SingleTitle{Title: 99}).Pick(rng, 8) != 0 {
+		t.Fatal("out-of-range title not clamped")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Poisson{Rate: 5}
+	total := 0
+	ticks := 4000
+	for i := 0; i < ticks; i++ {
+		total += p.Next(rng, time.Second)
+	}
+	mean := float64(total) / float64(ticks)
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("poisson mean %.2f, want ~5", mean)
+	}
+	if p.Next(rng, 0) != 0 {
+		t.Fatal("zero-length tick produced arrivals")
+	}
+}
+
+func TestBurstFiresOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := &Burst{Size: 100}
+	if b.Next(rng, time.Second) != 100 {
+		t.Fatal("burst did not fire")
+	}
+	for i := 0; i < 5; i++ {
+		if b.Next(rng, time.Second) != 0 {
+			t.Fatal("burst fired twice")
+		}
+	}
+}
+
+func TestExponentialSessions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := Exponential{Mean: 100 * time.Second}
+	leaves := 0
+	for i := 0; i < 100000; i++ {
+		if e.Leaves(rng, time.Second) {
+			leaves++
+		}
+	}
+	// P(leave per second) ~ 1/100.
+	if leaves < 800 || leaves > 1200 {
+		t.Fatalf("departure rate %d per 100k ticks, want ~1000", leaves)
+	}
+	if (Exponential{}).Leaves(rng, time.Second) {
+		t.Fatal("immortal sessions departed")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{
+		Arrivals:   Poisson{Rate: 1},
+		Popularity: Uniform{},
+		Sessions:   Exponential{Mean: time.Minute},
+		Tick:       time.Second,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Arrivals = nil
+	if bad.Validate() == nil {
+		t.Fatal("nil arrivals accepted")
+	}
+	bad = good
+	bad.Tick = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero tick accepted")
+	}
+}

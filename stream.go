@@ -1,0 +1,157 @@
+package tiger
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/viewer"
+)
+
+// Stream is one viewer's play of one file.
+type Stream struct {
+	Viewer   *viewer.Viewer
+	Instance msg.InstanceID
+	File     msg.FileID
+
+	cluster *Cluster
+	done    bool
+
+	// OnEOF, if set, fires when the stream plays to end of file; drivers
+	// use it to start a replay ("played it from beginning to end and
+	// repeated", §5).
+	OnEOF func(s *Stream)
+}
+
+// Play starts a new viewer on the given file at the given block. The
+// request goes to the controller immediately; the viewer may wait in a
+// cub's queue until a free slot passes under an ownership window.
+func (c *Cluster) Play(file msg.FileID, startBlock int32) (*Stream, error) {
+	f, ok := c.Cfg.Files[file]
+	if !ok {
+		return nil, fmt.Errorf("tiger: unknown file %d", file)
+	}
+	c.nextViewer++
+	vid := c.nextViewer
+	v := viewer.New(vid, clockOf(c), c.Cfg.Sched.BlockPlay, c.Opt.ViewerSlack,
+		c.machineFor(vid), c.Loss)
+	c.Net.RegisterViewer(vid, v)
+
+	// The load this request joins includes starts still waiting for a
+	// slot: they are ahead of it in the cubs' queues.
+	loadAtRequest := float64(c.liveStreams()) / float64(c.Cfg.Sched.NumSlots)
+	if loadAtRequest > 1 {
+		loadAtRequest = 1
+	}
+	inst, err := c.Controller.StartPlay(vid, file, startBlock, int32(c.Opt.StreamBitrate))
+	if err != nil {
+		c.Net.UnregisterViewer(vid)
+		return nil, err
+	}
+	s := &Stream{Viewer: v, Instance: inst, File: file, cluster: c}
+	c.streams[inst] = s
+
+	v.Begin(inst, file, startBlock, int32(f.Blocks)-startBlock)
+	v.OnFirstBlock = func(lat time.Duration) {
+		c.StartupLatency.AddDuration(lat)
+		c.StartupPoints = append(c.StartupPoints, StartupPoint{Load: loadAtRequest, Latency: lat})
+	}
+	v.OnDone = func() {
+		if s.done {
+			return
+		}
+		s.finish()
+		c.Controller.NotifyEOF(inst)
+		if s.OnEOF != nil {
+			s.OnEOF(s)
+		}
+	}
+	if c.Opt.RestartStalled > 0 {
+		v.StallThreshold = int32(c.Opt.RestartStalled)
+		v.OnStalled = func() {
+			if s.done {
+				return
+			}
+			onEOF := s.OnEOF
+			s.Stop()
+			if ns, err := c.Play(file, startBlock); err == nil {
+				ns.OnEOF = onEOF
+			}
+		}
+	}
+	return s, nil
+}
+
+// Stop sends the viewer's "stop playing" request through the controller
+// (§4.1.2).
+func (s *Stream) Stop() {
+	if s.done {
+		return
+	}
+	s.cluster.Controller.StopPlay(s.Instance)
+	s.finish()
+}
+
+// Done reports whether the stream has ended (stopped or EOF).
+func (s *Stream) Done() bool { return s.done }
+
+func (s *Stream) finish() {
+	s.done = true
+	s.Viewer.End()
+	st := s.Viewer.Stats()
+	s.cluster.tallyOK += st.BlocksOK
+	s.cluster.tallyLost += st.BlocksLost
+	s.cluster.tallyMirror += st.MirrorBlocks
+	s.cluster.oracle.release(s.Instance)
+	delete(s.cluster.streams, s.Instance)
+	s.cluster.Net.UnregisterViewer(s.Viewer.ID)
+}
+
+// PlayRandom starts a stream on a uniformly chosen file from block 0.
+func (c *Cluster) PlayRandom() (*Stream, error) {
+	file := msg.FileID(c.rng.Intn(c.Opt.NumFiles))
+	return c.Play(file, 0)
+}
+
+// RampTo starts streams until target are running or queued, choosing
+// random files, and leaves them looping: on EOF each viewer immediately
+// replays a new random file, like the paper's workload. Requests are
+// staggered by Options.RampSpacing, as the paper's client starts were.
+func (c *Cluster) RampTo(target int) error {
+	for c.liveStreams() < target {
+		s, err := c.PlayRandom()
+		if err != nil {
+			return err
+		}
+		s.OnEOF = c.replay
+		if c.Opt.RampSpacing > 0 && c.liveStreams() < target {
+			// Jitter the spacing so request arrivals do not alias with
+			// the schedule cycle; resonance would cluster slot
+			// assignments and hence the free slots.
+			sp := c.Opt.RampSpacing/2 + time.Duration(c.rng.Int63n(int64(c.Opt.RampSpacing)))
+			c.RunFor(sp)
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) replay(old *Stream) {
+	s, err := c.PlayRandom()
+	if err != nil {
+		return // admission refused; the viewer gives up
+	}
+	s.OnEOF = c.replay
+}
+
+// liveStreams counts streams not yet done (queued or active).
+func (c *Cluster) liveStreams() int { return len(c.streams) }
+
+// Streams returns the currently live streams, keyed by instance.
+func (c *Cluster) Streams() map[msg.InstanceID]*Stream { return c.streams }
+
+// StopAll stops every live stream.
+func (c *Cluster) StopAll() {
+	for _, s := range c.streams {
+		s.Stop()
+	}
+}

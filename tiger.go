@@ -1,0 +1,396 @@
+// Package tiger is a simulation-backed implementation of the Tiger video
+// fileserver's distributed schedule management (Bolosky, Fitzgerald &
+// Douceur, SOSP 1997).
+//
+// A Cluster assembles the full system — controller, cubs, zoned disks,
+// switched network, striped/declustered content, and verification
+// viewers — on a deterministic discrete-event simulator. The protocol
+// implementation itself lives in internal/core and is shared with the
+// real-time TCP runtime (internal/rt); this package is the public
+// surface for building systems, playing streams, injecting failures, and
+// measuring what the paper measures.
+//
+// Quick start:
+//
+//	c, err := tiger.New(tiger.DefaultOptions())
+//	...
+//	s, err := c.Play(0, 0)         // viewer starts file 0 at block 0
+//	c.RunFor(30 * time.Second)     // advance virtual time
+//	fmt.Println(s.Viewer.Stats())  // blocks received / lost
+package tiger
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/core"
+	"tiger/internal/disk"
+	"tiger/internal/layout"
+	"tiger/internal/metrics"
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/schedule"
+	"tiger/internal/sim"
+	"tiger/internal/viewer"
+)
+
+// Options configure a simulated Tiger system. The zero value is not
+// usable; start from DefaultOptions.
+type Options struct {
+	// Hardware shape.
+	Cubs        int
+	DisksPerCub int
+	Decluster   int
+
+	// Content and stream geometry (single-bitrate system).
+	BlockPlay     time.Duration
+	StreamBitrate int64 // bits/s; BlockSize is derived when zero
+	BlockSize     int64 // bytes; zero derives bitrate×blockPlay/8
+	NumFiles      int
+	FileBlocks    int // blocks per file (3600 ≈ one hour at 1 s blocks)
+
+	// Models.
+	DiskParams disk.Params
+	NetParams  netsim.Params
+	CPUModel   metrics.CPUModel
+
+	// Protocol timings; zero fields take the paper's defaults.
+	MinVStateLead     time.Duration
+	MaxVStateLead     time.Duration
+	ForwardInterval   time.Duration
+	DescheduleHold    time.Duration
+	ReadAhead         time.Duration
+	HeartbeatInterval time.Duration
+	DeadmanTimeout    time.Duration
+	AdmitLimit        float64
+	SingleForward     bool // ablation: forward viewer states once, not twice
+
+	// Client model.
+	ViewersPerMachine int
+	ClientDropProb    float64
+	ViewerSlack       time.Duration
+
+	// RampSpacing staggers RampTo start requests, like the paper's
+	// staggered client starts; zero issues them all at once.
+	RampSpacing time.Duration
+
+	// RestartStalled, when positive, makes viewers behave like real
+	// clients: after this many consecutive lost blocks they abandon the
+	// play and re-request the file. Recovers streams whose schedule
+	// information was wiped out by multi-failure events the protocol
+	// does not cover (e.g. partitions).
+	RestartStalled int
+
+	Seed int64
+}
+
+// DefaultOptions returns the paper's measured configuration: fourteen
+// cubs with four disks each, 2 Mbit/s streams, 0.25 Mbyte blocks (one
+// second of video), decluster factor four — a 602-stream system (§5).
+func DefaultOptions() Options {
+	return Options{
+		Cubs:              14,
+		DisksPerCub:       4,
+		Decluster:         4,
+		BlockPlay:         time.Second,
+		StreamBitrate:     2_000_000,
+		BlockSize:         262144, // 0.25 Mbyte: a 2 Mbit/s-second plus the single-bitrate system's internal fragmentation (§2.2)
+		NumFiles:          64,
+		FileBlocks:        3600,
+		DiskParams:        disk.DefaultParams(),
+		NetParams:         netsim.DefaultParams(),
+		CPUModel:          metrics.DefaultCPUModel(),
+		ViewersPerMachine: 20,
+		ClientDropProb:    0.000004,
+		ViewerSlack:       500 * time.Millisecond,
+		RampSpacing:       200 * time.Millisecond,
+		Seed:              1,
+	}
+}
+
+// Cluster is a fully assembled simulated Tiger system.
+type Cluster struct {
+	Opt Options
+	Cfg *core.Config
+
+	Eng        *sim.Engine
+	Net        *netsim.Network
+	Controller *core.Controller
+	Cubs       []*core.Cub
+	Loss       *metrics.LossLog
+
+	// StartupLatency accumulates request→first-byte times with the
+	// schedule load at request time (Figure 10's two axes).
+	StartupLatency *metrics.Summary
+	StartupPoints  []StartupPoint
+
+	capacity disk.Capacity
+	rng      *rand.Rand
+
+	machines   []*viewer.Machine
+	streams    map[msg.InstanceID]*Stream
+	nextViewer msg.ViewerID
+	oracle     *slotOracle
+
+	// cumulative viewer tallies, folded in as streams finish
+	tallyOK, tallyLost, tallyMirror int64
+}
+
+// StartupPoint is one stream start: the schedule load when it was
+// requested and how long the viewer waited for its first block.
+type StartupPoint struct {
+	Load    float64
+	Latency time.Duration
+}
+
+// New builds a cluster.
+func New(o Options) (*Cluster, error) {
+	if o.Cubs <= 0 || o.DisksPerCub <= 0 {
+		return nil, fmt.Errorf("tiger: need cubs and disks, have %d/%d", o.Cubs, o.DisksPerCub)
+	}
+	if o.BlockSize == 0 {
+		if o.StreamBitrate <= 0 || o.BlockPlay <= 0 {
+			return nil, fmt.Errorf("tiger: need a bitrate and block play time to derive the block size")
+		}
+		o.BlockSize = o.StreamBitrate * int64(o.BlockPlay) / int64(8*time.Second)
+	}
+	if o.StreamBitrate == 0 {
+		o.StreamBitrate = o.BlockSize * 8 * int64(time.Second) / int64(o.BlockPlay)
+	}
+
+	lay := layout.Config{Cubs: o.Cubs, DisksPerCub: o.DisksPerCub, Decluster: o.Decluster}
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	capa := disk.PlanCapacity(o.DiskParams, lay.NumDisks(), o.BlockSize, o.BlockPlay, o.Decluster)
+	if capa.Streams < 1 {
+		return nil, fmt.Errorf("tiger: configuration has no stream capacity")
+	}
+	sp, err := schedule.NewParams(o.BlockPlay, lay.NumDisks(), capa.Streams)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.New(o.Seed)
+	clk := clock.Sim{Eng: eng}
+
+	files := make(map[msg.FileID]layout.File, o.NumFiles)
+	frng := rand.New(rand.NewSource(o.Seed + 1))
+	for i := 0; i < o.NumFiles; i++ {
+		id := msg.FileID(i)
+		files[id] = layout.File{
+			ID:        id,
+			StartDisk: frng.Intn(lay.NumDisks()),
+			Blocks:    o.FileBlocks,
+			Bitrate:   o.StreamBitrate,
+			BlockSize: o.BlockSize,
+		}
+	}
+
+	cfg := &core.Config{
+		Layout:            lay,
+		Sched:             sp,
+		BlockSize:         o.BlockSize,
+		MinVStateLead:     o.MinVStateLead,
+		MaxVStateLead:     o.MaxVStateLead,
+		ForwardInterval:   o.ForwardInterval,
+		DescheduleHold:    o.DescheduleHold,
+		ReadAhead:         o.ReadAhead,
+		HeartbeatInterval: o.HeartbeatInterval,
+		DeadmanTimeout:    o.DeadmanTimeout,
+		AdmitLimit:        o.AdmitLimit,
+		SingleForward:     o.SingleForward,
+		DiskParams:        o.DiskParams,
+		CPUModel:          o.CPUModel,
+		Files:             files,
+	}
+	cfg.DefaultTimings()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	net := netsim.New(o.NetParams, clk, eng.Rand())
+	c := &Cluster{
+		Opt:            o,
+		Cfg:            cfg,
+		Eng:            eng,
+		Net:            net,
+		Loss:           &metrics.LossLog{},
+		StartupLatency: &metrics.Summary{},
+		capacity:       capa,
+		rng:            rand.New(rand.NewSource(o.Seed + 2)),
+		streams:        make(map[msg.InstanceID]*Stream),
+		oracle:         newSlotOracle(),
+	}
+
+	c.Controller = core.NewController(cfg, clk, net)
+	net.Register(msg.Controller, c.Controller)
+	for i := 0; i < o.Cubs; i++ {
+		cub := core.NewCub(msg.NodeID(i), cfg, clk, net, net, eng.Rand())
+		cub.SetLossLog(c.Loss)
+		cub.SetHooks(core.Hooks{OnInsert: c.onInsertOracle})
+		net.Register(msg.NodeID(i), cub)
+		c.Cubs = append(c.Cubs, cub)
+	}
+	for _, cub := range c.Cubs {
+		cub.Start()
+	}
+	return c, nil
+}
+
+// Capacity returns the planned whole-system stream capacity (602 in the
+// default configuration).
+func (c *Cluster) Capacity() int { return c.capacity.Streams }
+
+// CapacityPlan exposes the full capacity computation.
+func (c *Cluster) CapacityPlan() disk.Capacity { return c.capacity }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() sim.Time { return c.Eng.Now() }
+
+// RunFor advances the simulation by d.
+func (c *Cluster) RunFor(d time.Duration) { c.Eng.RunFor(d) }
+
+// Active returns the number of inserted streams.
+func (c *Cluster) Active() int { return c.Controller.Active() }
+
+// Load returns the current schedule load fraction.
+func (c *Cluster) Load() float64 {
+	return float64(c.Controller.Active()) / float64(c.Cfg.Sched.NumSlots)
+}
+
+// FailCub kills a cub: it stops sending and receiving, as in the paper's
+// power-cut experiment.
+func (c *Cluster) FailCub(i int) { c.Net.Fail(msg.NodeID(i)) }
+
+// ReviveCub brings a failed cub back online; it rebuilds its view from
+// incoming viewer states.
+func (c *Cluster) ReviveCub(i int) { c.Net.Revive(msg.NodeID(i)) }
+
+// machineFor places viewers onto simulated client machines.
+func (c *Cluster) machineFor(v msg.ViewerID) *viewer.Machine {
+	per := c.Opt.ViewersPerMachine
+	if per <= 0 {
+		per = 20
+	}
+	idx := int(v) / per
+	for len(c.machines) <= idx {
+		cap := per - 2 // a little under-provisioned at full packing
+		if cap < 1 {
+			cap = 1
+		}
+		c.machines = append(c.machines, viewer.NewMachine(cap, c.Opt.ClientDropProb, c.rng))
+	}
+	return c.machines[idx]
+}
+
+// InvariantViolations reports slot-conflict violations observed by the
+// built-in oracle; it must be zero in every run.
+func (c *Cluster) InvariantViolations() int { return c.oracle.violations }
+
+// MaxViewSize returns the largest per-cub view observed via polling; see
+// Sampler for periodic collection.
+func (c *Cluster) MaxViewSize() int {
+	m := 0
+	for _, cub := range c.Cubs {
+		if v := cub.ViewSize(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ViewerTotals sums delivery outcomes across all finished and live
+// streams: blocks verified on time, blocks lost, and blocks assembled
+// from declustered mirror pieces.
+func (c *Cluster) ViewerTotals() (ok, lost, mirror int64) {
+	ok, lost, mirror = c.tallyOK, c.tallyLost, c.tallyMirror
+	for _, s := range c.streams {
+		st := s.Viewer.Stats()
+		ok += st.BlocksOK
+		lost += st.BlocksLost
+		mirror += st.MirrorBlocks
+	}
+	return
+}
+
+// TotalCubStats sums the counters of all cubs.
+func (c *Cluster) TotalCubStats() core.CubStats {
+	var t core.CubStats
+	for _, cub := range c.Cubs {
+		s := cub.Stats()
+		t.BlocksSent += s.BlocksSent
+		t.PiecesSent += s.PiecesSent
+		t.ServerMisses += s.ServerMisses
+		t.StatesRecv += s.StatesRecv
+		t.StatesDup += s.StatesDup
+		t.StatesLate += s.StatesLate
+		t.Conflicts += s.Conflicts
+		t.DeschedRecv += s.DeschedRecv
+		t.DeschedDup += s.DeschedDup
+		t.Inserts += s.Inserts
+		t.MirrorsMade += s.MirrorsMade
+		t.PiecesLost += s.PiecesLost
+		t.IndexMisses += s.IndexMisses
+		t.DeadDeclared += s.DeadDeclared
+		t.RedundantRuns += s.RedundantRuns
+	}
+	return t
+}
+
+// onInsertOracle feeds the conflict oracle, skipping insertions of
+// streams that already finished: a stop can race an in-flight insertion,
+// in which case the controller deschedules the slot on the late ack and
+// no double occupancy occurs (§4.1.2 idempotence makes this safe).
+func (c *Cluster) onInsertOracle(cub msg.NodeID, slot int32, inst msg.InstanceID, due sim.Time) {
+	if _, live := c.streams[inst]; !live {
+		return
+	}
+	c.oracle.onInsert(cub, slot, inst, due)
+}
+
+// slotOracle is the test-side conflict detector: it tracks which
+// instance occupies each slot and flags double occupancy. It exists
+// outside the protocol — the cubs themselves have no global view.
+type slotOracle struct {
+	slots      map[int32]msg.InstanceID
+	ends       map[msg.InstanceID]int32
+	violations int
+}
+
+func newSlotOracle() *slotOracle {
+	return &slotOracle{slots: make(map[int32]msg.InstanceID), ends: make(map[msg.InstanceID]int32)}
+}
+
+func (o *slotOracle) onInsert(cub msg.NodeID, slot int32, inst msg.InstanceID, due sim.Time) {
+	if cur, busy := o.slots[slot]; busy && cur != inst {
+		o.violations++
+		return
+	}
+	o.slots[slot] = inst
+	o.ends[inst] = slot
+}
+
+func (o *slotOracle) release(inst msg.InstanceID) {
+	if slot, ok := o.ends[inst]; ok {
+		if o.slots[slot] == inst {
+			delete(o.slots, slot)
+		}
+		delete(o.ends, inst)
+	}
+}
+
+// Type aliases so users of the public API never need to import internal
+// packages.
+type (
+	// FileID names a striped content file.
+	FileID = msg.FileID
+	// ViewerID identifies a client endpoint.
+	ViewerID = msg.ViewerID
+	// InstanceID identifies one start-play request.
+	InstanceID = msg.InstanceID
+	// NodeID identifies a machine (cubs 0..n-1; controller -1).
+	NodeID = msg.NodeID
+)

@@ -1,0 +1,42 @@
+package tiger
+
+import (
+	"tiger/internal/core"
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+	"tiger/internal/trace"
+)
+
+// EnableTrace attaches a bounded protocol event log retaining the most
+// recent `capacity` events (inserts, serves, misses) across all cubs.
+// Call before starting load; returns the ring for inspection. Useful
+// with Cub.DumpView when investigating a run.
+func (c *Cluster) EnableTrace(capacity int) *trace.Ring {
+	ring := trace.NewRing(capacity)
+	for _, cub := range c.Cubs {
+		cub.SetHooks(core.Hooks{
+			OnInsert: func(cubID msg.NodeID, slot int32, inst msg.InstanceID, due sim.Time) {
+				ring.Add(trace.Event{
+					At: c.Now(), Node: cubID, Kind: trace.Insert,
+					Slot: slot, Instance: inst,
+				})
+				c.onInsertOracle(cubID, slot, inst, due)
+			},
+			OnServe: func(cubID msg.NodeID, vs msg.ViewerState) {
+				ring.Add(trace.Event{
+					At: c.Now(), Node: cubID, Kind: trace.Serve,
+					Slot: vs.Slot, Instance: vs.Instance, Block: vs.Block,
+					Mirror: vs.Mirror,
+				})
+			},
+			OnMiss: func(cubID msg.NodeID, vs msg.ViewerState) {
+				ring.Add(trace.Event{
+					At: c.Now(), Node: cubID, Kind: trace.Miss,
+					Slot: vs.Slot, Instance: vs.Instance, Block: vs.Block,
+					Mirror: vs.Mirror,
+				})
+			},
+		})
+	}
+	return ring
+}
