@@ -1,0 +1,12 @@
+.PHONY: check test bench
+
+# Full verification gate: vet, build, short tests, race detector on the
+# concurrent packages. CI and pre-commit both run this.
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...

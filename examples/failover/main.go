@@ -65,4 +65,22 @@ func main() {
 	c.ReviveCub(5)
 	c.RunFor(30 * time.Second)
 	fmt.Printf("cub 5 served %d blocks since revival\n", c.Cubs[5].Stats().BlocksSent-before)
+
+	// The harsher variant: a machine crash. The cub loses its memory and
+	// its in-flight messages, so reviving is not enough — it cold-restarts
+	// with a new liveness epoch, rejoins the ring, and takes its mirror
+	// load back.
+	fmt.Printf("\n*** crashing cub 8 at t=%v ***\n", c.Now())
+	c.CrashCub(8)
+	c.RunFor(20 * time.Second)
+	fmt.Printf("mirror load covering cub 8 while down: %d schedule entries\n", c.MirrorLoadFor(8))
+
+	fmt.Printf("*** cold-restarting cub 8 ***\n")
+	c.RestartCub(8)
+	c.RunFor(10 * time.Second)
+	cs = c.TotalCubStats()
+	fmt.Printf("rejoins=%d statesTransferred=%d mirrorsRetired=%d staleEpochDrops=%d\n",
+		cs.Rejoins, cs.ViewTransferred, cs.MirrorsRetired, cs.StaleEpochDrops)
+	fmt.Printf("residual mirror load for cub 8: %d; reintegration took %v\n",
+		c.MirrorLoadFor(8), c.Cubs[8].RecoveryTimes().Mean().Round(time.Millisecond))
 }

@@ -77,6 +77,13 @@ type CubStats struct {
 	IndexMisses   int64 // index lookups that failed (always a bug)
 	DeadDeclared  int64 // deadman transitions observed
 	RedundantRuns int64 // redundant start queues promoted after a failure
+
+	// Restart and reintegration counters.
+	Rejoins         int64 // cold restarts this cub performed
+	RejoinsServed   int64 // rejoin requests answered for neighbours
+	ViewTransferred int64 // schedule entries rebuilt from rejoin replies
+	MirrorsRetired  int64 // mirror entries handed back to a rejoined primary
+	StaleEpochDrops int64 // messages discarded for carrying a stale epoch
 }
 
 // Hooks let tests and harnesses observe protocol events without
@@ -120,6 +127,20 @@ type Cub struct {
 	believedDead map[msg.NodeID]bool
 	monitored    []msg.NodeID
 
+	// Liveness epoch (§2.3's deadman protocol extended with restart
+	// fencing): bumped on every cold restart, stamped into heartbeats and
+	// forwarded viewer states, so receivers can discard traffic produced
+	// by a pre-restart incarnation. peerEpoch is the per-peer high-water
+	// mark of epochs seen.
+	epoch     int32
+	peerEpoch map[msg.NodeID]int32
+
+	// Rejoin handshake bookkeeping (rejoin.go).
+	rejoinActive  bool
+	rejoinPending map[msg.NodeID]bool
+	rejoinStart   sim.Time
+	recovery      *metrics.Histogram
+
 	fwdPending map[msg.NodeID][]msg.Message // batch under assembly
 
 	bufBytes int64 // block buffers currently held
@@ -155,6 +176,9 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 		cancelledStart: make(map[msg.InstanceID]sim.Time),
 		lastSeen:       make(map[msg.NodeID]sim.Time),
 		believedDead:   make(map[msg.NodeID]bool),
+		epoch:          1,
+		peerEpoch:      make(map[msg.NodeID]int32),
+		recovery:       metrics.NewHistogram(RecoveryBounds...),
 		fwdPending:     make(map[msg.NodeID][]msg.Message),
 	}
 	c.cpu.Model = cfg.CPUModel
@@ -187,6 +211,36 @@ func (c *Cub) ID() msg.NodeID { return c.id }
 
 // Stats returns a snapshot of the cub's counters.
 func (c *Cub) Stats() CubStats { return c.stats }
+
+// Epoch returns the cub's current liveness epoch. Epochs start at 1 and
+// bump on every Restart, so any message stamped with an older epoch is
+// provably from a dead incarnation.
+func (c *Cub) Epoch() int32 { return c.epoch }
+
+// SetEpoch installs a persisted epoch; call before Start when bringing a
+// cub process back with state recovered from stable storage (the rt
+// runtime uses it so a re-launched tigerd resumes past its old epoch).
+func (c *Cub) SetEpoch(e int32) {
+	if e > c.epoch {
+		c.epoch = e
+	}
+}
+
+// MirrorLoadFor returns the number of mirror entries this cub currently
+// holds covering services on owner's disks — the load that should drain
+// back to owner after it restarts and rejoins.
+func (c *Cub) MirrorLoadFor(owner msg.NodeID) int {
+	n := 0
+	for k, e := range c.entries {
+		if k.part >= 0 && c.cfg.Layout.CubOfDisk(int(e.vs.OrigDisk)) == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoveryTimes returns the restart-to-reintegration duration histogram.
+func (c *Cub) RecoveryTimes() *metrics.Histogram { return c.recovery }
 
 // CPUBusy returns cumulative modelled CPU busy time.
 func (c *Cub) CPUBusy() time.Duration { return c.cpu.Busy() }
@@ -321,6 +375,9 @@ func (c *Cub) Deliver(from msg.NodeID, m msg.Message) {
 func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 	switch t := m.(type) {
 	case *msg.ViewerState:
+		if c.staleEpoch(from, t.Epoch) {
+			return
+		}
 		c.onViewerState(*t)
 	case *msg.Deschedule:
 		c.onDeschedule(*t)
@@ -329,11 +386,53 @@ func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 	case *msg.StartAck:
 		c.onStartAck(*t)
 	case *msg.Heartbeat:
+		if c.staleEpoch(from, t.Epoch) {
+			return
+		}
 		c.lastSeen[t.From] = c.clk.Now()
 		if c.believedDead[t.From] {
 			c.markAlive(t.From)
 		}
+	case *msg.Hello:
+		// Transport-level peer identification. Its epoch announcement is
+		// how the rt mesh learns about a restarted incarnation from the
+		// first frame of a fresh connection.
+		c.noteEpoch(t.From, t.Epoch)
+	case *msg.RejoinRequest:
+		c.onRejoinRequest(*t)
+	case *msg.RejoinReply:
+		c.onRejoinReply(t)
+	case *msg.RejoinConfirm:
+		c.onRejoinConfirm(t)
 	default:
 		// ReserveReq/Resp belong to the multiple-bitrate node (mbr.go).
+	}
+}
+
+// staleEpoch implements the receive-side epoch fence: a message from a
+// peer carrying an epoch below the highest we have seen from that peer
+// was produced by a pre-restart incarnation (for example, replayed by a
+// TCP reconnect racing the new connection) and must not touch the view.
+func (c *Cub) staleEpoch(from msg.NodeID, e int32) bool {
+	if from == msg.Controller || from == c.id {
+		return false
+	}
+	if e < c.peerEpoch[from] {
+		c.stats.StaleEpochDrops++
+		return true
+	}
+	if e > c.peerEpoch[from] {
+		c.peerEpoch[from] = e
+	}
+	return false
+}
+
+// noteEpoch raises the high-water epoch mark for a peer.
+func (c *Cub) noteEpoch(from msg.NodeID, e int32) {
+	if from == msg.Controller || from == c.id {
+		return
+	}
+	if e > c.peerEpoch[from] {
+		c.peerEpoch[from] = e
 	}
 }

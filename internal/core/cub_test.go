@@ -193,6 +193,7 @@ func TestLateViewerStateDiscardedNotForwarded(t *testing.T) {
 		Viewer: 9, Instance: 99, File: 0, Block: 5, Slot: 7, PlaySeq: 5,
 		Due:      int64(r.eng.Now()) - int64(r.cfg.DescheduleHold) - int64(time.Second),
 		OrigDisk: 3,
+		Epoch:    r.cubs[2].Epoch(), // current epoch: late, not epoch-stale
 	}
 	cub.Deliver(msg.NodeID(2), stale)
 	if cub.Stats().StatesLate != 1 {

@@ -14,7 +14,7 @@ import (
 
 func (c *Cub) heartbeatTick() {
 	now := c.clk.Now()
-	hb := &msg.Heartbeat{From: c.id, Epoch: 0, Now: int64(now)}
+	hb := &msg.Heartbeat{From: c.id, Epoch: c.epoch, Now: int64(now)}
 	for _, n := range c.monitored {
 		c.net.Send(c.id, n, hb)
 	}
@@ -89,9 +89,11 @@ func (c *Cub) markDead(z msg.NodeID) {
 	c.flushForwards()
 }
 
-// markAlive handles a heartbeat from a cub previously declared dead: the
-// cub has rejoined, and will rebuild its view from incoming viewer
-// states.
+// markAlive handles a heartbeat from a cub previously declared dead.
+// This alone only ends a network blip: the peer kept its state and
+// resumes where it left off. A peer that actually restarted additionally
+// runs the rejoin handshake (rejoin.go) to rebuild its view and take its
+// mirror load back.
 func (c *Cub) markAlive(z msg.NodeID) {
 	delete(c.believedDead, z)
 }

@@ -44,7 +44,14 @@ func (c *Cub) onDeschedule(d msg.Deschedule) {
 	// Hold the record until no viewer state for this slot could still
 	// arrive, then forget it.
 	hold := c.cfg.MaxVStateLead + c.cfg.DescheduleHold + c.cfg.Sched.BlockPlay
-	c.clk.After(hold, func() { delete(c.desch, key) })
+	c.clk.After(hold, func() {
+		// Only forget the record we installed: a Restart may have wiped
+		// the map and a newer record for the same key may exist by the
+		// time this stale timer fires.
+		if c.desch[key] == &rec {
+			delete(c.desch, key)
+		}
+	})
 
 	// Remove any matching entries: primary and mirror pieces alike. The
 	// semantics are exactly "if this instance is in this slot, remove

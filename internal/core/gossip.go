@@ -441,6 +441,13 @@ func (c *Cub) forwardEntryNow(vs msg.ViewerState) {
 }
 
 func (c *Cub) enqueueForward(to msg.NodeID, m msg.Message) {
+	// Every outgoing viewer state is stamped with the sender's current
+	// liveness epoch here, the single choke point all gossip flows
+	// through; receivers fence on it (staleEpoch) so a restarted cub's
+	// pre-crash gossip cannot be mistaken for fresh state.
+	if vs, ok := m.(*msg.ViewerState); ok {
+		vs.Epoch = c.epoch
+	}
 	c.fwdPending[to] = append(c.fwdPending[to], m)
 }
 

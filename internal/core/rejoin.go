@@ -1,0 +1,266 @@
+package core
+
+import (
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// This file implements the crash–restart–reintegration protocol. The
+// paper's deadman machinery (§2.3) covers the outbound half of a failure
+// — detecting the death and shifting the dead cub's schedule load onto
+// its mirrors — but is silent on the return path. A restarted cub comes
+// back with an empty view; until it relearns the viewer states landing in
+// its window, its disks sit idle while the covering cubs keep paying the
+// mirror-service overhead, and any of its pre-crash messages still in
+// flight could corrupt the ring's "coherent hallucination".
+//
+// Reintegration therefore has three parts:
+//
+//  1. Epoch fencing. Every cub carries a liveness epoch, bumped on each
+//     cold restart and stamped into its heartbeats and forwarded viewer
+//     states. Receivers keep a per-peer high-water mark and discard
+//     anything older (Cub.staleEpoch), so pre-crash traffic replayed by
+//     transport reconnects is inert.
+//
+//  2. View transfer. The restarted cub sends RejoinRequest to every
+//     monitored ring neighbour. Each neighbour answers with the primary
+//     viewer states it can reconstruct for the requester's disks: the
+//     re-derived next hops of entries it had already forwarded into the
+//     dead window, and primaries rebuilt from the mirror pieces it has
+//     been covering.
+//
+//  3. Mirror handback. For each transferred state the restarted cub
+//     actually installs (or already has), it returns a RejoinConfirm;
+//     the covering cub retires the matching mirror-piece entries so the
+//     system returns to normal-mode service cost.
+
+// RecoveryBounds are the histogram buckets for restart-to-reintegration
+// times. Real recoveries complete within a couple of round trips; the
+// tail buckets exist to make pathological cases visible.
+var RecoveryBounds = []time.Duration{
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+	30 * time.Second,
+}
+
+// Restart performs a cold restart in place: it wipes all volatile state
+// (the view, queues, liveness beliefs), bumps the liveness epoch, and
+// starts the rejoin handshake with the ring neighbours. The periodic
+// heartbeat and forwarding loops keep running — on a real machine they
+// belong to the freshly booted process; in the simulator and the rt
+// runtime the cub object is reused, so Restart must leave them armed.
+func (c *Cub) Restart() {
+	// Drop every schedule entry, stopping its timers and releasing any
+	// read buffers a dead incarnation would not have kept.
+	keys := make([]entryKey, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sortEntryKeys(keys)
+	for _, k := range keys {
+		c.dropEntryRelease(k)
+	}
+	c.desch = make(map[descKey]*msg.Deschedule)
+	c.queue = make(map[int][]*startReq)
+	c.redundantStart = make(map[msg.InstanceID]*startReq)
+	c.cancelledStart = make(map[msg.InstanceID]sim.Time)
+	c.believedDead = make(map[msg.NodeID]bool)
+	c.peerEpoch = make(map[msg.NodeID]int32)
+	c.fwdPending = make(map[msg.NodeID][]msg.Message)
+	now := c.clk.Now()
+	for _, n := range c.monitored {
+		c.lastSeen[n] = now
+	}
+
+	// New incarnation: everything stamped with the old epoch is now
+	// provably stale.
+	c.epoch++
+	c.stats.Rejoins++
+
+	// Announce the new incarnation immediately — neighbours clear their
+	// believedDead entry and stop generating new mirror load for us —
+	// and ask each of them for the states landing in our window.
+	hb := &msg.Heartbeat{From: c.id, Epoch: c.epoch, Now: int64(now)}
+	c.rejoinActive = true
+	c.rejoinStart = now
+	c.rejoinPending = make(map[msg.NodeID]bool, len(c.monitored))
+	for _, n := range c.monitored {
+		c.net.Send(c.id, n, hb)
+		c.rejoinPending[n] = true
+		c.net.Send(c.id, n, &msg.RejoinRequest{From: c.id, Epoch: c.epoch})
+	}
+	// A neighbour that is itself dead never answers; close the handshake
+	// after a deadman timeout so the recovery clock still stops.
+	ep := c.epoch
+	c.clk.After(c.cfg.DeadmanTimeout, func() {
+		if c.rejoinActive && c.epoch == ep {
+			c.finishRejoin()
+		}
+	})
+}
+
+func (c *Cub) finishRejoin() {
+	c.rejoinActive = false
+	c.rejoinPending = nil
+	c.recovery.Observe(c.clk.Now().Sub(c.rejoinStart))
+}
+
+// onRejoinRequest answers a restarted neighbour with every primary
+// viewer state we can reconstruct for its disks.
+func (c *Cub) onRejoinRequest(req msg.RejoinRequest) {
+	if req.From == c.id {
+		return
+	}
+	// The request is the first proof of life of the new incarnation.
+	c.noteEpoch(req.From, req.Epoch)
+	c.lastSeen[req.From] = c.clk.Now()
+	if c.believedDead[req.From] {
+		c.markAlive(req.From)
+	}
+	c.stats.RejoinsServed++
+
+	now := int64(c.clk.Now())
+	bp := int64(c.cfg.Sched.BlockPlay)
+	pace := int64(c.cfg.MirrorPace())
+	horizon := now + int64(c.cfg.MaxVStateLead) + bp
+	reply := &msg.RejoinReply{From: c.id, ForEpoch: req.Epoch}
+	sent := make(map[entryKey]bool)
+
+	keys := make([]entryKey, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sortEntryKeys(keys)
+	for _, k := range keys {
+		e := c.entries[k]
+		if k.part >= 0 {
+			// A mirror piece covering one of the requester's disks:
+			// rebuild the primary state it derives from. Piece p is due
+			// p mirror paces after the primary service it replaces.
+			if c.cfg.Layout.CubOfDisk(int(e.vs.OrigDisk)) != req.From {
+				continue
+			}
+			pvs := e.vs
+			pvs.Mirror = false
+			pvs.Part = 0
+			pvs.Due -= int64(e.vs.Part) * pace
+			pvs.Epoch = c.epoch
+			pk := entryKey{pvs.Slot, -1, pvs.Due}
+			if pvs.Due > now && !sent[pk] {
+				sent[pk] = true
+				reply.States = append(reply.States, pvs)
+			}
+			continue
+		}
+		// A primary entry we already forwarded: while the requester was
+		// down its next hops landing on the requester's disks went
+		// nowhere. Re-derive them, exactly as forwardEntryNow would.
+		if !e.forwarded {
+			continue // the forward loop will reach the requester normally
+		}
+		for j := 1; ; j++ {
+			due := e.vs.Due + int64(j)*bp
+			if due > horizon {
+				break
+			}
+			d := (int(e.vs.OrigDisk) + j) % c.cfg.Sched.NumDisks
+			if c.cfg.Layout.CubOfDisk(d) != req.From {
+				continue
+			}
+			nvs := e.vs
+			nvs.Block += int32(j)
+			nvs.PlaySeq += int32(j)
+			nvs.Due = due
+			nvs.OrigDisk = int32(d)
+			nvs.Epoch = c.epoch
+			nk := entryKey{nvs.Slot, -1, nvs.Due}
+			if due > now && c.fileHasBlock(nvs.File, nvs.Block) && !sent[nk] {
+				sent[nk] = true
+				reply.States = append(reply.States, nvs)
+			}
+		}
+	}
+	// Always reply, even with nothing to transfer: the requester's
+	// handshake completes when every neighbour has been heard from.
+	c.net.Send(c.id, req.From, reply)
+}
+
+// onRejoinReply installs the transferred states that belong to us and
+// confirms ownership back to the sender so it can retire its mirrors.
+func (c *Cub) onRejoinReply(rep *msg.RejoinReply) {
+	if rep.ForEpoch != c.epoch {
+		// Answer to a previous incarnation's request.
+		c.stats.StaleEpochDrops++
+		return
+	}
+	c.lastSeen[rep.From] = c.clk.Now()
+	now := int64(c.clk.Now())
+	var owned []msg.ViewerState
+	for _, vs := range rep.States {
+		d := int(vs.OrigDisk)
+		if c.cfg.Layout.CubOfDisk(d) != c.id || !c.fileHasBlock(vs.File, vs.Block) {
+			continue
+		}
+		if _, killed := c.desch[descKey{vs.Slot, vs.Instance}]; killed {
+			continue
+		}
+		key := entryKey{vs.Slot, -1, vs.Due}
+		if old, ok := c.entries[key]; ok {
+			// Another neighbour transferred it first (or gossip beat the
+			// reply here). Confirm anyway so every covering cub retires.
+			if old.vs.Instance == vs.Instance {
+				owned = append(owned, vs)
+			}
+			continue
+		}
+		if vs.Due <= now || c.failedDisks[d] {
+			// Too late to serve, or on one of our dead drives: leave the
+			// mirrors covering it.
+			continue
+		}
+		c.acceptPrimary(vs, d)
+		if e, ok := c.entries[key]; ok && e.vs.Instance == vs.Instance {
+			c.stats.ViewTransferred++
+			owned = append(owned, vs)
+		}
+	}
+	// Transferred entries re-enter the normal gossip flow: forwardTick
+	// will forward their next hops downstream, and flushForwards covers
+	// any mirror chains acceptPrimary started.
+	c.flushForwards()
+	if len(owned) > 0 {
+		c.net.Send(c.id, rep.From, &msg.RejoinConfirm{From: c.id, Epoch: c.epoch, States: owned})
+	}
+	if c.rejoinActive {
+		delete(c.rejoinPending, rep.From)
+		if len(c.rejoinPending) == 0 {
+			c.finishRejoin()
+		}
+	}
+}
+
+// onRejoinConfirm retires the mirror entries covering services the
+// restarted primary has confirmed it owns again (mirror-load handback).
+func (c *Cub) onRejoinConfirm(cf *msg.RejoinConfirm) {
+	c.noteEpoch(cf.From, cf.Epoch)
+	pace := int64(c.cfg.MirrorPace())
+	for _, vs := range cf.States {
+		if c.cfg.Layout.CubOfDisk(int(vs.OrigDisk)) != cf.From {
+			continue
+		}
+		for p := 0; p < c.cfg.Layout.Decluster; p++ {
+			key := entryKey{vs.Slot, int8(p), vs.Due + int64(p)*pace}
+			e, ok := c.entries[key]
+			if !ok || e.vs.Instance != vs.Instance || e.vs.OrigDisk != vs.OrigDisk {
+				continue
+			}
+			c.dropEntryRelease(key)
+			c.stats.MirrorsRetired++
+		}
+	}
+}

@@ -155,6 +155,24 @@ func (r *rig) totals() CubStats {
 		t.MirrorsMade += s.MirrorsMade
 		t.PiecesLost += s.PiecesLost
 		t.IndexMisses += s.IndexMisses
+		t.Rejoins += s.Rejoins
+		t.RejoinsServed += s.RejoinsServed
+		t.ViewTransferred += s.ViewTransferred
+		t.MirrorsRetired += s.MirrorsRetired
+		t.StaleEpochDrops += s.StaleEpochDrops
 	}
 	return t
+}
+
+// mirrorLoadFor sums the mirror-piece entries the other cubs hold
+// covering cub i's disks.
+func (r *rig) mirrorLoadFor(i int) int {
+	n := 0
+	for j, c := range r.cubs {
+		if j == i {
+			continue
+		}
+		n += c.MirrorLoadFor(msg.NodeID(i))
+	}
+	return n
 }

@@ -116,21 +116,29 @@ func (c *ClockSync) decode(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// Hello identifies the sender on a freshly opened transport connection.
+// Hello identifies the sender on a freshly opened transport connection
+// and announces its liveness epoch, so a peer learns about a restarted
+// incarnation from the very first frame of the new connection.
 type Hello struct {
-	From NodeID
+	From  NodeID
+	Epoch int32
 }
 
 func (*Hello) Type() Type { return THello }
-func (*Hello) Size() int  { return 1 + 4 }
+func (*Hello) Size() int  { return 1 + 4 + 4 }
 
-func (h *Hello) encode(buf []byte) []byte { return putU32(buf, uint32(h.From)) }
+func (h *Hello) encode(buf []byte) []byte {
+	buf = putU32(buf, uint32(h.From))
+	return putU32(buf, uint32(h.Epoch))
+}
 
 func (h *Hello) decode(buf []byte) ([]byte, error) {
-	u32, buf, err := getU32(buf)
-	if err != nil {
-		return nil, err
+	if len(buf) < 4+4 {
+		return nil, errShort
 	}
+	u32, buf, _ := getU32(buf)
 	h.From = NodeID(int32(u32))
+	u32, buf, _ = getU32(buf)
+	h.Epoch = int32(u32)
 	return buf, nil
 }

@@ -53,6 +53,9 @@ const (
 	TBlockData
 	TClockSync
 	THello
+	TRejoinRequest
+	TRejoinReply
+	TRejoinConfirm
 )
 
 func (t Type) String() string {
@@ -79,6 +82,12 @@ func (t Type) String() string {
 		return "ClockSync"
 	case THello:
 		return "Hello"
+	case TRejoinRequest:
+		return "RejoinRequest"
+	case TRejoinReply:
+		return "RejoinReply"
+	case TRejoinConfirm:
+		return "RejoinConfirm"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -551,6 +560,12 @@ func Consume(b []byte) (Message, []byte, error) {
 		m = &ClockSync{}
 	case THello:
 		m = &Hello{}
+	case TRejoinRequest:
+		m = &RejoinRequest{}
+	case TRejoinReply:
+		m = &RejoinReply{}
+	case TRejoinConfirm:
+		m = &RejoinConfirm{}
 	default:
 		return nil, nil, fmt.Errorf("msg: unknown message type %d", t)
 	}

@@ -22,6 +22,16 @@ func sampleMessages() []Message {
 		&Heartbeat{From: 12, Epoch: 13, Now: 14},
 		&ReserveReq{Viewer: 15, Instance: 16, Start: 17, Bitrate: 18, Seq: 19},
 		&ReserveResp{Instance: 20, Seq: 21, OK: true},
+		&Hello{From: 22, Epoch: 23},
+		&RejoinRequest{From: 24, Epoch: 25},
+		&RejoinReply{From: 26, ForEpoch: 27, States: []ViewerState{
+			{Viewer: 28, Instance: 29, File: 30, Block: 31, Slot: 32,
+				Due: 33, Bitrate: 34, OrigDisk: 35, Epoch: 36},
+			{Viewer: 37, Instance: 38, Slot: 39, Due: 40},
+		}},
+		&RejoinConfirm{From: 41, Epoch: 42, States: []ViewerState{
+			{Viewer: 43, Instance: 44, Slot: 45, Due: 46, OrigDisk: 47},
+		}},
 	}
 }
 

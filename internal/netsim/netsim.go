@@ -98,6 +98,7 @@ type Network struct {
 	nodes   map[msg.NodeID]Handler
 	viewers map[msg.ViewerID]DataSink
 	failed  map[msg.NodeID]bool
+	incarn  map[msg.NodeID]int // bumped by Crash; dooms in-flight messages
 	lastArr map[pairKey]sim.Time
 	stats   map[msg.NodeID]*nodeStats
 
@@ -116,6 +117,7 @@ func New(params Params, clk clock.Clock, rng *rand.Rand) *Network {
 		nodes:   make(map[msg.NodeID]Handler),
 		viewers: make(map[msg.ViewerID]DataSink),
 		failed:  make(map[msg.NodeID]bool),
+		incarn:  make(map[msg.NodeID]int),
 		lastArr: make(map[pairKey]sim.Time),
 		stats:   make(map[msg.NodeID]*nodeStats),
 	}
@@ -143,7 +145,19 @@ func (n *Network) UnregisterViewer(id msg.ViewerID) {
 
 // Fail marks a node down: it silently loses everything in flight to it
 // and everything it would send, like the paper's power-cut test (§5).
+// A Fail followed by Revive models a network blip: messages queued while
+// the node was up but not yet delivered still arrive afterwards.
 func (n *Network) Fail(id msg.NodeID) { n.failed[id] = true }
+
+// Crash marks a node down like Fail and additionally dooms everything
+// already in flight to or from it: a crashed machine's socket buffers
+// die with it, so nothing sent to (or by) the old incarnation may be
+// delivered after a restart. Pair with Revive plus core.Cub.Restart for
+// full crash–restart semantics.
+func (n *Network) Crash(id msg.NodeID) {
+	n.failed[id] = true
+	n.incarn[id]++
+}
 
 // Revive brings a failed node back.
 func (n *Network) Revive(id msg.NodeID) { delete(n.failed, id) }
@@ -182,9 +196,13 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 		arrive = last + 1 // preserve FIFO per pair
 	}
 	n.lastArr[key] = arrive
+	fromInc, toInc := n.incarn[from], n.incarn[to]
 	n.clk.At(arrive, func() {
 		if n.failed[to] || n.failed[from] {
 			return // failed while in flight
+		}
+		if n.incarn[from] != fromInc || n.incarn[to] != toInc {
+			return // an endpoint crashed while the message was in flight
 		}
 		h := n.nodes[to]
 		if h == nil {

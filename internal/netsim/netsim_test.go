@@ -106,6 +106,53 @@ func TestFailureWhileInFlight(t *testing.T) {
 	}
 }
 
+func TestBlipKeepsInFlight(t *testing.T) {
+	// Fail/Revive is a network blip: a message already in flight when the
+	// receiver blips (and revives before arrival) is still delivered.
+	eng, n := testNet(t, func(p *Params) { p.LatencyBase = time.Millisecond })
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	n.Fail(0)
+	eng.RunFor(100 * time.Microsecond)
+	n.Revive(0)
+	eng.Run()
+	if len(r.msgs) != 1 {
+		t.Fatalf("blip dropped an in-flight message: %d deliveries", len(r.msgs))
+	}
+}
+
+func TestCrashDropsInFlight(t *testing.T) {
+	// Crash/Revive is a machine restart: the old incarnation's in-flight
+	// messages — in either direction — die with it and must not surface
+	// after the node comes back.
+	eng, n := testNet(t, func(p *Params) { p.LatencyBase = time.Millisecond })
+	r0 := &recorder{eng: eng}
+	r1 := &recorder{eng: eng}
+	n.Register(0, r0)
+	n.Register(1, r1)
+	n.Send(1, 0, &msg.Heartbeat{From: 1}) // receiver crashes mid-flight
+	n.Crash(0)
+	eng.RunFor(100 * time.Microsecond)
+	n.Revive(0)
+	n.Send(0, 1, &msg.Heartbeat{From: 0}) // sender crashes mid-flight
+	n.Crash(0)
+	eng.RunFor(100 * time.Microsecond)
+	n.Revive(0)
+	eng.Run()
+	if len(r0.msgs) != 0 || len(r1.msgs) != 0 {
+		t.Fatalf("crashed-incarnation traffic delivered: %d to, %d from",
+			len(r0.msgs), len(r1.msgs))
+	}
+	// Post-restart traffic flows normally.
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	eng.Run()
+	if len(r0.msgs) != 1 {
+		t.Fatalf("post-restart message not delivered: %d", len(r0.msgs))
+	}
+}
+
 func TestControlByteAccounting(t *testing.T) {
 	eng, n := testNet(t, nil)
 	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))

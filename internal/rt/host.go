@@ -33,8 +33,26 @@ func StartCubHost(id msg.NodeID, cfg *core.Config, listenAddr string,
 		return nil, err
 	}
 	cub = core.NewCub(id, cfg, node, mesh, mesh, rand.New(rand.NewSource(seed)))
+	mesh.SetEpoch(cub.Epoch())
 	node.Do(cub.Start)
 	return &CubHost{Node: node, Mesh: mesh, Cub: cub}, nil
+}
+
+// Rejoin runs the cold-restart reintegration protocol on the cub: wipe
+// volatile state, bump the liveness epoch, and ask the ring neighbours
+// for the viewer states landing in this cub's window. Call it on a host
+// brought back after a crash; a freshly launched process starts at epoch
+// 1, so a host standing in for a restarted one should first move past
+// the dead incarnation's epoch with h.Cub.SetEpoch. Blocks until the
+// handshake is initiated (not until it completes).
+func (h *CubHost) Rejoin() {
+	done := make(chan struct{})
+	h.Node.Do(func() {
+		h.Cub.Restart()
+		h.Mesh.SetEpoch(h.Cub.Epoch())
+		close(done)
+	})
+	<-done
 }
 
 // Close stops the cub host.
@@ -100,6 +118,8 @@ func (h *ControllerHost) handleClient(m msg.Message) {
 	case *msg.ClockSync:
 		// Answered inline at connection level via FetchEpoch; nothing to
 		// do when it arrives through the normal path.
+	case *msg.Hello:
+		// Connection preamble; clients carry no epoch worth tracking.
 	}
 }
 

@@ -2,9 +2,11 @@ package rt
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tiger/internal/msg"
@@ -32,6 +34,16 @@ func DecodeAddr(a [16]byte) string {
 	return strings.TrimRight(string(a[:]), "\x00")
 }
 
+// Redial policy for down peers: a half-open probe with exponential
+// backoff. While a peer is unreachable at most one dial is attempted per
+// backoff window; messages arriving between probes are dropped
+// immediately instead of each eating a fresh dial timeout.
+const (
+	dialTimeout = 2 * time.Second
+	backoffBase = 50 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
 // peer is one outbound connection with an async send queue, so protocol
 // code never blocks on TCP backpressure.
 type peer struct {
@@ -39,18 +51,35 @@ type peer struct {
 	quit chan struct{}
 }
 
+// MeshStats are cumulative transport counters for one mesh.
+type MeshStats struct {
+	Dials        int64 // connection attempts
+	DialFails    int64 // connection attempts that failed
+	Reconnects   int64 // successful dials after an established conn was lost
+	QueueDrops   int64 // messages dropped because an outbound queue was full
+	BackoffDrops int64 // messages dropped while a down peer's redial backed off
+}
+
 // Mesh is the TCP control-message transport plus the real data path. It
 // implements core.Transport and core.DataPath for one node.
 type Mesh struct {
 	self    msg.NodeID
 	node    *Node
-	addrs   map[msg.NodeID]string
 	ln      net.Listener
 	handler func(from msg.NodeID, m msg.Message)
 
+	// epoch is stamped into the Hello of every outbound connection, so
+	// peers learn about a restarted incarnation from its first frame.
+	epoch atomic.Int32
+
+	dials, dialFails, reconnects atomic.Int64
+	queueDrops, backoffDrops     atomic.Int64
+
 	mu      sync.Mutex
+	addrs   map[msg.NodeID]string
 	peers   map[msg.NodeID]*peer
 	viewers map[string]*peer
+	inbound map[*wire.Conn]struct{}
 	closed  bool
 
 	// Logf, if set, receives transport diagnostics.
@@ -59,8 +88,9 @@ type Mesh struct {
 
 // NewMesh starts listening on listenAddr and begins accepting control
 // connections. addrs maps every node (cubs and controller) to its
-// listen address. handler is invoked on the node executor for each
-// inbound message.
+// listen address; the mesh takes a snapshot, so nodes started later must
+// be announced with SetAddr. handler is invoked on the node executor for
+// each inbound message.
 func NewMesh(self msg.NodeID, node *Node, listenAddr string, addrs map[msg.NodeID]string,
 	handler func(from msg.NodeID, m msg.Message)) (*Mesh, error) {
 	ln, err := net.Listen("tcp", listenAddr)
@@ -70,18 +100,46 @@ func NewMesh(self msg.NodeID, node *Node, listenAddr string, addrs map[msg.NodeI
 	m := &Mesh{
 		self:    self,
 		node:    node,
-		addrs:   addrs,
 		ln:      ln,
 		handler: handler,
+		addrs:   make(map[msg.NodeID]string, len(addrs)),
 		peers:   make(map[msg.NodeID]*peer),
 		viewers: make(map[string]*peer),
+		inbound: make(map[*wire.Conn]struct{}),
+	}
+	for id, a := range addrs {
+		m.addrs[id] = a
 	}
 	go m.acceptLoop()
 	return m, nil
 }
 
+// SetAddr registers or updates a node's control address. An existing
+// peer connection keeps the address it was created with; in this
+// codebase restarted nodes come back on the same endpoint.
+func (m *Mesh) SetAddr(id msg.NodeID, addr string) {
+	m.mu.Lock()
+	m.addrs[id] = addr
+	m.mu.Unlock()
+}
+
 // Addr returns the actual listen address (useful with ":0").
 func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// SetEpoch sets the liveness epoch announced in outbound Hellos. Call it
+// whenever the local cub's epoch changes (cold restart).
+func (m *Mesh) SetEpoch(e int32) { m.epoch.Store(e) }
+
+// Stats returns a snapshot of the mesh's transport counters.
+func (m *Mesh) Stats() MeshStats {
+	return MeshStats{
+		Dials:        m.dials.Load(),
+		DialFails:    m.dialFails.Load(),
+		Reconnects:   m.reconnects.Load(),
+		QueueDrops:   m.queueDrops.Load(),
+		BackoffDrops: m.backoffDrops.Load(),
+	}
+}
 
 func (m *Mesh) logf(format string, args ...any) {
 	if m.Logf != nil {
@@ -100,7 +158,20 @@ func (m *Mesh) acceptLoop() {
 }
 
 func (m *Mesh) serveConn(c *wire.Conn) {
-	defer c.Close()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		c.Close()
+		return
+	}
+	m.inbound[c] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.inbound, c)
+		m.mu.Unlock()
+		c.Close()
+	}()
 	first, err := c.Recv()
 	if err != nil {
 		return
@@ -111,6 +182,9 @@ func (m *Mesh) serveConn(c *wire.Conn) {
 		return
 	}
 	from := hello.From
+	// Deliver the Hello itself: its epoch announcement is how the local
+	// cub learns a peer restarted before any fenced traffic arrives.
+	m.node.Do(func() { m.handler(from, hello) })
 	for {
 		mm, err := c.Recv()
 		if err != nil {
@@ -126,32 +200,38 @@ func (m *Mesh) Send(from, to msg.NodeID, mm msg.Message) {
 	if from != m.self {
 		panic(fmt.Sprintf("rt: node %v sending as %v", m.self, from))
 	}
-	addr, ok := m.addrs[to]
-	if !ok {
-		m.logf("rt: no address for %v", to)
-		return
-	}
-	m.peerFor(to, addr).send(mm, m)
-}
-
-func (m *Mesh) peerFor(to msg.NodeID, addr string) *peer {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if p, ok := m.peers[to]; ok {
-		return p
+	p, ok := m.peers[to]
+	if !ok {
+		addr, known := m.addrs[to]
+		if !known {
+			m.mu.Unlock()
+			m.logf("rt: no address for %v", to)
+			return
+		}
+		p = m.newPeer(addr)
+		m.peers[to] = p
 	}
-	p := m.newPeer(addr)
-	m.peers[to] = p
-	return p
+	m.mu.Unlock()
+	p.send(mm, m)
 }
 
 // newPeer spawns the writer goroutine for one outbound connection; it
 // (re)dials lazily and drops messages while the peer is unreachable,
 // exactly like the simulated network drops traffic to failed nodes.
+//
+// Redial is rate limited: after a failed dial the writer enters a
+// backoff window (exponential with jitter, capped at backoffCap) during
+// which messages are dropped without dialing. Without this, every
+// message to a dead peer eats a fresh dialTimeout, stalling the queue so
+// badly that heartbeats back up for the whole outage.
 func (m *Mesh) newPeer(addr string) *peer {
 	p := &peer{ch: make(chan msg.Message, 4096), quit: make(chan struct{})}
 	go func() {
 		var conn *wire.Conn
+		everConnected := false
+		backoff := backoffBase
+		var nextDial time.Time
 		defer func() {
 			if conn != nil {
 				conn.Close()
@@ -166,17 +246,34 @@ func (m *Mesh) newPeer(addr string) *peer {
 			}
 			for attempt := 0; attempt < 2; attempt++ {
 				if conn == nil {
-					c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+					if time.Now().Before(nextDial) {
+						m.backoffDrops.Add(1)
+						break // half-open: no dial until the window passes
+					}
+					m.dials.Add(1)
+					c, err := net.DialTimeout("tcp", addr, dialTimeout)
 					if err != nil {
-						m.logf("rt: dial %s: %v", addr, err)
+						m.dialFails.Add(1)
+						m.logf("rt: dial %s: %v (next attempt in ~%v)", addr, err, backoff)
+						nextDial = time.Now().Add(jitter(backoff))
+						backoff *= 2
+						if backoff > backoffCap {
+							backoff = backoffCap
+						}
 						break // drop the message; peer presumed down
 					}
 					conn = wire.NewConn(c)
-					if err := conn.Send(&msg.Hello{From: m.self}); err != nil {
+					if err := conn.Send(&msg.Hello{From: m.self, Epoch: m.epoch.Load()}); err != nil {
 						conn.Close()
 						conn = nil
 						continue
 					}
+					if everConnected {
+						m.reconnects.Add(1)
+					}
+					everConnected = true
+					backoff = backoffBase
+					nextDial = time.Time{}
 				}
 				if err := conn.Send(mm); err != nil {
 					conn.Close()
@@ -190,10 +287,21 @@ func (m *Mesh) newPeer(addr string) *peer {
 	return p
 }
 
+// jitter draws uniformly from [d/2, d), desynchronizing redial storms
+// when many peers lose the same node at once.
+func jitter(d time.Duration) time.Duration {
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half))
+}
+
 func (p *peer) send(mm msg.Message, m *Mesh) {
 	select {
 	case p.ch <- mm:
 	default:
+		m.queueDrops.Add(1)
 		m.logf("rt: outbound queue full; dropping %v", mm.Type())
 	}
 }
@@ -249,7 +357,9 @@ func testPattern(blockBytes int64) []byte {
 	return b
 }
 
-// Close shuts the mesh down: the listener and all peer writers.
+// Close shuts the mesh down: the listener, all peer writers, and every
+// accepted inbound connection (so peers observe the death promptly
+// instead of writing into a half-dead socket).
 func (m *Mesh) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -264,10 +374,17 @@ func (m *Mesh) Close() {
 	for _, p := range m.viewers {
 		peers = append(peers, p)
 	}
+	inbound := make([]*wire.Conn, 0, len(m.inbound))
+	for c := range m.inbound {
+		inbound = append(inbound, c)
+	}
 	m.mu.Unlock()
 
 	m.ln.Close()
 	for _, p := range peers {
 		close(p.quit)
+	}
+	for _, c := range inbound {
+		c.Close()
 	}
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate:
+#   vet, build everything, the fast test tier, and the race detector on
+#   the packages with real concurrency (the TCP runtime and the protocol
+#   core under its executors).
+set -eux
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -short ./...
+go test -race ./internal/rt ./internal/core

@@ -265,9 +265,39 @@ func (c *Cluster) Load() float64 {
 // power-cut experiment.
 func (c *Cluster) FailCub(i int) { c.Net.Fail(msg.NodeID(i)) }
 
-// ReviveCub brings a failed cub back online; it rebuilds its view from
-// incoming viewer states.
+// ReviveCub ends a network blip: the cub reconnects with its state
+// intact (its view has gone stale, but the entries survived) and catches
+// up from incoming viewer states. For a machine that actually lost its
+// memory, use RestartCub.
 func (c *Cluster) ReviveCub(i int) { c.Net.Revive(msg.NodeID(i)) }
+
+// CrashCub kills a cub like FailCub and additionally drops everything
+// the old incarnation still had in flight, modelling a machine crash
+// rather than a network blip. Bring it back with RestartCub.
+func (c *Cluster) CrashCub(i int) { c.Net.Crash(msg.NodeID(i)) }
+
+// RestartCub cold-restarts a crashed cub: reconnects it, wipes its
+// volatile state, bumps its liveness epoch, and runs the rejoin
+// handshake that rebuilds its view and hands mirror load back.
+func (c *Cluster) RestartCub(i int) {
+	c.Net.Revive(msg.NodeID(i))
+	c.Cubs[i].Restart()
+}
+
+// MirrorLoadFor returns the number of mirror-piece schedule entries the
+// rest of the system currently holds covering cub i's disks — the extra
+// service cost the ring pays while i is down, which reintegration must
+// drain back to zero.
+func (c *Cluster) MirrorLoadFor(i int) int {
+	n := 0
+	for j, cub := range c.Cubs {
+		if j == i {
+			continue
+		}
+		n += cub.MirrorLoadFor(msg.NodeID(i))
+	}
+	return n
+}
 
 // machineFor places viewers onto simulated client machines.
 func (c *Cluster) machineFor(v msg.ViewerID) *viewer.Machine {
@@ -336,6 +366,11 @@ func (c *Cluster) TotalCubStats() core.CubStats {
 		t.IndexMisses += s.IndexMisses
 		t.DeadDeclared += s.DeadDeclared
 		t.RedundantRuns += s.RedundantRuns
+		t.Rejoins += s.Rejoins
+		t.RejoinsServed += s.RejoinsServed
+		t.ViewTransferred += s.ViewTransferred
+		t.MirrorsRetired += s.MirrorsRetired
+		t.StaleEpochDrops += s.StaleEpochDrops
 	}
 	return t
 }
