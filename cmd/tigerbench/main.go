@@ -13,8 +13,10 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -25,13 +27,14 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|score|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|all")
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|all")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
 	seed     = flag.Int64("seed", 1, "workload seed")
 	clients  = flag.Bool("client-drops", false, "model overloaded client machines (the paper's 8 client-side losses)")
 	failedAt = flag.Int("fail-cub", 5, "cub to fail in failed-mode runs")
 	csvDir   = flag.String("csv", "", "also write plot-ready CSV files for fig8/fig9/fig10/scale into this directory")
+	outDir   = flag.String("out", "", "also write machine-readable BENCH_*.json result artifacts into this directory")
 )
 
 // writeCSV emits rows into <csvDir>/<name>.csv when -csv is set.
@@ -56,6 +59,42 @@ func writeCSV(name string, header []string, rows [][]string) error {
 	}
 	w.Flush()
 	return w.Error()
+}
+
+// writeJSON writes one experiment's full result object to
+// <outDir>/BENCH_<name>.json when -out is set.
+func writeJSON(name string, v any) error {
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(*outDir, "BENCH_"+name+".json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// writeArtifact streams into <outDir>/BENCH_<name> when -out is set
+// (JSONL exports too big to hold as one object).
+func writeArtifact(name string, fill func(io.Writer) error) error {
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(*outDir, "BENCH_"+name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fill(f)
 }
 
 func f1(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
@@ -102,7 +141,68 @@ func main() {
 	run("ablate-lead", func() error { return ablateLead(o) })
 	run("flash", func() error { return flash(o) })
 	run("score", func() error { return score(o) })
+	run("observe", func() error { return observe(o) })
 	run("ablate-frag", func() error { return ablateFrag() })
+}
+
+// observe runs a modest load and exports the observability artifacts: a
+// full metrics snapshot (JSONL, one series per line) and the protocol
+// event trace. It also prints the block-lifecycle deadline-slack
+// distribution, the tentpole series of the unified metrics layer.
+func observe(o tiger.Options) error {
+	header("Observability capture: metrics registry + protocol trace",
+		"every stage of a block's lifecycle measured against its deadline")
+	c, err := tiger.New(o)
+	if err != nil {
+		return err
+	}
+	ring := c.EnableTrace(1 << 16)
+	if err := c.RampTo(100); err != nil {
+		return err
+	}
+	c.RunFor(30 * time.Second)
+
+	// Fold the per-cub deadline-slack histograms into one line per stage.
+	type agg struct {
+		count, neg uint64
+		sum        float64
+	}
+	stages := map[string]*agg{}
+	for _, p := range c.Registry().Snapshot() {
+		if p.Name != "tiger_block_deadline_slack_seconds" {
+			continue
+		}
+		st := p.Labels["stage"]
+		a := stages[st]
+		if a == nil {
+			a = &agg{}
+			stages[st] = a
+		}
+		a.count += p.Count
+		a.sum += p.Sum
+		// Strictly negative buckets only: a send at exactly its due time
+		// has slack 0 and is on time.
+		for i, b := range p.Bounds {
+			if b < 0 {
+				a.neg += p.Counts[i]
+			}
+		}
+	}
+	fmt.Printf("%10s %12s %14s %12s\n", "stage", "events", "mean slack", "slack<0")
+	for _, st := range []string{"insert", "state", "read", "send", "receipt"} {
+		a := stages[st]
+		if a == nil || a.count == 0 {
+			continue
+		}
+		fmt.Printf("%10s %12d %13.3fs %12d\n", st, a.count, a.sum/float64(a.count), a.neg)
+	}
+	fmt.Printf("trace: %d events recorded, %d evicted (ring %d)\n",
+		ring.Total(), ring.Dropped(), ring.Len())
+
+	if err := writeArtifact("observe_metrics.jsonl", c.ExportMetrics); err != nil {
+		return err
+	}
+	return writeArtifact("observe_events.jsonl", c.ExportEvents)
 }
 
 func flash(o tiger.Options) error {
@@ -118,7 +218,7 @@ func flash(o tiger.Options) error {
 	fmt.Printf("  disk duty        : mean %.0f%%, max %.0f%% (no hotspot)\n",
 		res.MeanDiskDuty*100, res.MaxDiskDuty*100)
 	fmt.Printf("  blocks           : %d delivered, %d lost\n", res.BlocksOK, res.BlocksLost)
-	return nil
+	return writeJSON("flash", res)
 }
 
 func header(title, paperSays string) {
@@ -139,7 +239,7 @@ func capacity(o tiger.Options) error {
 	fmt.Printf("  system capacity    : %d streams\n", c.Streams)
 	fmt.Printf("  schedule length    : %v (%d slots)\n",
 		time.Duration(o.Cubs*o.DisksPerCub)*o.BlockPlay, c.Streams)
-	return nil
+	return writeJSON("capacity", c)
 }
 
 func loadCurve(o tiger.Options, failCub int, ramp tiger.RampSpec) error {
@@ -177,9 +277,12 @@ func loadCurve(o tiger.Options, failCub int, ramp tiger.RampSpec) error {
 			f1(smp.MirrorDiskLoad), f1(smp.CtlTrafficBps), f1(smp.DataRateBps),
 		})
 	}
-	return writeCSV(name,
+	if err := writeCSV(name,
 		[]string{"streams", "cub_cpu", "ctrl_cpu", "disk_load", "mirror_disk_load", "ctl_bps", "data_bps"},
-		rows)
+		rows); err != nil {
+		return err
+	}
+	return writeJSON(name, res)
 }
 
 func fig10(o tiger.Options, ramp tiger.RampSpec) error {
@@ -200,7 +303,10 @@ func fig10(o tiger.Options, ramp tiger.RampSpec) error {
 	for _, pt := range res.Points {
 		rows = append(rows, []string{f1(pt.Load), f1(pt.Latency.Seconds())})
 	}
-	return writeCSV("fig10", []string{"load", "latency_s"}, rows)
+	if err := writeCSV("fig10", []string{"load", "latency_s"}, rows); err != nil {
+		return err
+	}
+	return writeJSON("fig10", res)
 }
 
 func loss(o tiger.Options, hold time.Duration) error {
@@ -220,7 +326,7 @@ func loss(o tiger.Options, hold time.Duration) error {
 		fmt.Printf("%-28s %8d %10d %7d %10d %12s\n",
 			r.Name, r.Streams, r.BlocksOK+r.BlocksLost, r.BlocksLost, r.ServerMisses, rate)
 	}
-	return nil
+	return writeJSON("loss", rs)
 }
 
 func reconfig(o tiger.Options) error {
@@ -235,7 +341,7 @@ func reconfig(o tiger.Options) error {
 	fmt.Printf("  loss window      : %v\n", res.LossSpan.Round(time.Millisecond))
 	fmt.Printf("  deadman timeout  : %v\n", res.DetectedIn)
 	fmt.Printf("  mirror catches   : %d blocks\n", res.MirrorCatch)
-	return nil
+	return writeJSON("reconfig", res)
 }
 
 func scale(o tiger.Options) error {
@@ -262,8 +368,11 @@ func scale(o tiger.Options) error {
 			f1(p.PerCubCtlBps), f1(p.CentralizedBps), strconv.Itoa(p.MaxViewEntries),
 		})
 	}
-	return writeCSV("scale",
-		[]string{"cubs", "streams", "per_cub_ctl_bps", "centralized_bps", "view_entries"}, rows)
+	if err := writeCSV("scale",
+		[]string{"cubs", "streams", "per_cub_ctl_bps", "centralized_bps", "view_entries"}, rows); err != nil {
+		return err
+	}
+	return writeJSON("scale", pts)
 }
 
 func ablateFwd(o tiger.Options) error {

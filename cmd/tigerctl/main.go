@@ -5,13 +5,25 @@
 //
 //	tigerctl -controller 127.0.0.1:7000 -play 0 -duration 10s
 //	tigerctl -controller 127.0.0.1:7000 -play 2 -viewers 5 -duration 30s
+//
+// The stats subcommand scrapes a tigerd debug endpoint and summarises
+// its metrics:
+//
+//	tigerctl stats -debug 127.0.0.1:9000
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,7 +40,26 @@ var (
 	viewers    = flag.Int("viewers", 1, "number of simultaneous viewers")
 	duration   = flag.Duration("duration", 10*time.Second, "how long to play before stopping")
 	blockPlay  = flag.Duration("blockplay", 250*time.Millisecond, "expected block play time (for timeliness checks)")
+	jsonOut    = flag.Bool("json", false, "emit the final timeliness summary as JSON on stdout")
 )
+
+// jsonViewer and jsonSummary are the -json output shape.
+type jsonViewer struct {
+	Viewer      int64 `json:"viewer"`
+	Instance    int64 `json:"instance"`
+	Blocks      int64 `json:"blocks"`
+	Late        int64 `json:"late"`
+	LastPlaySeq int32 `json:"last_playseq"`
+	FirstMs     int64 `json:"first_block_ms"` // request to first block
+}
+
+type jsonSummary struct {
+	Viewers  []jsonViewer `json:"viewers"`
+	Total    int64        `json:"total_blocks"`
+	Expected int64        `json:"expected_blocks"`
+	Late     int64        `json:"late_blocks"`
+	OK       bool         `json:"ok"`
+}
 
 type viewerState struct {
 	id       msg.ViewerID
@@ -42,6 +73,10 @@ type viewerState struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		runStats(os.Args[2:])
+		return
+	}
 	flag.Parse()
 	if *play < 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -play <fileID>")
@@ -139,15 +174,96 @@ func main() {
 	mu.Lock()
 	defer mu.Unlock()
 	var total, late int64
+	var sum jsonSummary
 	for _, vs := range states {
 		b, l := vs.blocks.Load(), vs.late.Load()
 		total += b
 		late += l
 		log.Printf("viewer %d: %d blocks (last playseq %d), %d late", vs.id, b, vs.lastSeq.Load(), l)
+		firstMs := int64(-1)
+		if at := vs.firstAt.Load(); at != 0 {
+			firstMs = time.Unix(0, at).Sub(vs.reqAt).Milliseconds()
+		}
+		sum.Viewers = append(sum.Viewers, jsonViewer{
+			Viewer: int64(vs.id), Instance: vs.inst.Load(),
+			Blocks: b, Late: l, LastPlaySeq: vs.lastSeq.Load(), FirstMs: firstMs,
+		})
 	}
 	expected := int64(float64(*viewers) * duration.Seconds() / blockPlay.Seconds())
 	log.Printf("total: %d blocks received (~%d expected), %d late", total, expected, late)
-	if total < expected*8/10 {
+	sum.Total, sum.Expected, sum.Late = total, expected, late
+	sum.OK = total >= expected*8/10
+	if *jsonOut {
+		sort.Slice(sum.Viewers, func(i, j int) bool { return sum.Viewers[i].Viewer < sum.Viewers[j].Viewer })
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	}
+	if !sum.OK {
 		os.Exit(1)
+	}
+}
+
+// runStats scrapes a tigerd debug endpoint's /metrics and prints a
+// readable summary (or the raw exposition text with -raw). Histogram
+// series are folded to their _count and _sum lines.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("debug", "127.0.0.1:9000", "tigerd debug address (control port + 2000 by default)")
+	raw := fs.Bool("raw", false, "dump the raw Prometheus exposition text")
+	prefix := fs.String("prefix", "", "only print series whose name has this prefix")
+	fs.Parse(args)
+
+	resp, err := http.Get("http://" + *addr + "/metrics")
+	if err != nil {
+		log.Fatalf("scrape %s: %v", *addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("scrape %s: %s", *addr, resp.Status)
+	}
+	if *raw {
+		io.Copy(os.Stdout, resp.Body)
+		return
+	}
+
+	type row struct{ series, value string }
+	var rows []row
+	width := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, value := line[:sp], line[sp+1:]
+		name := series
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			name = name[:b]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue // keep the summary readable; -raw has the buckets
+		}
+		if *prefix != "" && !strings.HasPrefix(name, *prefix) {
+			continue
+		}
+		if v, err := strconv.ParseFloat(value, 64); err == nil {
+			value = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		rows = append(rows, row{series, value})
+		if len(series) > width {
+			width = len(series)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading scrape: %v", err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-*s %s\n", width, r.series, r.value)
 	}
 }

@@ -29,8 +29,10 @@ import (
 
 	"tiger/internal/core"
 	"tiger/internal/msg"
+	"tiger/internal/obs"
 	"tiger/internal/rt"
 	"tiger/internal/spec"
+	"tiger/internal/trace"
 )
 
 var (
@@ -51,6 +53,9 @@ var (
 
 	configFlag  = flag.String("config", "", "cluster spec JSON; overrides the shape flags and -addrs")
 	writeConfig = flag.String("write-config", "", "write a template cluster spec for -cubs nodes to this path and exit")
+
+	debugFlag = flag.String("debug", "", `debug HTTP address serving /metrics, /healthz, /debug/vars, /debug/trace, /debug/pprof (default: control port + 2000; "off" disables)`)
+	traceCap  = flag.Int("trace", 65536, "protocol trace ring capacity (events kept for /debug/trace)")
 )
 
 func main() {
@@ -188,6 +193,44 @@ func portShift(addr string, delta int) string {
 	return fmt.Sprintf("%s:%d", host, p+delta)
 }
 
+// debugAddr resolves the -debug flag against a node's control address.
+func debugAddr(controlAddr string) string {
+	switch *debugFlag {
+	case "off":
+		return ""
+	case "":
+		return portShift(controlAddr, 2000)
+	default:
+		return *debugFlag
+	}
+}
+
+// newObs builds the process's registry and trace ring and cross-registers
+// the ring's counters so a /metrics scrape shows trace volume and loss.
+func newObs() (*obs.Registry, *trace.Ring) {
+	reg := obs.NewRegistry()
+	ring := trace.NewRing(*traceCap)
+	reg.CounterFunc("tiger_trace_events_total",
+		"Protocol trace events recorded into the debug ring.",
+		nil, func() float64 { return float64(ring.Total()) })
+	reg.CounterFunc("tiger_trace_dropped_total",
+		"Protocol trace events evicted from the bounded debug ring.",
+		nil, func() float64 { return float64(ring.Dropped()) })
+	return reg, ring
+}
+
+func startDebug(addr string, cfg rt.DebugConfig) *rt.DebugServer {
+	if addr == "" {
+		return nil
+	}
+	d, err := rt.StartDebug(addr, cfg)
+	if err != nil {
+		log.Fatalf("debug listener: %v", err)
+	}
+	log.Printf("debug http on %s (/metrics /healthz /debug/vars /debug/trace /debug/pprof)", d.Addr())
+	return d
+}
+
 // runAll hosts the whole system in one process: the zero-to-streams demo.
 func runAll(cfg *core.Config) {
 	ep := epoch()
@@ -215,6 +258,22 @@ func runAll(cfg *core.Config) {
 		}
 		defer h.Close()
 		hosts = append(hosts, h)
+	}
+	reg, ring := newObs()
+	ctl.AttachObs(reg)
+	views := make(map[string]func(time.Duration) (string, error), len(hosts))
+	for _, h := range hosts {
+		h.AttachObs(reg)
+		h.AttachTrace(ring)
+		views[h.Cub.ID().String()] = h.DumpView
+	}
+	if d := startDebug(debugAddr(*listen), rt.DebugConfig{
+		Registry: reg,
+		Trace:    ring,
+		Views:    views,
+		Info:     map[string]string{"node": "all", "controller": addrs[msg.Controller]},
+	}); d != nil {
+		defer d.Close()
 	}
 	cap := cfg.Capacity()
 	log.Printf("tiger system up: %d cubs x %d disks, %d files, capacity %d streams (%.2f/disk)",
@@ -249,6 +308,15 @@ func runController(cfg *core.Config, listenAddr string, addrs map[msg.NodeID]str
 	if _, err := ctl.ServeEpoch(epAddr); err != nil {
 		log.Fatal(err)
 	}
+	reg, ring := newObs()
+	ctl.AttachObs(reg)
+	if d := startDebug(debugAddr(listenAddr), rt.DebugConfig{
+		Registry: reg,
+		Trace:    ring,
+		Info:     map[string]string{"node": "controller", "listen": listenAddr},
+	}); d != nil {
+		defer d.Close()
+	}
 	log.Printf("controller on %s (epoch %d, epoch service %s)", listenAddr, ep.UnixNano(), epAddr)
 	waitForSignal()
 }
@@ -276,6 +344,17 @@ func runCub(cfg *core.Config, id msg.NodeID, addrs map[msg.NodeID]string) {
 		log.Fatal(err)
 	}
 	defer h.Close()
+	reg, ring := newObs()
+	h.AttachObs(reg)
+	h.AttachTrace(ring)
+	if d := startDebug(debugAddr(listenAddr), rt.DebugConfig{
+		Registry: reg,
+		Trace:    ring,
+		Views:    map[string]func(time.Duration) (string, error){id.String(): h.DumpView},
+		Info:     map[string]string{"node": id.String(), "listen": listenAddr},
+	}); d != nil {
+		defer d.Close()
+	}
 	log.Printf("%v on %s", id, listenAddr)
 	waitForSignal()
 	st := h.Cub.Stats()

@@ -55,6 +55,7 @@ type Controller struct {
 	active       int
 
 	stats ControllerStats
+	obs   *ctlObs // nil until AttachObs
 
 	// OnAck, if set, is called when an insertion is confirmed; harnesses
 	// use it to measure slot-assignment latency.
@@ -106,6 +107,9 @@ func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.
 		limit := int(c.cfg.AdmitLimit * float64(c.cfg.Sched.NumSlots))
 		if c.pendingAndActive() >= limit {
 			c.stats.Rejected++
+			if o := c.obs; o != nil {
+				o.rejected.Inc()
+			}
 			return 0, fmt.Errorf("controller: schedule load limit %d reached", limit)
 		}
 	}
@@ -140,6 +144,9 @@ func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.
 	r.Primary = false
 	c.net.Send(msg.Controller, c.cfg.Layout.Successor(primary), &r)
 	c.stats.Starts++
+	if o := c.obs; o != nil {
+		o.starts.Inc()
+	}
 	return inst, nil
 }
 
@@ -154,6 +161,9 @@ func (c *Controller) StopPlay(inst msg.InstanceID) {
 		return
 	}
 	c.stats.Stops++
+	if o := c.obs; o != nil {
+		o.stops.Inc()
+	}
 	d := msg.Deschedule{
 		Viewer:   rec.viewer,
 		Instance: inst,
@@ -182,12 +192,18 @@ func (c *Controller) NotifyEOF(inst msg.InstanceID) {
 		return
 	}
 	c.stats.EOFs++
+	if o := c.obs; o != nil {
+		o.eofs.Inc()
+	}
 	c.finish(rec)
 }
 
 func (c *Controller) finish(rec *playRecord) {
 	if rec.state == PlayActive {
 		c.active--
+		if o := c.obs; o != nil {
+			o.active.Set(float64(c.active))
+		}
 	}
 	rec.state = PlayDone
 }
@@ -254,7 +270,13 @@ func (c *Controller) Deliver(from msg.NodeID, m msg.Message) {
 		c.stats.MaxActive = c.active
 	}
 	c.stats.Acks++
+	waited := c.clk.Now().Sub(rec.issued)
+	if o := c.obs; o != nil {
+		o.acks.Inc()
+		o.active.Set(float64(c.active))
+		o.slotWait.Observe(waited.Seconds())
+	}
 	if c.OnAck != nil {
-		c.OnAck(a.Instance, a.Slot, c.clk.Now().Sub(rec.issued))
+		c.OnAck(a.Instance, a.Slot, waited)
 	}
 }

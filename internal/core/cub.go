@@ -149,6 +149,7 @@ type Cub struct {
 	stats CubStats
 	loss  *metrics.LossLog
 	hooks Hooks
+	obs   *cubObs // nil until AttachObs
 
 	started bool
 }
@@ -419,6 +420,9 @@ func (c *Cub) staleEpoch(from msg.NodeID, e int32) bool {
 	}
 	if e < c.peerEpoch[from] {
 		c.stats.StaleEpochDrops++
+		if o := c.obs; o != nil {
+			o.staleDrops.Inc()
+		}
 		return true
 	}
 	if e > c.peerEpoch[from] {

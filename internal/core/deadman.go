@@ -33,6 +33,9 @@ func (c *Cub) heartbeatTick() {
 func (c *Cub) markDead(z msg.NodeID) {
 	c.believedDead[z] = true
 	c.stats.DeadDeclared++
+	if o := c.obs; o != nil {
+		o.deadDeclared.Inc()
+	}
 	if !c.firstLivingSuccessorOf(z) {
 		return
 	}

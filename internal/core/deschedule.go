@@ -15,6 +15,9 @@ import (
 
 func (c *Cub) onDeschedule(d msg.Deschedule) {
 	c.stats.DeschedRecv++
+	if o := c.obs; o != nil {
+		o.deschedRecv.Inc()
+	}
 	if d.Slot < 0 {
 		// The viewer was never inserted: the controller is cancelling a
 		// queued start request. Scrub it from our queues and redundant
@@ -30,6 +33,9 @@ func (c *Cub) onDeschedule(d msg.Deschedule) {
 					break
 				}
 			}
+		}
+		if o := c.obs; o != nil {
+			o.queueLen.Set(float64(c.QueueLen()))
 		}
 		return
 	}

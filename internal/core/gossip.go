@@ -6,6 +6,7 @@ import (
 
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
+	"tiger/internal/obs"
 	"tiger/internal/sim"
 )
 
@@ -18,12 +19,18 @@ import (
 
 func (c *Cub) onViewerState(vs msg.ViewerState) {
 	c.stats.StatesRecv++
+	if o := c.obs; o != nil {
+		o.statesRecv.Inc()
+	}
 	now := c.clk.Now()
 
 	// Too late to matter: any deschedule for it would already have been
 	// discarded, so accepting it could resurrect a stopped viewer.
 	if vs.Due < int64(now)-int64(c.cfg.DescheduleHold) {
 		c.stats.StatesLate++
+		if o := c.obs; o != nil {
+			o.statesLate.Inc()
+		}
 		return
 	}
 	if _, killed := c.desch[descKey{vs.Slot, vs.Instance}]; killed {
@@ -85,10 +92,16 @@ func (c *Cub) acceptPrimary(vs msg.ViewerState, d int) {
 	if old, ok := c.entries[key]; ok {
 		if old.vs.Instance == vs.Instance {
 			c.stats.StatesDup++
+			if o := c.obs; o != nil {
+				o.statesDup.Inc()
+			}
 		} else {
 			// §4.1.3's ordering argument makes this unreachable in a
 			// correctly functioning system; count it rather than guess.
 			c.stats.Conflicts++
+			if o := c.obs; o != nil {
+				o.conflicts.Inc()
+			}
 		}
 		return
 	}
@@ -110,6 +123,10 @@ func (c *Cub) acceptPrimary(vs msg.ViewerState, d int) {
 	e := &entry{vs: vs, disk: d}
 	c.entries[key] = e
 	c.slotOcc[vs.Slot]++
+	if o := c.obs; o != nil {
+		o.spans.Observe(obs.StageState, sim.Time(vs.Due), now)
+		o.viewSize.Set(float64(len(c.entries)))
+	}
 	c.scheduleEntry(e, key)
 }
 
@@ -152,6 +169,9 @@ func (c *Cub) issueRead(key entryKey) {
 			return
 		}
 		cur.ready = true
+		if o := c.obs; o != nil {
+			o.spans.Observe(obs.StageRead, sim.Time(cur.vs.Due), done)
+		}
 	})
 }
 
@@ -196,6 +216,14 @@ func (c *Cub) service(key entryKey) {
 	} else {
 		c.stats.BlocksSent++
 	}
+	if o := c.obs; o != nil {
+		if e.vs.Mirror {
+			o.piecesSent.Inc()
+		} else {
+			o.blocksSent.Inc()
+		}
+		o.spans.Observe(obs.StageSend, sim.Time(e.vs.Due), c.clk.Now())
+	}
 	// The buffer frees once the paced send finishes.
 	held := e.buffered
 	c.clk.After(pace, func() { c.bufAdjust(-held) })
@@ -216,6 +244,9 @@ func (c *Cub) bufAdjust(delta int64) {
 	if c.bufBytes > c.stats.PeakBuffered {
 		c.stats.PeakBuffered = c.bufBytes
 	}
+	if o := c.obs; o != nil {
+		o.bufBytes.Set(float64(c.bufBytes))
+	}
 }
 
 // BufferedBytes returns the block buffers currently held.
@@ -223,6 +254,13 @@ func (c *Cub) BufferedBytes() int64 { return c.bufBytes }
 
 func (c *Cub) recordMiss(vs msg.ViewerState) {
 	c.stats.ServerMisses++
+	if o := c.obs; o != nil {
+		o.misses.Inc()
+		// Record the missed send against the same deadline-slack series
+		// as successful ones, so the distribution shows the whole story:
+		// a late viewer state lands here with negative slack.
+		o.spans.Observe(obs.StageSend, sim.Time(vs.Due), c.clk.Now())
+	}
 	if c.loss != nil {
 		c.loss.RecordServerMiss(c.clk.Now())
 	}
@@ -259,6 +297,9 @@ func (c *Cub) dropEntry(key entryKey) {
 	} else {
 		delete(c.slotOcc, key.slot)
 	}
+	if o := c.obs; o != nil {
+		o.viewSize.Set(float64(len(c.entries)))
+	}
 }
 
 // --- mirror viewer states (§4.1.1) ---
@@ -276,6 +317,9 @@ func (c *Cub) createMirrors(vs msg.ViewerState, d int) {
 	mvs.Part = 0
 	mvs.OrigDisk = int32(d)
 	c.stats.MirrorsMade++
+	if o := c.obs; o != nil {
+		o.mirrorsMade.Inc()
+	}
 	c.routeMirror(mvs)
 }
 
@@ -291,6 +335,9 @@ func (c *Cub) routeMirror(mvs msg.ViewerState) {
 		pc := c.cfg.Layout.CubOfDisk(pd)
 		if c.believedDead[pc] {
 			c.stats.PiecesLost++
+			if o := c.obs; o != nil {
+				o.piecesLost.Inc()
+			}
 			mvs.Part++
 			mvs.Due += pace
 			continue
@@ -331,20 +378,33 @@ func (c *Cub) acceptMirror(vs msg.ViewerState) {
 	if old, ok := c.entries[key]; ok {
 		if old.vs.Instance == vs.Instance {
 			c.stats.StatesDup++
+			if o := c.obs; o != nil {
+				o.statesDup.Inc()
+			}
 		} else {
 			c.stats.Conflicts++
+			if o := c.obs; o != nil {
+				o.conflicts.Inc()
+			}
 		}
 		return // the original acceptance already forwarded the chain
 	}
 	switch {
 	case c.failedDisks[pd]:
 		c.stats.PiecesLost++
+		if o := c.obs; o != nil {
+			o.piecesLost.Inc()
+		}
 	case vs.Due <= int64(c.clk.Now()):
 		c.recordMiss(vs)
 	default:
 		e := &entry{vs: vs, disk: pd}
 		c.entries[key] = e
 		c.slotOcc[vs.Slot]++
+		if o := c.obs; o != nil {
+			o.spans.Observe(obs.StageState, sim.Time(vs.Due), c.clk.Now())
+			o.viewSize.Set(float64(len(c.entries)))
+		}
 		c.scheduleEntry(e, key)
 	}
 	// Pass the mirror state to the next piece's cub, due one mirror pace
@@ -472,6 +532,10 @@ func (c *Cub) flushForwards() {
 			c.net.Send(c.id, to, msgs[0])
 		} else {
 			c.net.Send(c.id, to, &msg.Batch{Msgs: msgs})
+		}
+		if o := c.obs; o != nil {
+			o.fwdBatches.Inc()
+			o.fwdMsgs.Add(float64(len(msgs)))
 		}
 		c.cpu.ChargeCtlMsg()
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tiger/internal/msg"
+	"tiger/internal/obs"
 	"tiger/internal/sim"
 )
 
@@ -42,6 +43,9 @@ func (c *Cub) onStartPlay(sp msg.StartPlay) {
 
 func (c *Cub) enqueueStart(req *startReq) {
 	c.queue[req.disk] = append(c.queue[req.disk], req)
+	if o := c.obs; o != nil {
+		o.queueLen.Set(float64(c.QueueLen()))
+	}
 	c.ensureScan(req.disk)
 }
 
@@ -127,6 +131,13 @@ func (c *Cub) tryInsert(d int, slot int32, due sim.Time) {
 		OrigDisk: int32(d),
 	}
 	c.stats.Inserts++
+	if o := c.obs; o != nil {
+		now := c.clk.Now()
+		o.inserts.Inc()
+		o.startWait.Observe(now.Sub(req.enqueued).Seconds())
+		o.spans.Observe(obs.StageInsert, due, now)
+		o.queueLen.Set(float64(c.QueueLen()))
+	}
 	if c.hooks.OnInsert != nil {
 		c.hooks.OnInsert(c.id, slot, vs.Instance, due)
 	}

@@ -81,6 +81,11 @@ func (c *Cub) Restart() {
 	// provably stale.
 	c.epoch++
 	c.stats.Rejoins++
+	if o := c.obs; o != nil {
+		o.rejoins.Inc()
+		o.epoch.Set(float64(c.epoch))
+		o.queueLen.Set(0)
+	}
 
 	// Announce the new incarnation immediately — neighbours clear their
 	// believedDead entry and stop generating new mirror load for us —
@@ -107,7 +112,11 @@ func (c *Cub) Restart() {
 func (c *Cub) finishRejoin() {
 	c.rejoinActive = false
 	c.rejoinPending = nil
-	c.recovery.Observe(c.clk.Now().Sub(c.rejoinStart))
+	d := c.clk.Now().Sub(c.rejoinStart)
+	c.recovery.Observe(d)
+	if o := c.obs; o != nil {
+		o.recovery.Observe(d.Seconds())
+	}
 }
 
 // onRejoinRequest answers a restarted neighbour with every primary
@@ -123,6 +132,9 @@ func (c *Cub) onRejoinRequest(req msg.RejoinRequest) {
 		c.markAlive(req.From)
 	}
 	c.stats.RejoinsServed++
+	if o := c.obs; o != nil {
+		o.rejoinsServed.Inc()
+	}
 
 	now := int64(c.clk.Now())
 	bp := int64(c.cfg.Sched.BlockPlay)
@@ -196,6 +208,9 @@ func (c *Cub) onRejoinReply(rep *msg.RejoinReply) {
 	if rep.ForEpoch != c.epoch {
 		// Answer to a previous incarnation's request.
 		c.stats.StaleEpochDrops++
+		if o := c.obs; o != nil {
+			o.staleDrops.Inc()
+		}
 		return
 	}
 	c.lastSeen[rep.From] = c.clk.Now()
@@ -226,6 +241,9 @@ func (c *Cub) onRejoinReply(rep *msg.RejoinReply) {
 		c.acceptPrimary(vs, d)
 		if e, ok := c.entries[key]; ok && e.vs.Instance == vs.Instance {
 			c.stats.ViewTransferred++
+			if o := c.obs; o != nil {
+				o.viewXfer.Inc()
+			}
 			owned = append(owned, vs)
 		}
 	}
@@ -261,6 +279,9 @@ func (c *Cub) onRejoinConfirm(cf *msg.RejoinConfirm) {
 			}
 			c.dropEntryRelease(key)
 			c.stats.MirrorsRetired++
+			if o := c.obs; o != nil {
+				o.mirrorsBack.Inc()
+			}
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tiger/internal/clock"
+	"tiger/internal/obs"
 	"tiger/internal/sim"
 )
 
@@ -126,7 +127,24 @@ type Disk struct {
 	busyTotal time.Duration // cumulative service time
 	bytes     int64
 	maxQueue  int
+
+	obs Obs
 }
+
+// Obs names the registry instruments one drive updates as it serves
+// reads; any nil field is simply not recorded. Direct counters (rather
+// than functions polling Stats) keep the export path race-free: the
+// drive mutates its plain counters only on its owning executor, while
+// registry instruments may be read from a scrape goroutine at any time.
+type Obs struct {
+	Reads       *obs.Counter // read operations started
+	Bytes       *obs.Counter // bytes read
+	BusySeconds *obs.Counter // cumulative service time, seconds
+	Queue       *obs.Gauge   // outstanding reads including the one in service
+}
+
+// SetObs attaches registry instruments to the drive.
+func (d *Disk) SetObs(o Obs) { d.obs = o }
 
 // New creates a disk using the given clock and random source.
 func New(id int, params Params, clk clock.Clock, rng *rand.Rand) *Disk {
@@ -149,8 +167,12 @@ func (d *Disk) Read(size int64, z Zone, due sim.Time, done func(completed sim.Ti
 		p.due = 0 // degenerate key: seq (arrival order) decides
 	}
 	heap.Push(&d.pending, p)
-	if q := d.QueueLen(); q > d.maxQueue {
+	q := d.QueueLen()
+	if q > d.maxQueue {
 		d.maxQueue = q
+	}
+	if d.obs.Queue != nil {
+		d.obs.Queue.Set(float64(q))
 	}
 	if !d.busy {
 		d.startNext()
@@ -160,6 +182,9 @@ func (d *Disk) Read(size int64, z Zone, due sim.Time, done func(completed sim.Ti
 func (d *Disk) startNext() {
 	if len(d.pending) == 0 {
 		d.busy = false
+		if d.obs.Queue != nil {
+			d.obs.Queue.Set(0)
+		}
 		return
 	}
 	d.busy = true
@@ -169,6 +194,18 @@ func (d *Disk) startNext() {
 	d.reads++
 	d.bytes += p.size
 	d.busyTotal += svc
+	if d.obs.Reads != nil {
+		d.obs.Reads.Inc()
+	}
+	if d.obs.Bytes != nil {
+		d.obs.Bytes.Add(float64(p.size))
+	}
+	if d.obs.BusySeconds != nil {
+		d.obs.BusySeconds.Add(svc.Seconds())
+	}
+	if d.obs.Queue != nil {
+		d.obs.Queue.Set(float64(d.QueueLen()))
+	}
 	d.clk.At(completed, func() {
 		if p.done != nil {
 			p.done(completed)

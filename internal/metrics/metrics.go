@@ -73,14 +73,17 @@ func Load(busyStart, busyEnd time.Duration, wall time.Duration) float64 {
 
 // Summary is an order-statistics accumulator for latency-style samples.
 type Summary struct {
-	vals   []float64
-	sorted bool
+	vals []float64
+	// sortedVals caches an ordered copy for Quantile; the raw samples
+	// are never reordered, so Values() and interleaved Add calls can
+	// never observe a half-sorted slice.
+	sortedVals []float64
 }
 
 // Add appends a sample.
 func (s *Summary) Add(v float64) {
 	s.vals = append(s.vals, v)
-	s.sorted = false
+	s.sortedVals = nil
 }
 
 // AddDuration appends a duration sample in seconds.
@@ -128,18 +131,19 @@ func (s *Summary) Quantile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Float64s(s.vals)
-		s.sorted = true
+	if s.sortedVals == nil {
+		s.sortedVals = make([]float64, len(s.vals))
+		copy(s.sortedVals, s.vals)
+		sort.Float64s(s.sortedVals)
 	}
 	idx := int(math.Ceil(p*float64(len(s.vals)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s.vals) {
-		idx = len(s.vals) - 1
+	if idx >= len(s.sortedVals) {
+		idx = len(s.sortedVals) - 1
 	}
-	return s.vals[idx]
+	return s.sortedVals[idx]
 }
 
 // CountAbove returns how many samples exceed v.

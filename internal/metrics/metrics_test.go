@@ -199,3 +199,61 @@ func TestHistogramBadBoundsPanic(t *testing.T) {
 	}()
 	NewHistogram(time.Second, time.Second)
 }
+
+func TestQuantileDoesNotReorderValues(t *testing.T) {
+	// Regression: Quantile used to sort the sample slice in place, so
+	// Values() (or anything diffing the raw samples) interleaved with
+	// Quantile calls could observe a reordered — or mid-sort — slice.
+	var s Summary
+	in := []float64{5, 1, 4, 2, 3}
+	for _, v := range in {
+		s.Add(v)
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("median %v", q)
+	}
+	got := s.Values()
+	for i, v := range in {
+		if got[i] != v {
+			t.Fatalf("Quantile reordered samples: got %v, want %v", got, in)
+		}
+	}
+	// Interleaved Add invalidates the cached order.
+	s.Add(0)
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("p0 after interleaved Add = %v, want 0", q)
+	}
+	if got := s.Values(); got[len(got)-1] != 0 {
+		t.Fatalf("insertion order lost: %v", got)
+	}
+}
+
+func TestHistogramOverflowBoundary(t *testing.T) {
+	h := NewHistogram(time.Second)
+	h.Observe(time.Second)                   // inclusive upper bound: in-range
+	h.Observe(time.Second + time.Nanosecond) // one past the bound: overflow
+	h.Observe(time.Hour)                     // deep overflow
+	b := h.Buckets()
+	if b[0].Count != 1 {
+		t.Fatalf("bound bucket %d, want 1 (upper bounds are inclusive)", b[0].Count)
+	}
+	if b[1].Count != 2 {
+		t.Fatalf("overflow bucket %d, want 2", b[1].Count)
+	}
+	if h.Max() != time.Hour {
+		t.Fatalf("max %v", h.Max())
+	}
+}
+
+func TestLoadClampsExactlyAtOne(t *testing.T) {
+	// busy == wall is 100% exactly; a hair over must clamp back to 1.0.
+	if l := Load(0, time.Second, time.Second); l != 1 {
+		t.Fatalf("load %v, want exactly 1", l)
+	}
+	if l := Load(0, time.Second+time.Nanosecond, time.Second); l != 1 {
+		t.Fatalf("load %v, want clamp to 1", l)
+	}
+	if l := Load(0, time.Second-time.Nanosecond, time.Second); l >= 1 {
+		t.Fatalf("load %v, want < 1", l)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"tiger/internal/clock"
 	"tiger/internal/msg"
+	"tiger/internal/obs"
 	"tiger/internal/sim"
 )
 
@@ -81,6 +82,11 @@ type nodeStats struct {
 	ctlMsgs   int64
 	dataBytes int64
 
+	// Registry mirrors of the counters above; nil without AttachObs.
+	obsCtlBytes  *obs.Counter
+	obsCtlMsgs   *obs.Counter
+	obsDataBytes *obs.Counter
+
 	// NIC occupancy accounting: integrate active send rate over time.
 	activeRate float64 // bytes/s currently being sent
 	lastChange sim.Time
@@ -101,6 +107,7 @@ type Network struct {
 	incarn  map[msg.NodeID]int // bumped by Crash; dooms in-flight messages
 	lastArr map[pairKey]sim.Time
 	stats   map[msg.NodeID]*nodeStats
+	reg     *obs.Registry // nil without AttachObs
 
 	// DropControl, if non-nil, is consulted for each control message;
 	// returning true drops it. Used by fault-injection tests only — the
@@ -129,7 +136,40 @@ func (n *Network) Register(id msg.NodeID, h Handler) {
 		panic(fmt.Sprintf("netsim: node %v registered twice", id))
 	}
 	n.nodes[id] = h
-	n.stats[id] = &nodeStats{lastChange: n.clk.Now()}
+	n.statsFor(id)
+}
+
+// AttachObs registers per-node traffic counters (labelled by node) with
+// the registry, for the switch's already-registered nodes and any that
+// appear later. The simulator's control path pays one CAS per message.
+func (n *Network) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.reg = reg
+	for id, st := range n.stats {
+		n.attachNodeObs(id, st)
+	}
+}
+
+func (n *Network) attachNodeObs(id msg.NodeID, st *nodeStats) {
+	ls := obs.Labels{"node": id.String()}
+	st.obsCtlBytes = n.reg.Counter("tiger_net_ctl_bytes_total", "Control bytes sent by the node.", ls)
+	st.obsCtlMsgs = n.reg.Counter("tiger_net_ctl_msgs_total", "Control messages sent by the node.", ls)
+	st.obsDataBytes = n.reg.Counter("tiger_net_data_bytes_total", "Block payload bytes sent by the node.", ls)
+}
+
+// statsFor returns (creating if needed) a node's traffic record.
+func (n *Network) statsFor(id msg.NodeID) *nodeStats {
+	st := n.stats[id]
+	if st == nil {
+		st = &nodeStats{lastChange: n.clk.Now()}
+		n.stats[id] = st
+		if n.reg != nil {
+			n.attachNodeObs(id, st)
+		}
+	}
+	return st
 }
 
 // RegisterViewer attaches a viewer endpoint.
@@ -176,11 +216,7 @@ func (n *Network) latency() time.Duration {
 // Send delivers a control message from one node to another, reliably and
 // in order with respect to other messages on the same (from, to) pair.
 func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
-	st := n.stats[from]
-	if st == nil {
-		st = &nodeStats{lastChange: n.clk.Now()}
-		n.stats[from] = st
-	}
+	st := n.statsFor(from)
 	if n.failed[from] || n.failed[to] {
 		return
 	}
@@ -189,6 +225,10 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 	}
 	st.ctlBytes += int64(m.Size())
 	st.ctlMsgs++
+	if st.obsCtlMsgs != nil {
+		st.obsCtlBytes.Add(float64(m.Size()))
+		st.obsCtlMsgs.Inc()
+	}
 
 	arrive := n.clk.Now().Add(n.latency())
 	key := pairKey{from, to}
@@ -220,12 +260,11 @@ func (n *Network) SendBlock(from msg.NodeID, d BlockDelivery, pace time.Duration
 	if n.failed[from] {
 		return
 	}
-	st := n.stats[from]
-	if st == nil {
-		st = &nodeStats{lastChange: n.clk.Now()}
-		n.stats[from] = st
-	}
+	st := n.statsFor(from)
 	st.dataBytes += d.Bytes
+	if st.obsDataBytes != nil {
+		st.obsDataBytes.Add(float64(d.Bytes))
+	}
 
 	rate := float64(d.Bytes) / pace.Seconds()
 	n.nicAdjust(st, +rate)

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tiger/internal/sim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tiger_test_total", "help", Labels{"cub": "0"})
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	// Same name+labels returns the same instrument.
+	if again := r.Counter("tiger_test_total", "help", Labels{"cub": "0"}); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("tiger_test_gauge", "", nil)
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tiger_test_seconds", "", nil, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	counts, sum, n := h.snapshot()
+	if n != 5 {
+		t.Fatalf("count = %d, want 5", n)
+	}
+	if sum != 555.55 {
+		t.Fatalf("sum = %v, want 555.55", sum)
+	}
+	// 0.05 -> le=0.1, 0.5 -> le=1, 5 -> le=10, 50 and 500 -> overflow.
+	want := []uint64{1, 1, 1, 2}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+}
+
+func TestPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tiger_cub_inserts_total", "Slot insertions.", Labels{"cub": "1"}).Add(7)
+	r.Counter("tiger_cub_inserts_total", "Slot insertions.", Labels{"cub": "0"}).Add(3)
+	r.Gauge("tiger_view_entries", "", Labels{"cub": "0"}).Set(12)
+	r.GaugeFunc("tiger_up", "", nil, func() float64 { return 1 })
+	h := r.Histogram("tiger_lat_seconds", "", nil, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP tiger_cub_inserts_total Slot insertions.",
+		"# TYPE tiger_cub_inserts_total counter",
+		`tiger_cub_inserts_total{cub="0"} 3`,
+		`tiger_cub_inserts_total{cub="1"} 7`,
+		"# TYPE tiger_lat_seconds histogram",
+		`tiger_lat_seconds_bucket{le="1"} 1`,
+		`tiger_lat_seconds_bucket{le="2"} 2`,
+		`tiger_lat_seconds_bucket{le="+Inf"} 3`,
+		"tiger_lat_seconds_sum 11",
+		"tiger_lat_seconds_count 3",
+		`tiger_view_entries{cub="0"} 12`,
+		"tiger_up 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("encoding missing %q:\n%s", want, out)
+		}
+	}
+	// Series within a family must be label-sorted.
+	if strings.Index(out, `cub="0"`) > strings.Index(out, `cub="1"`) {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+}
+
+func TestSnapshotJSONL(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tiger_a_total", "", Labels{"cub": "0"}).Add(4)
+	r.Histogram("tiger_b_seconds", "", nil, []float64{1}).Observe(3)
+
+	var b bytes.Buffer
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), b.String())
+	}
+	var p Point
+	if err := json.Unmarshal([]byte(lines[0]), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "tiger_a_total" || p.Value != 4 || p.Labels["cub"] != "0" {
+		t.Fatalf("bad first point: %+v", p)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "tiger_b_seconds" || p.Count != 1 || p.Sum != 3 || len(p.Counts) != 2 || p.Counts[1] != 1 {
+		t.Fatalf("bad histogram point: %+v", p)
+	}
+}
+
+func TestSpanRecorder(t *testing.T) {
+	r := NewRegistry()
+	s := NewSpanRecorder(r, Labels{"cub": "2"})
+	due := sim.Time(2 * time.Second)
+	s.Observe(StageRead, due, sim.Time(1*time.Second)) // +1 s slack
+	s.Observe(StageSend, due, sim.Time(3*time.Second)) // -1 s: missed
+	if got := s.Hist(StageRead).Count(); got != 1 {
+		t.Fatalf("read count = %d, want 1", got)
+	}
+	if got := s.Hist(StageRead).Sum(); got != 1 {
+		t.Fatalf("read slack sum = %v, want 1", got)
+	}
+	if got := s.Hist(StageSend).Sum(); got != -1 {
+		t.Fatalf("send slack sum = %v, want -1", got)
+	}
+	var nilRec *SpanRecorder
+	nilRec.Observe(StageInsert, 0, 0) // must not panic
+}
+
+// TestConcurrentObserveEncode exercises the registry the way the rt
+// runtime does — cub executors updating instruments while the HTTP
+// handler encodes — and relies on `go test -race` to catch races.
+func TestConcurrentObserveEncode(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 4, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("tiger_race_total", "", Labels{"cub": "7"})
+			g := r.Gauge("tiger_race_gauge", "", Labels{"cub": "7"})
+			h := r.Histogram("tiger_race_seconds", "", nil, DefaultSlackBounds)
+			s := NewSpanRecorder(r, Labels{"cub": "7"})
+			for j := 0; j < iters; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j % 13))
+				s.Observe(Stage(j%int(numStages)), sim.Time(j), 0)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := r.Counter("tiger_race_total", "", Labels{"cub": "7"}).Value(); got != workers*iters {
+		t.Fatalf("counter = %v, want %d", got, workers*iters)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tiger_esc_total", "", Labels{"path": `a\b` + "\n" + `"q"`}).Inc()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\\b\n\"q\""`) {
+		t.Fatalf("bad escaping: %s", b.String())
+	}
+	pts := r.Snapshot()
+	if got := pts[0].Labels["path"]; got != `a\b`+"\n"+`"q"` {
+		t.Fatalf("snapshot round-trip = %q", got)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"tiger/internal/sim"
+)
+
+// Stage identifies one point in the lifecycle of a scheduled block:
+// from the viewer's start request, through slot insertion under
+// ownership, the gossiped viewer state arriving at the serving cub, the
+// disk read completing, the network send beginning, to the last byte
+// reaching the client.
+type Stage int
+
+const (
+	// StageInsert is the slot insertion under ownership (§4.1.3); its
+	// deadline is the inserted service's due time.
+	StageInsert Stage = iota
+	// StageState is a viewer state installed into a cub's view; the
+	// protocol guarantees MinVStateLead of slack here (§4.1.1).
+	StageState
+	// StageRead is the disk read completing; slack below zero here is a
+	// guaranteed server-side miss.
+	StageRead
+	// StageSend is the block being handed to the network at its due time.
+	StageSend
+	// StageReceipt is the block's last byte arriving at the client,
+	// measured against the viewer's play deadline.
+	StageReceipt
+
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageInsert:
+		return "insert"
+	case StageState:
+		return "state"
+	case StageRead:
+		return "read"
+	case StageSend:
+		return "send"
+	case StageReceipt:
+		return "receipt"
+	}
+	return "unknown"
+}
+
+// DefaultSlackBounds bracket the deadline-slack distribution: negative
+// buckets are missed deadlines, positive ones are margin. The range
+// covers both demo-scale (250 ms blocks) and paper-scale (1 s blocks)
+// timings.
+var DefaultSlackBounds = []float64{
+	-5, -1, -0.25, -0.05, 0,
+	0.05, 0.25, 1, 2.5, 5, 10, 30,
+}
+
+// SpanRecorder folds block-lifecycle events into per-stage
+// deadline-slack histograms: each observation is (due - now) in
+// seconds, so the distribution directly answers "how much margin did
+// the pipeline have at each stage, and how often did it run negative".
+// Times are sim.Time from the owning node's clock, so the same recorder
+// reports virtual-time slack under the simulator and wall-clock slack
+// under the rt runtime.
+type SpanRecorder struct {
+	hist [numStages]*Histogram
+}
+
+// NewSpanRecorder registers the per-stage histograms under
+// tiger_block_deadline_slack_seconds with the given extra labels.
+func NewSpanRecorder(reg *Registry, ls Labels) *SpanRecorder {
+	s := &SpanRecorder{}
+	for st := Stage(0); st < numStages; st++ {
+		l := Labels{"stage": st.String()}
+		for k, v := range ls {
+			l[k] = v
+		}
+		s.hist[st] = reg.Histogram("tiger_block_deadline_slack_seconds",
+			"Deadline slack (due minus now, seconds) of block-lifecycle stages; negative is a missed deadline.",
+			l, DefaultSlackBounds)
+	}
+	return s
+}
+
+// Observe records that stage st happened at time now for a block due at
+// due. A nil recorder is a no-op, so call sites need no guards.
+func (s *SpanRecorder) Observe(st Stage, due, now sim.Time) {
+	if s == nil {
+		return
+	}
+	s.hist[st].Observe(due.Sub(now).Seconds())
+}
+
+// ObserveSlack records a pre-computed slack in seconds, for callers
+// that measure the margin directly rather than holding (due, now) pairs
+// — the client-side receipt stage. A nil recorder is a no-op.
+func (s *SpanRecorder) ObserveSlack(st Stage, seconds float64) {
+	if s == nil {
+		return
+	}
+	s.hist[st].Observe(seconds)
+}
+
+// Hist exposes one stage's histogram (tests and pretty-printers).
+func (s *SpanRecorder) Hist(st Stage) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.hist[st]
+}

@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"tiger/internal/obs"
+	"tiger/internal/trace"
+)
+
+// DebugConfig describes what a node's debug HTTP listener exposes. Any
+// nil field simply disables the corresponding endpoint.
+type DebugConfig struct {
+	// Registry backs /metrics (Prometheus text format).
+	Registry *obs.Registry
+	// Trace backs /debug/trace (protocol events as JSONL).
+	Trace *trace.Ring
+	// Views backs /debug/vars: named schedule-view dumps, typically
+	// CubHost.DumpView. Each is called with a timeout so a wedged
+	// executor cannot hang the handler.
+	Views map[string]func(timeout time.Duration) (string, error)
+	// Info is echoed verbatim in /healthz (node identity, addresses).
+	Info map[string]string
+}
+
+// DebugServer is a node's debug HTTP listener: /metrics, /healthz,
+// /debug/vars, /debug/trace, and the net/http/pprof suite under
+// /debug/pprof/. It runs on its own mux so nothing leaks onto
+// http.DefaultServeMux.
+type DebugServer struct {
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+}
+
+// StartDebug listens on addr and serves the debug endpoints.
+func StartDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Registry == nil {
+			http.Error(w, "no registry attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := map[string]any{
+			"ok":             true,
+			"uptime_seconds": time.Since(d.started).Seconds(),
+		}
+		for k, v := range cfg.Info {
+			resp[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		names := make([]string, 0, len(cfg.Views))
+		for n := range cfg.Views {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		views := make(map[string]string, len(names))
+		for _, n := range names {
+			s, err := cfg.Views[n](2 * time.Second)
+			if err != nil {
+				s = fmt.Sprintf("error: %v", err)
+			}
+			views[n] = s
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"info": cfg.Info, "views": views})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Trace == nil {
+			http.Error(w, "no trace ring attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		cfg.Trace.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{Handler: mux}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

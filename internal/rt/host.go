@@ -9,6 +9,9 @@ import (
 
 	"tiger/internal/core"
 	"tiger/internal/msg"
+	"tiger/internal/obs"
+	"tiger/internal/sim"
+	"tiger/internal/trace"
 	"tiger/internal/wire"
 )
 
@@ -36,6 +39,73 @@ func StartCubHost(id msg.NodeID, cfg *core.Config, listenAddr string,
 	mesh.SetEpoch(cub.Epoch())
 	node.Do(cub.Start)
 	return &CubHost{Node: node, Mesh: mesh, Cub: cub}, nil
+}
+
+// AttachObs wires the host's cub and mesh to a metrics registry. The
+// cub's instruments are created on its executor, so attachment cannot
+// race protocol events already in flight; the call blocks until done.
+func (h *CubHost) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	done := make(chan struct{})
+	h.Node.Do(func() {
+		h.Cub.AttachObs(reg)
+		close(done)
+	})
+	<-done
+	h.Mesh.AttachObs(reg)
+}
+
+// AttachTrace installs protocol-event hooks feeding the ring, replacing
+// any hooks already set. Events are stamped with the node's wall clock
+// (nanoseconds since the shared epoch), so traces from different nodes
+// of one system line up.
+func (h *CubHost) AttachTrace(ring *trace.Ring) {
+	if ring == nil {
+		return
+	}
+	done := make(chan struct{})
+	h.Node.Do(func() {
+		h.Cub.SetHooks(core.Hooks{
+			OnInsert: func(cubID msg.NodeID, slot int32, inst msg.InstanceID, due sim.Time) {
+				ring.Add(trace.Event{
+					At: h.Node.Now(), Node: cubID, Kind: trace.Insert,
+					Slot: slot, Instance: inst,
+				})
+			},
+			OnServe: func(cubID msg.NodeID, vs msg.ViewerState) {
+				ring.Add(trace.Event{
+					At: h.Node.Now(), Node: cubID, Kind: trace.Serve,
+					Slot: vs.Slot, Instance: vs.Instance, Block: vs.Block,
+					Mirror: vs.Mirror,
+				})
+			},
+			OnMiss: func(cubID msg.NodeID, vs msg.ViewerState) {
+				ring.Add(trace.Event{
+					At: h.Node.Now(), Node: cubID, Kind: trace.Miss,
+					Slot: vs.Slot, Instance: vs.Instance, Block: vs.Block,
+					Mirror: vs.Mirror,
+				})
+			},
+		})
+		close(done)
+	})
+	<-done
+}
+
+// DumpView renders the cub's schedule view, marshalling through the
+// node executor (the view is executor-owned state). The timeout guards
+// HTTP debug handlers against a wedged node.
+func (h *CubHost) DumpView(timeout time.Duration) (string, error) {
+	ch := make(chan string, 1)
+	h.Node.Do(func() { ch <- h.Cub.DumpView() })
+	select {
+	case s := <-ch:
+		return s, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("rt: view dump timed out after %v", timeout)
+	}
 }
 
 // Rejoin runs the cold-restart reintegration protocol on the cub: wipe
@@ -93,6 +163,21 @@ func StartControllerHost(cfg *core.Config, listenAddr string,
 	h.Ctl = core.NewController(cfg, node, mesh)
 	h.Ctl.OnAck = h.onAck
 	return h, nil
+}
+
+// AttachObs wires the controller and its mesh to a metrics registry,
+// blocking until the instruments exist.
+func (h *ControllerHost) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	done := make(chan struct{})
+	h.Node.Do(func() {
+		h.Ctl.AttachObs(reg)
+		close(done)
+	})
+	<-done
+	h.Mesh.AttachObs(reg)
 }
 
 func (h *ControllerHost) handle(from msg.NodeID, m msg.Message) {

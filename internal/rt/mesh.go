@@ -11,6 +11,7 @@ import (
 
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
+	"tiger/internal/obs"
 	"tiger/internal/wire"
 )
 
@@ -129,6 +130,28 @@ func (m *Mesh) Addr() string { return m.ln.Addr().String() }
 // SetEpoch sets the liveness epoch announced in outbound Hellos. Call it
 // whenever the local cub's epoch changes (cold restart).
 func (m *Mesh) SetEpoch(e int32) { m.epoch.Store(e) }
+
+// AttachObs registers the mesh's transport counters with the registry
+// as function-backed series reading the mesh's atomics — safe to scrape
+// from any goroutine while the writer goroutines update them.
+func (m *Mesh) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ls := obs.Labels{"node": m.self.String()}
+	reg.CounterFunc("tiger_mesh_dials_total", "TCP connection attempts.", ls,
+		func() float64 { return float64(m.dials.Load()) })
+	reg.CounterFunc("tiger_mesh_dial_fails_total", "TCP connection attempts that failed.", ls,
+		func() float64 { return float64(m.dialFails.Load()) })
+	reg.CounterFunc("tiger_mesh_reconnects_total", "Successful dials after an established connection was lost.", ls,
+		func() float64 { return float64(m.reconnects.Load()) })
+	reg.CounterFunc("tiger_mesh_queue_drops_total", "Messages dropped because an outbound queue was full.", ls,
+		func() float64 { return float64(m.queueDrops.Load()) })
+	reg.CounterFunc("tiger_mesh_backoff_drops_total", "Messages dropped while a down peer's redial backed off.", ls,
+		func() float64 { return float64(m.backoffDrops.Load()) })
+	reg.GaugeFunc("tiger_mesh_epoch", "Liveness epoch announced in outbound Hellos.", ls,
+		func() float64 { return float64(m.epoch.Load()) })
+}
 
 // Stats returns a snapshot of the mesh's transport counters.
 func (m *Mesh) Stats() MeshStats {

@@ -5,8 +5,13 @@
 package trace
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tiger/internal/msg"
 	"tiger/internal/sim"
@@ -66,12 +71,17 @@ func (e Event) String() string {
 }
 
 // Ring is a fixed-capacity event buffer keeping the most recent events.
-// It is not safe for concurrent use; in the simulator everything is
-// single-threaded, and the rt runtime would wrap it per node.
+// It is safe for concurrent use: under the simulator everything is
+// single-threaded, but in the rt runtime every cub's executor fires
+// hooks in parallel, all appending to one shared ring. The eviction
+// count is kept in an atomic so metrics exporters can read it without
+// taking the lock.
 type Ring struct {
+	mu    sync.Mutex
 	buf   []Event
 	next  int
 	total uint64
+	drops atomic.Uint64 // events evicted by overflow
 }
 
 // NewRing creates a ring holding up to capacity events.
@@ -84,23 +94,41 @@ func NewRing(capacity int) *Ring {
 
 // Add records an event, evicting the oldest when full.
 func (r *Ring) Add(e Event) {
+	r.mu.Lock()
 	r.total++
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
+		r.mu.Unlock()
 		return
 	}
 	r.buf[r.next] = e
 	r.next = (r.next + 1) % cap(r.buf)
+	r.mu.Unlock()
+	r.drops.Add(1)
 }
 
 // Total returns how many events were ever recorded.
-func (r *Ring) Total() uint64 { return r.total }
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events overflow has evicted. It is lock-free
+// so a metrics registry can poll it from any goroutine.
+func (r *Ring) Dropped() uint64 { return r.drops.Load() }
 
 // Len returns how many events are currently retained.
-func (r *Ring) Len() int { return len(r.buf) }
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
 
 // Events returns retained events in chronological order.
 func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Event, 0, len(r.buf))
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
@@ -122,6 +150,40 @@ func (r *Ring) Filter(keep func(Event) bool) []Event {
 // natural question when investigating a suspected conflict.
 func (r *Ring) SlotHistory(slot int32) []Event {
 	return r.Filter(func(e Event) bool { return e.Slot == slot })
+}
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	AtNs     int64  `json:"at_ns"`
+	Node     int32  `json:"node"`
+	Kind     string `json:"kind"`
+	Slot     int32  `json:"slot"`
+	Instance int64  `json:"inst"`
+	Block    int32  `json:"block"`
+	Mirror   bool   `json:"mirror,omitempty"`
+}
+
+// WriteJSONL streams the retained events as one JSON object per line,
+// oldest first — the machine-readable export behind
+// Cluster.ExportEvents and tigerbench's BENCH_* artifacts.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		je := jsonEvent{
+			AtNs:     int64(e.At),
+			Node:     int32(e.Node),
+			Kind:     e.Kind.String(),
+			Slot:     e.Slot,
+			Instance: int64(e.Instance),
+			Block:    e.Block,
+			Mirror:   e.Mirror,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // Dump renders the retained events as text.

@@ -1,9 +1,13 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
+	"tiger/internal/msg"
 	"tiger/internal/sim"
 )
 
@@ -74,5 +78,72 @@ func TestZeroCapacityClamped(t *testing.T) {
 	r.Add(ev(2, 2, Serve))
 	if r.Len() != 1 || r.Events()[0].At != 2 {
 		t.Fatalf("clamped ring kept %d events", r.Len())
+	}
+}
+
+func TestRingConcurrentAdd(t *testing.T) {
+	// The rt runtime shares one ring across every cub executor; run
+	// under -race this verifies Add/Events/Dump are safe in parallel.
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Add(Event{At: sim.Time(i), Node: msg.NodeID(w), Kind: Serve, Slot: int32(i)})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		_ = r.Events()
+		_ = r.Len()
+		_ = r.Dropped()
+	}
+	wg.Wait()
+	if got := r.Total(); got != workers*each {
+		t.Fatalf("total %d, want %d", got, workers*each)
+	}
+	if got := r.Dropped(); got != workers*each-64 {
+		t.Fatalf("dropped %d, want %d", got, workers*each-64)
+	}
+	if r.Len() != 64 {
+		t.Fatalf("retained %d, want 64", r.Len())
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewRing(8)
+	r.Add(Event{At: sim.Time(1e9), Node: 3, Kind: Insert, Slot: 7, Instance: 42, Block: 9})
+	r.Add(Event{At: sim.Time(2e9), Node: 1, Kind: Miss, Slot: 8, Instance: 43, Block: 10, Mirror: true})
+	var b bytes.Buffer
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), b.String())
+	}
+	var e struct {
+		AtNs   int64  `json:"at_ns"`
+		Node   int32  `json:"node"`
+		Kind   string `json:"kind"`
+		Slot   int32  `json:"slot"`
+		Inst   int64  `json:"inst"`
+		Block  int32  `json:"block"`
+		Mirror bool   `json:"mirror"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.AtNs != 1e9 || e.Node != 3 || e.Kind != "insert" || e.Slot != 7 || e.Inst != 42 || e.Block != 9 || e.Mirror {
+		t.Fatalf("bad first line: %+v", e)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != "miss" || !e.Mirror {
+		t.Fatalf("bad second line: %+v", e)
 	}
 }

@@ -95,6 +95,10 @@ type Viewer struct {
 	// client would re-request the stream). Zero disables it.
 	StallThreshold int32
 	OnStalled      func()
+	// OnTimedDelivery reports each verified delivery's margin against
+	// the block's play deadline (positive slack is early arrival). It
+	// fires only once the timeline is anchored by the first block.
+	OnTimedDelivery func(d netsim.BlockDelivery, slack time.Duration)
 }
 
 type partState struct {
@@ -179,6 +183,9 @@ func (v *Viewer) DeliverBlock(d netsim.BlockDelivery) {
 			v.OnFirstBlock(v.firstByteAt.Sub(v.requested))
 		}
 		v.scheduleCheck()
+	}
+	if v.OnTimedDelivery != nil && v.gotFirst {
+		v.OnTimedDelivery(d, v.deadline(d.PlaySeq).Sub(d.LastByte))
 	}
 }
 

@@ -1,12 +1,48 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate:
-#   vet, build everything, the fast test tier, and the race detector on
-#   the packages with real concurrency (the TCP runtime and the protocol
-#   core under its executors).
+#   formatting, vet, build everything, the fast test tier, the race
+#   detector on the packages with real concurrency (the TCP runtime and
+#   the protocol core under its executors), and a tigerd smoke test of
+#   the debug/metrics endpoints.
 set -eux
 cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -short ./...
-go test -race ./internal/rt ./internal/core
+go test -race ./internal/rt ./internal/core ./internal/obs
+
+# Smoke: boot the single-process demo and check the observability
+# surface — /healthz answers, /metrics carries the cub counters and the
+# block-lifecycle slack series, pprof is mounted.
+go build -o /tmp/tigerd.check ./cmd/tigerd
+/tmp/tigerd.check -cubs 4 -listen 127.0.0.1:7400 &
+TIGERD_PID=$!
+trap 'kill $TIGERD_PID 2>/dev/null || true' EXIT
+
+ok=""
+for i in $(seq 1 50); do
+    if curl -fsS http://127.0.0.1:9400/healthz >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$ok" ]
+
+metrics=$(curl -fsS http://127.0.0.1:9400/metrics)
+echo "$metrics" | grep '^tiger_cub_inserts_total' >/dev/null
+echo "$metrics" | grep '^tiger_block_deadline_slack_seconds_bucket' >/dev/null
+curl -fsS http://127.0.0.1:9400/debug/pprof/cmdline >/dev/null
+curl -fsS http://127.0.0.1:9400/debug/vars | grep '"cub0"' >/dev/null
+
+kill $TIGERD_PID
+trap - EXIT
+echo "check.sh: all gates passed"

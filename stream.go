@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/obs"
 	"tiger/internal/viewer"
 )
 
@@ -55,6 +57,15 @@ func (c *Cluster) Play(file msg.FileID, startBlock int32) (*Stream, error) {
 	v.OnFirstBlock = func(lat time.Duration) {
 		c.StartupLatency.AddDuration(lat)
 		c.StartupPoints = append(c.StartupPoints, StartupPoint{Load: loadAtRequest, Latency: lat})
+	}
+	// Close the block-lifecycle span at the client: margin of each
+	// delivered piece against the viewer's play deadline, recorded under
+	// the serving cub's label so per-cub receipt slack is comparable with
+	// its insert/state/read/send stages.
+	v.OnTimedDelivery = func(d netsim.BlockDelivery, slack time.Duration) {
+		if i := int(d.From); i >= 0 && i < len(c.Cubs) {
+			c.Cubs[i].Spans().ObserveSlack(obs.StageReceipt, slack.Seconds())
+		}
 	}
 	v.OnDone = func() {
 		if s.done {

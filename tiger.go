@@ -31,8 +31,10 @@ import (
 	"tiger/internal/metrics"
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
+	"tiger/internal/obs"
 	"tiger/internal/schedule"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 	"tiger/internal/viewer"
 )
 
@@ -128,6 +130,8 @@ type Cluster struct {
 
 	capacity disk.Capacity
 	rng      *rand.Rand
+	reg      *obs.Registry
+	ring     *trace.Ring // nil until EnableTrace
 
 	machines   []*viewer.Machine
 	streams    map[msg.InstanceID]*Stream
@@ -225,12 +229,16 @@ func New(o Options) (*Cluster, error) {
 		oracle:         newSlotOracle(),
 	}
 
+	c.reg = obs.NewRegistry()
 	c.Controller = core.NewController(cfg, clk, net)
+	c.Controller.AttachObs(c.reg)
 	net.Register(msg.Controller, c.Controller)
+	net.AttachObs(c.reg)
 	for i := 0; i < o.Cubs; i++ {
 		cub := core.NewCub(msg.NodeID(i), cfg, clk, net, net, eng.Rand())
 		cub.SetLossLog(c.Loss)
 		cub.SetHooks(core.Hooks{OnInsert: c.onInsertOracle})
+		cub.AttachObs(c.reg)
 		net.Register(msg.NodeID(i), cub)
 		c.Cubs = append(c.Cubs, cub)
 	}
@@ -239,6 +247,12 @@ func New(o Options) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// Registry exposes the cluster's metrics registry: every cub, disk,
+// controller, and network instrument, plus the block-lifecycle
+// deadline-slack histograms. Encode it with WritePrometheus or
+// WriteJSONL, or read individual series in tests.
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
 
 // Capacity returns the planned whole-system stream capacity (602 in the
 // default configuration).
