@@ -24,10 +24,12 @@ import (
 	"time"
 
 	"tiger"
+	"tiger/internal/sim"
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|all")
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
+	parallel = flag.Int("parallel", 1, "worker-pool width for multi-point sweeps (0 = GOMAXPROCS); results are identical at any width")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
 	seed     = flag.Int64("seed", 1, "workload seed")
@@ -101,6 +103,7 @@ func f1(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 
 func main() {
 	flag.Parse()
+	tiger.SetSweepParallelism(*parallel)
 	o := tiger.DefaultOptions()
 	o.Seed = *seed
 	if !*clients {
@@ -127,6 +130,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	// baseline re-runs fig8 and loss for its headline numbers, so it is
+	// only available explicitly, never as part of -exp all.
+	if *expFlag == "baseline" {
+		run("baseline", func() error { return baseline(o, ramp, lossHold) })
+		return
 	}
 
 	run("capacity", func() error { return capacity(o) })
@@ -219,6 +229,87 @@ func flash(o tiger.Options) error {
 		res.MeanDiskDuty*100, res.MaxDiskDuty*100)
 	fmt.Printf("  blocks           : %d delivered, %d lost\n", res.BlocksOK, res.BlocksLost)
 	return writeJSON("flash", res)
+}
+
+// BaselineResult is the committed performance envelope of a revision:
+// the Figure 8 full-load headline factors, both §5 loss-rate scenarios,
+// and the raw event-engine cost. Regenerate with
+// `tigerbench -exp baseline -out .` and diff against BENCH_seed.json.
+type BaselineResult struct {
+	Seed           int64
+	Capacity       int
+	FullLoadCubCPU float64
+	FullLoadCtrl   float64
+	FullLoadCtlBps float64
+	BlocksOK       int64
+	BlocksLost     int64
+	Violations     int
+	Loss           []tiger.LossRateResult
+	EngineEvents   int
+	EngineNsPerEv  float64
+}
+
+// engineNsPerEvent measures the raw sim-engine overhead with a
+// self-perpetuating cascade (the shape of BenchmarkEventCascade), in
+// wall-clock nanoseconds per event.
+func engineNsPerEvent(events int) float64 {
+	e := sim.New(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < events {
+			e.After(time.Microsecond, step)
+		}
+	}
+	start := time.Now()
+	e.After(0, step)
+	e.Run()
+	return float64(time.Since(start).Nanoseconds()) / float64(events)
+}
+
+// baseline captures the headline metrics committed as BENCH_seed.json.
+func baseline(o tiger.Options, ramp tiger.RampSpec, hold time.Duration) error {
+	header("Baseline capture: Figure 8 headline + loss rates + engine cost",
+		"the numbers future revisions are diffed against")
+	fig8, err := tiger.RunFigure8(o, ramp)
+	if err != nil {
+		return err
+	}
+	loss, err := tiger.RunLossRates(o, hold)
+	if err != nil {
+		return err
+	}
+	res := BaselineResult{
+		Seed:         o.Seed,
+		Capacity:     fig8.Capacity,
+		BlocksOK:     fig8.BlocksOK,
+		BlocksLost:   fig8.BlocksLost,
+		Violations:   fig8.Violations,
+		Loss:         loss,
+		EngineEvents: 2_000_000,
+	}
+	last := fig8.Samples[len(fig8.Samples)-1]
+	res.FullLoadCubCPU = last.CubCPU
+	res.FullLoadCtrl = last.CtrlCPU
+	res.FullLoadCtlBps = last.CtlTrafficBps
+	engineNsPerEvent(res.EngineEvents / 10) // warm up
+	res.EngineNsPerEv = engineNsPerEvent(res.EngineEvents)
+	fmt.Printf("  capacity       : %d streams\n", res.Capacity)
+	fmt.Printf("  full load      : cub CPU %.1f%%, ctrl %.2f%%, ctl %.1f KB/s\n",
+		res.FullLoadCubCPU*100, res.FullLoadCtrl*100, res.FullLoadCtlBps/1e3)
+	fmt.Printf("  blocks         : %d ok, %d lost, %d conflicts\n",
+		res.BlocksOK, res.BlocksLost, res.Violations)
+	for _, r := range res.Loss {
+		rate := "lossless"
+		if r.LossRate > 0 {
+			rate = fmt.Sprintf("1 in %.0f", r.LossRate)
+		}
+		fmt.Printf("  loss           : %-28s %s\n", r.Name, rate)
+	}
+	fmt.Printf("  engine         : %.1f ns/event over %d events\n",
+		res.EngineNsPerEv, res.EngineEvents)
+	return writeJSON("seed", res)
 }
 
 func header(title, paperSays string) {

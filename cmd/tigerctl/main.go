@@ -147,15 +147,12 @@ func main() {
 		select {
 		case a := <-acks:
 			mu.Lock()
-			for _, vs := range states {
-				if vs.inst.Load() == 0 {
-					vs.inst.Store(int64(a.Instance))
-					break
-				}
+			if vs := states[a.Viewer]; vs != nil {
+				vs.inst.Store(int64(a.Instance))
 			}
 			mu.Unlock()
 			instances = append(instances, a.Instance)
-			log.Printf("start acked: instance %d slot %d", a.Instance, a.Slot)
+			log.Printf("start acked: viewer %d instance %d slot %d", a.Viewer, a.Instance, a.Slot)
 			pending--
 		case <-timeout:
 			log.Fatalf("timed out waiting for %d start acks", pending)

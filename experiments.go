@@ -201,18 +201,20 @@ type LossRateResult struct {
 // two experiments: ~1 in 180,000 unfailed; ~1 in 40,000 during the
 // failed-mode hour).
 func RunLossRates(o Options, hold time.Duration) ([]LossRateResult, error) {
-	var out []LossRateResult
-	for _, failed := range []bool{false, true} {
+	modes := []bool{false, true}
+	out := make([]LossRateResult, len(modes))
+	err := forEachPoint(len(modes), func(i int) error {
+		failed := modes[i]
 		c, err := New(o)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if failed {
 			c.FailCub(5)
 			c.RunFor(c.Cfg.DeadmanTimeout + 2*time.Second)
 		}
 		if err := c.RampTo(c.Capacity()); err != nil {
-			return nil, err
+			return err
 		}
 		c.RunFor(90 * time.Second) // let the final insertions land; reach steady state
 		okBase, lostBase, _ := c.ViewerTotals()
@@ -236,7 +238,11 @@ func RunLossRates(o Options, hold time.Duration) ([]LossRateResult, error) {
 		if r.BlocksLost > 0 {
 			r.LossRate = float64(r.BlocksOK+r.BlocksLost) / float64(r.BlocksLost)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -302,25 +308,25 @@ type ScalePoint struct {
 // controller would have to send (one ~100-byte block instruction per
 // block served).
 func RunScalability(o Options, cubCounts []int, settle time.Duration) ([]ScalePoint, error) {
-	var out []ScalePoint
+	out := make([]ScalePoint, len(cubCounts))
 	vsSize := (&msg.ViewerState{}).Size()
-	for _, n := range cubCounts {
+	err := forEachPoint(len(cubCounts), func(i int) error {
 		oo := o
-		oo.Cubs = n
+		oo.Cubs = cubCounts[i]
 		c, err := New(oo)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		target := c.Capacity() * 7 / 10
 		if err := c.RampTo(target); err != nil {
-			return nil, err
+			return err
 		}
 		c.RunFor(settle)
 		sampler := NewSampler(c)
 		c.RunFor(settle)
 		s := sampler.Sample()
-		out = append(out, ScalePoint{
-			Cubs:            n,
+		out[i] = ScalePoint{
+			Cubs:            cubCounts[i],
 			Streams:         c.Active(),
 			PerCubCtlBps:    s.CtlTrafficBps,
 			CentralizedBps:  float64(c.Active()) * float64(vsSize) / c.Cfg.Sched.BlockPlay.Seconds(),
@@ -328,7 +334,11 @@ func RunScalability(o Options, cubCounts []int, settle time.Duration) ([]ScalePo
 			ControllerLoad:  s.CtrlCPU,
 			MeanCubCPU:      s.CubCPU,
 			SchedulerEvents: c.TotalCubStats().Inserts,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -392,17 +402,17 @@ type DeclusterPoint struct {
 // trade-off between failover bandwidth reservation and vulnerability,
 // plus measured failed-mode disk duty.
 func RunAblationDecluster(o Options, factors []int, hold time.Duration) ([]DeclusterPoint, error) {
-	var out []DeclusterPoint
-	for _, dc := range factors {
+	out := make([]DeclusterPoint, len(factors))
+	err := forEachPoint(len(factors), func(i int) error {
 		oo := o
-		oo.Decluster = dc
+		oo.Decluster = factors[i]
 		oo.ClientDropProb = 0
 		c, err := New(oo)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := DeclusterPoint{
-			Decluster:        dc,
+			Decluster:        factors[i],
 			Capacity:         c.Capacity(),
 			ReservedFraction: c.Cfg.Layout.FailoverBandwidthFraction(),
 			VulnerableSpan:   c.Cfg.Layout.VulnerabilitySpan(),
@@ -413,14 +423,18 @@ func RunAblationDecluster(o Options, factors []int, hold time.Duration) ([]Declu
 		sampler.MirrorCub = 6
 		sampler.ProbeCub = 6
 		if err := c.RampTo(c.Capacity()); err != nil {
-			return nil, err
+			return err
 		}
 		sampler.Sample() // discard the ramp window; measure steady state
 		c.RunFor(hold)
 		s := sampler.Sample()
 		p.MirrorDiskLoad = s.MirrorDiskLoad
 		_, p.BlocksLost, _ = c.ViewerTotals()
-		out = append(out, p)
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -437,18 +451,19 @@ type LeadPoint struct {
 // RunAblationLead sweeps min/maxVStateLead, showing the batching-versus-
 // state-size trade-off of §4.1.1.
 func RunAblationLead(o Options, pairs [][2]time.Duration, hold time.Duration) ([]LeadPoint, error) {
-	var out []LeadPoint
-	for _, pr := range pairs {
+	out := make([]LeadPoint, len(pairs))
+	err := forEachPoint(len(pairs), func(i int) error {
+		pr := pairs[i]
 		oo := o
 		oo.MinVStateLead = pr[0]
 		oo.MaxVStateLead = pr[1]
 		oo.ClientDropProb = 0
 		c, err := New(oo)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := c.RampTo(c.Capacity() * 8 / 10); err != nil {
-			return nil, err
+			return err
 		}
 		c.RunFor(15 * time.Second)
 		before := c.Net.NodeStats(0)
@@ -457,14 +472,18 @@ func RunAblationLead(o Options, pairs [][2]time.Duration, hold time.Duration) ([
 		after := c.Net.NodeStats(0)
 		wall := c.Now().Sub(beforeAt).Seconds()
 		_, lost, _ := c.ViewerTotals()
-		out = append(out, LeadPoint{
+		out[i] = LeadPoint{
 			MinLead:        pr[0],
 			MaxLead:        pr[1],
 			CtlMsgsPerSec:  float64(after.CtlMsgs-before.CtlMsgs) / wall,
 			CtlBps:         float64(after.CtlBytes-before.CtlBytes) / wall,
 			MaxViewEntries: c.MaxViewSize(),
 			BlocksLost:     lost,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -483,11 +502,12 @@ type FragmentationPoint struct {
 // many streams fit (§3.2: quantizing to blockPlay/decluster keeps
 // fragmentation acceptable).
 func RunAblationFragmentation(cubs int, nicBps int64, quanta []time.Duration, seed int64) ([]FragmentationPoint, error) {
-	var out []FragmentationPoint
-	for _, q := range quanta {
+	out := make([]FragmentationPoint, len(quanta))
+	err := forEachPoint(len(quanta), func(pi int) error {
+		q := quanta[pi]
 		s, err := netsched.New(cubs, time.Second, nicBps)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rng := newDetRand(seed)
 		admitted := 0
@@ -514,12 +534,16 @@ func RunAblationFragmentation(cubs int, nicBps int64, quanta []time.Duration, se
 			}
 			admitted++
 		}
-		out = append(out, FragmentationPoint{
+		out[pi] = FragmentationPoint{
 			Quantum:       q,
 			Admitted:      admitted,
 			Utilization:   s.Utilization(),
 			Fragmentation: s.FragmentationLoss(2_000_000, 10*time.Millisecond),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

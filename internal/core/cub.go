@@ -142,6 +142,14 @@ type Cub struct {
 	recovery      *metrics.Histogram
 
 	fwdPending map[msg.NodeID][]msg.Message // batch under assembly
+	// Scratch slices recycled across the periodic forwarding path, so
+	// the per-tick collect/sort and per-flush target ordering allocate
+	// nothing in steady state. The queued message slices themselves are
+	// NOT recycled: a dispatched Batch travels the transport (in flight
+	// in the simulator, or queued on a mesh writer) after flushForwards
+	// returns, so reusing them would corrupt in-flight batches.
+	fwdDueScratch    []entryKey
+	fwdTargetScratch []msg.NodeID
 
 	bufBytes int64 // block buffers currently held
 

@@ -429,7 +429,7 @@ func (c *Cub) forwardTick() {
 	bp := int64(c.cfg.Sched.BlockPlay)
 	// Collect then sort so runs are deterministic: Go map iteration
 	// order would otherwise make batch composition vary between runs.
-	var due []entryKey
+	due := c.fwdDueScratch[:0]
 	for k, e := range c.entries {
 		if e.forwarded || e.vs.Mirror {
 			continue
@@ -445,6 +445,7 @@ func (c *Cub) forwardTick() {
 		e.forwarded = true
 		c.forwardEntryNow(e.vs)
 	}
+	c.fwdDueScratch = due // keep the grown backing array for the next tick
 	c.flushForwards()
 	c.clk.After(c.cfg.ForwardInterval, c.forwardTick)
 }
@@ -517,11 +518,12 @@ func (c *Cub) flushForwards() {
 	if len(c.fwdPending) == 0 {
 		return
 	}
-	targets := make([]msg.NodeID, 0, len(c.fwdPending))
+	targets := c.fwdTargetScratch[:0]
 	for to := range c.fwdPending {
 		targets = append(targets, to)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	c.fwdTargetScratch = targets
 	for _, to := range targets {
 		msgs := c.fwdPending[to]
 		if len(msgs) == 0 {

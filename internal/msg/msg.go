@@ -524,9 +524,20 @@ func Append(b []byte, m Message) []byte {
 	return m.encode(b)
 }
 
-// Encode returns the full encoding of m.
+// AppendEncode encodes m into a caller-supplied buffer, appending the
+// full encoding (type tag plus body) and returning the extended slice.
+// It is the zero-allocation counterpart of Encode: pass a recycled
+// buffer truncated to length zero and no garbage is produced once the
+// buffer has grown to the working-set frame size. The hot transport
+// paths (wire.Conn, the cubs' batch forwarding) route through it.
+func AppendEncode(b []byte, m Message) []byte {
+	return Append(b, m)
+}
+
+// Encode returns the full encoding of m in a freshly allocated buffer.
+// Steady-state paths should prefer AppendEncode with a reused buffer.
 func Encode(m Message) []byte {
-	return Append(make([]byte, 0, m.Size()), m)
+	return AppendEncode(make([]byte, 0, m.Size()), m)
 }
 
 // Consume decodes one message from the front of b, returning the message

@@ -173,3 +173,28 @@ func TestTypeString(t *testing.T) {
 		t.Error("unknown type should format numerically")
 	}
 }
+
+// TestCodecAllocBudget is the allocation budget of the codec hot path:
+// encoding a ViewerState into a recycled buffer must be allocation-free,
+// and decoding one must allocate only the message value itself.
+func TestCodecAllocBudget(t *testing.T) {
+	vs := &ViewerState{Viewer: 7, Instance: 99, File: 4, Block: 1234,
+		Slot: 17, PlaySeq: 55, Due: 1234567890, Bitrate: 2_000_000, Epoch: 3}
+	buf := make([]byte, 0, vs.Size())
+	if a := testing.AllocsPerRun(200, func() {
+		buf = AppendEncode(buf[:0], vs)
+	}); a != 0 {
+		t.Errorf("AppendEncode of ViewerState allocated %.1f/op, want 0", a)
+	}
+	if len(buf) != vs.Size() {
+		t.Fatalf("encoded %d bytes, Size says %d", len(buf), vs.Size())
+	}
+	enc := Encode(vs)
+	if a := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 1 {
+		t.Errorf("Decode of ViewerState allocated %.1f/op, want <= 1 (the message value)", a)
+	}
+}

@@ -141,8 +141,14 @@ type ControllerHost struct {
 	Ctl  *core.Controller
 
 	mu        sync.Mutex
-	ackAddrs  map[msg.InstanceID]string
+	ackAddrs  map[msg.InstanceID]ackRoute
 	epochUnix int64
+}
+
+// ackRoute remembers where (and for whom) a pending start's ack goes.
+type ackRoute struct {
+	addr   string
+	viewer msg.ViewerID
 }
 
 // StartControllerHost builds and starts the controller.
@@ -151,7 +157,7 @@ func StartControllerHost(cfg *core.Config, listenAddr string,
 	node := NewNode(epoch)
 	h := &ControllerHost{
 		Node:      node,
-		ackAddrs:  make(map[msg.InstanceID]string),
+		ackAddrs:  make(map[msg.InstanceID]ackRoute),
 		epochUnix: epoch.UnixNano(),
 	}
 	mesh, err := NewMesh(msg.Controller, node, listenAddr, addrs, h.handle)
@@ -196,7 +202,7 @@ func (h *ControllerHost) handleClient(m msg.Message) {
 			return // the client times out; admission refusals are silent here
 		}
 		h.mu.Lock()
-		h.ackAddrs[inst] = DecodeAddr(t.Addr)
+		h.ackAddrs[inst] = ackRoute{addr: DecodeAddr(t.Addr), viewer: t.Viewer}
 		h.mu.Unlock()
 	case *msg.Deschedule:
 		h.Ctl.StopPlay(t.Instance)
@@ -210,13 +216,13 @@ func (h *ControllerHost) handleClient(m msg.Message) {
 
 func (h *ControllerHost) onAck(inst msg.InstanceID, slot int32, waited time.Duration) {
 	h.mu.Lock()
-	addr := h.ackAddrs[inst]
+	rt := h.ackAddrs[inst]
 	delete(h.ackAddrs, inst)
 	h.mu.Unlock()
-	if addr == "" {
+	if rt.addr == "" {
 		return
 	}
-	h.Mesh.viewerPeer(addr).send(&msg.StartAck{Instance: inst, Slot: slot}, h.Mesh)
+	h.Mesh.viewerPeer(rt.addr).send(&msg.StartAck{Viewer: rt.viewer, Instance: inst, Slot: slot}, h.Mesh)
 }
 
 // Close stops the controller host.

@@ -153,19 +153,28 @@ func (p Params) OwnershipWindow(due sim.Time) (open, close sim.Time) {
 // OwnerAt returns which disk (if any) owns slot at time t, and the due
 // time of the service the ownership precedes. ok is false when the slot
 // is unowned at t.
+//
+// Closed form, O(1) in the number of disks: disk d's time-to-service of
+// the slot is delta_d = (slotStart - t + d·blockPlay) mod cycle, an
+// arithmetic progression in d with step blockPlay, so exactly one disk
+// has delta in the length-blockPlay window (SchedLead-blockPlay,
+// SchedLead]. Solving delta_d = SchedLead - s with s in [0, blockPlay)
+// gives d = floor(y/blockPlay) and s = y mod blockPlay for
+// y = (t + SchedLead - slotStart) mod cycle; the slot is owned iff the
+// pointer is within OwnDur of the window opening, i.e. s < OwnDur.
 func (p Params) OwnerAt(slot int32, t sim.Time) (disk int, due sim.Time, ok bool) {
-	// The pointer at offset slotStart-SchedLead+x (x in [0,OwnDur))
-	// belongs to exactly one disk; find it.
+	bp := int64(p.BlockPlay)
 	slotStart := int64(slot) * int64(p.BlockService)
-	cycle := int64(p.CycleLen())
-	for d := 0; d < p.NumDisks; d++ {
-		off := int64(p.PointerOffset(d, t))
-		delta := mod(slotStart-off, cycle) // time until d's pointer reaches the slot
-		if delta > int64(p.SchedLead)-int64(p.OwnDur) && delta <= int64(p.SchedLead) {
-			return d, t.Add(time.Duration(delta)), true
-		}
+	y := mod(int64(t)+int64(p.SchedLead)-slotStart, int64(p.CycleLen()))
+	d := y / bp
+	s := y - d*bp // how far the owning pointer is past the window opening
+	// s <= SchedLead keeps the remaining time-to-service non-negative:
+	// when OwnDur exceeds SchedLead the window would otherwise reach past
+	// the service time itself, which ownership never does.
+	if s >= int64(p.OwnDur) || s > int64(p.SchedLead) {
+		return 0, 0, false
 	}
-	return 0, 0, false
+	return int(d), t.Add(time.Duration(int64(p.SchedLead) - s)), true
 }
 
 // NextOwnership returns the first time >= after at which disk owns slot,

@@ -249,3 +249,86 @@ func TestQuickServiceTimeUnique(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ownerAtScan is the pre-optimization O(numDisks) reference: scan every
+// disk's pointer for one inside the slot's ownership window. Kept here to
+// cross-check the closed-form OwnerAt.
+func ownerAtScan(p Params, slot int32, t sim.Time) (int, sim.Time, bool) {
+	slotStart := int64(slot) * int64(p.BlockService)
+	cycle := int64(p.CycleLen())
+	for d := 0; d < p.NumDisks; d++ {
+		off := int64(p.PointerOffset(d, t))
+		delta := mod(slotStart-off, cycle) // time until d's pointer reaches the slot
+		if delta > int64(p.SchedLead)-int64(p.OwnDur) && delta <= int64(p.SchedLead) {
+			return d, t.Add(time.Duration(delta)), true
+		}
+	}
+	return 0, 0, false
+}
+
+// TestOwnerAtClosedForm cross-checks the O(1) OwnerAt against the linear
+// scan over a dense (slot, t) grid on several geometries, including ones
+// whose service-time rounding leaves a dead zone and one whose ownership
+// window spans the whole block play time.
+func TestOwnerAtClosedForm(t *testing.T) {
+	mk := func(bp time.Duration, disks, slots int, mut func(*Params)) Params {
+		p, err := NewParams(bp, disks, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mut != nil {
+			mut(&p)
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	geoms := []Params{
+		mk(time.Second, 14, 150, nil),
+		mk(time.Second, 7, 76, nil), // rounding dead zone
+		mk(250*time.Millisecond, 5, 53, nil),
+		mk(time.Second, 4, 40, func(p *Params) { p.OwnDur = p.BlockPlay }), // always-owned edge
+		mk(time.Second, 3, 24, func(p *Params) { p.OwnDur = p.BlockService / 3 }),
+		// SchedLead above one cycle: the scan's window arithmetic wraps
+		// here and goes blind, so this geometry is checked only against
+		// SlotUnderOwnership below.
+		mk(time.Second, 3, 7, func(p *Params) { p.OwnDur = p.BlockService / 3 }),
+	}
+	for gi, p := range geoms {
+		step := p.BlockService / 7 // denser than a slot width, misaligned
+		horizon := sim.Time(2 * p.CycleLen())
+		scanValid := p.SchedLead < p.CycleLen()
+		for slot := int32(0); slot < int32(p.NumSlots); slot += 3 {
+			for at := sim.Time(0); at < horizon; at = at.Add(step) {
+				gd, gdue, gok := p.OwnerAt(slot, at)
+				if scanValid {
+					wd, wdue, wok := ownerAtScan(p, slot, at)
+					if wd != gd || wdue != gdue || wok != gok {
+						t.Fatalf("geom %d slot %d t=%v: scan (%d,%v,%v) != closed form (%d,%v,%v)",
+							gi, slot, at, wd, wdue, wok, gd, gdue, gok)
+					}
+				}
+				if gok && gdue < at {
+					t.Fatalf("geom %d slot %d t=%v: due %v in the past", gi, slot, at, gdue)
+				}
+			}
+		}
+		// The two views of the same hallucinated schedule must agree: if a
+		// disk's pointer is inside a slot's window, OwnerAt must name that
+		// disk and the same due time.
+		for d := 0; d < p.NumDisks; d++ {
+			for at := sim.Time(0); at < horizon; at = at.Add(step) {
+				slot, due, ok := p.SlotUnderOwnership(d, at)
+				if !ok {
+					continue
+				}
+				gd, gdue, gok := p.OwnerAt(slot, at)
+				if !gok || gd != d || gdue != due {
+					t.Fatalf("geom %d: SlotUnderOwnership(%d,%v)=(%d,%v) but OwnerAt says (%d,%v,%v)",
+						gi, d, at, slot, due, gd, gdue, gok)
+				}
+			}
+		}
+	}
+}

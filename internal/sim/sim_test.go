@@ -56,7 +56,7 @@ func TestTimerStop(t *testing.T) {
 func TestStopDuringRun(t *testing.T) {
 	e := New(1)
 	fired := false
-	var tm *Timer
+	var tm Timer
 	e.After(time.Second, func() { tm.Stop() })
 	tm = e.After(2*time.Second, func() { fired = true })
 	e.Run()
@@ -196,6 +196,124 @@ func TestQuickEventOrder(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStaleTimerAfterReuse is the generation-stamp proof: a Timer whose
+// event already fired must report false from Stop and must never cancel
+// an unrelated later event that recycled the same slab record.
+func TestStaleTimerAfterReuse(t *testing.T) {
+	e := New(1)
+	stale := e.After(time.Second, func() {})
+	e.Run() // fires; the record returns to the free list
+
+	// The next schedule reuses the freed slot (LIFO free list).
+	fired := false
+	fresh := e.After(time.Second, func() { fired = true })
+	if fresh.slot != stale.slot {
+		t.Fatalf("free list did not recycle the slot: %d vs %d", fresh.slot, stale.slot)
+	}
+	if stale.Stop() {
+		t.Fatal("stale Stop reported true after its record was recycled")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale Stop cancelled an unrelated event")
+	}
+}
+
+// TestStoppedTimerSlotReuse covers the other recycle path: Stop frees the
+// record, and the stopped handle must stay inert across reuse.
+func TestStoppedTimerSlotReuse(t *testing.T) {
+	e := New(1)
+	a := e.After(time.Second, func() { t.Fatal("stopped event fired") })
+	if !a.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	fired := 0
+	b := e.After(2*time.Second, func() { fired++ })
+	if b.slot != a.slot {
+		t.Fatalf("free list did not recycle the slot: %d vs %d", b.slot, a.slot)
+	}
+	if a.Stop() {
+		t.Fatal("doubly-stopped stale handle reported true")
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("event fired %d times, want 1", fired)
+	}
+	if b.Stop() {
+		t.Fatal("Stop after firing reported true")
+	}
+}
+
+func TestZeroTimerStop(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop reported true")
+	}
+}
+
+// TestStopInterleavedOrdering removes events from the middle of a large
+// heap and checks the survivors still fire in exact (time, seq) order.
+func TestStopInterleavedOrdering(t *testing.T) {
+	e := New(1)
+	var want []int
+	var got []int
+	timers := make([]Timer, 0, 300)
+	for i := 0; i < 300; i++ {
+		i := i
+		// Deliberately colliding times exercise the seq tie-break.
+		at := Time(int64(i%37) * int64(time.Millisecond))
+		timers = append(timers, e.At(at, func() { got = append(got, i) }))
+	}
+	for i, tm := range timers {
+		if i%3 == 1 {
+			if !tm.Stop() {
+				t.Fatalf("Stop on pending timer %d reported false", i)
+			}
+		}
+	}
+	for at := 0; at < 37; at++ {
+		for i := 0; i < 300; i++ {
+			if i%3 != 1 && i%37 == at {
+				want = append(want, i)
+			}
+		}
+	}
+	e.Run()
+	if len(got) != len(want) {
+		t.Fatalf("%d events fired, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+var nop = func() {}
+
+// TestAfterAllocs is the allocation budget of the steady scheduling path:
+// on a warmed engine, a fire-and-forget After (and its Run) must not
+// allocate at all.
+func TestAfterAllocs(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 64; i++ { // warm the slab and heap
+		e.After(time.Duration(i)*time.Microsecond, nop)
+	}
+	e.Run()
+	if a := testing.AllocsPerRun(200, func() {
+		e.After(time.Microsecond, nop)
+		e.Run()
+	}); a != 0 {
+		t.Fatalf("After+Run allocated %.1f/op on a warmed engine, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		tm := e.After(time.Second, nop)
+		tm.Stop()
+	}); a != 0 {
+		t.Fatalf("After+Stop allocated %.1f/op on a warmed engine, want 0", a)
 	}
 }
 

@@ -53,12 +53,21 @@ func ReadMessage(r io.Reader) (msg.Message, error) {
 
 // Conn is a framed, write-locked connection. Reads are not locked; run
 // them from a single reader goroutine.
+//
+// Both directions reuse per-connection scratch buffers, so steady-state
+// sends and receives allocate nothing beyond the decoded message values:
+// the write path encodes into wbuf under the write lock, and the read
+// path reads frame bodies into rbuf, which is safe to recycle because
+// the msg codec never retains the input buffer (every decoder copies
+// what it keeps).
 type Conn struct {
-	c  net.Conn
-	br *bufio.Reader
+	c    net.Conn
+	br   *bufio.Reader
+	rbuf []byte // read scratch; single-reader, grows to the peak frame
 
-	mu sync.Mutex
-	bw *bufio.Writer
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte // write scratch, guarded by mu
 }
 
 // NewConn wraps a net.Conn.
@@ -74,7 +83,17 @@ func NewConn(c net.Conn) *Conn {
 func (c *Conn) Send(m msg.Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteMessage(c.bw, m); err != nil {
+	// The frame header lives in the scratch buffer's first four bytes, so
+	// header plus body go out in one Write with no per-send allocation (a
+	// stack [4]byte would escape through the io.Writer interface).
+	c.wbuf = append(c.wbuf[:0], 0, 0, 0, 0)
+	c.wbuf = msg.AppendEncode(c.wbuf, m)
+	body := len(c.wbuf) - 4
+	if body > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", body)
+	}
+	binary.LittleEndian.PutUint32(c.wbuf[:4], uint32(body))
+	if _, err := c.bw.Write(c.wbuf); err != nil {
 		return err
 	}
 	return c.bw.Flush()
@@ -82,7 +101,25 @@ func (c *Conn) Send(m msg.Message) error {
 
 // Recv reads the next message. Single-reader only.
 func (c *Conn) Recv() (msg.Message, error) {
-	return ReadMessage(c.br)
+	if cap(c.rbuf) < 4 {
+		c.rbuf = make([]byte, 512)
+	}
+	hdr := c.rbuf[:4]
+	if _, err := io.ReadFull(c.br, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	if uint32(cap(c.rbuf)) < n {
+		c.rbuf = make([]byte, n)
+	}
+	body := c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, err
+	}
+	return msg.Decode(body)
 }
 
 // Close closes the underlying connection.

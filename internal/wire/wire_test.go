@@ -128,3 +128,58 @@ func TestConnOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// discardConn satisfies net.Conn for the write path only; Send must
+// never touch the embedded nil Conn's other methods.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestSendAllocBudget pins the transport's steady-state allocation
+// budget: once the connection's scratch buffer has grown to the frame
+// size, Send must not allocate.
+func TestSendAllocBudget(t *testing.T) {
+	conn := NewConn(discardConn{})
+	hb := &msg.Heartbeat{From: 1, Epoch: 2, Now: 3}
+	if err := conn.Send(hb); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		if err := conn.Send(hb); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("Conn.Send allocated %.1f/op on a warmed connection, want 0", a)
+	}
+}
+
+// TestRecvBufferReuse checks that recycling the read scratch buffer can
+// never corrupt an earlier decoded message: decoders must copy anything
+// they keep out of the frame body.
+func TestRecvBufferReuse(t *testing.T) {
+	cl, sv := net.Pipe()
+	defer cl.Close()
+	go func() {
+		conn := NewConn(sv)
+		defer conn.Close()
+		for i := 0; i < 2; i++ {
+			payload := bytes.Repeat([]byte{byte('A' + i)}, 64)
+			if err := conn.Send(&msg.BlockData{Block: int32(i), Bytes: 64, Payload: payload}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	conn := NewConn(cl)
+	first, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil { // overwrites the read scratch
+		t.Fatal(err)
+	}
+	bd := first.(*msg.BlockData)
+	if !bytes.Equal(bd.Payload, bytes.Repeat([]byte{'A'}, 64)) {
+		t.Fatal("first message's payload corrupted by scratch-buffer reuse")
+	}
+}

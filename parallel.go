@@ -1,0 +1,76 @@
+package tiger
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The multi-point experiment sweeps (RunScalability, RunLossRates, the
+// ablations) are embarrassingly parallel: every point builds its own
+// cluster around its own sim.Engine seeded from its own options, shares
+// nothing, and writes only its own result slot. Fanning the points out
+// over a bounded worker pool therefore cannot change any result byte —
+// each point's simulation is a pure function of its options — it only
+// changes how many run at once.
+
+// sweepParallelism is the worker-pool width for sweep fan-out; 1 means
+// fully sequential (the default, and the most debuggable).
+var sweepParallelism int32 = 1
+
+// SetSweepParallelism sets how many sweep points may run concurrently.
+// n <= 0 selects GOMAXPROCS. Results are byte-identical to a sequential
+// run regardless of the setting; tigerbench surfaces this as -parallel.
+func SetSweepParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	atomic.StoreInt32(&sweepParallelism, int32(n))
+}
+
+// SweepParallelism reports the current sweep fan-out width.
+func SweepParallelism() int { return int(atomic.LoadInt32(&sweepParallelism)) }
+
+// forEachPoint runs fn(0..n-1), fanning out over at most
+// SweepParallelism workers. Each fn must write its result into its own
+// pre-sized output slot, which keeps result order — and therefore output
+// bytes — identical to the sequential loop. The returned error is the
+// lowest-indexed one, again matching what sequential execution would
+// have reported first.
+func forEachPoint(n int, fn func(i int) error) error {
+	par := SweepParallelism()
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

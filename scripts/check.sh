@@ -1,9 +1,10 @@
 #!/bin/sh
 # check.sh — the repository's full verification gate:
 #   formatting, vet, build everything, the fast test tier, the race
-#   detector on the packages with real concurrency (the TCP runtime and
-#   the protocol core under its executors), and a tigerd smoke test of
-#   the debug/metrics endpoints.
+#   detector on the packages with real concurrency (the TCP runtime, the
+#   protocol core under its executors, and the event engine that parallel
+#   sweeps instantiate per worker), a single-shot benchmark smoke pass,
+#   and a tigerd smoke test of the debug/metrics endpoints.
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -17,7 +18,11 @@ fi
 go vet ./...
 go build ./...
 go test -short ./...
-go test -race ./internal/rt ./internal/core ./internal/obs
+go test -race ./internal/rt ./internal/core ./internal/obs ./internal/sim
+
+# Bench smoke: compile and single-shot every benchmark so the alloc
+# regression tests and hot-path benches can't silently rot.
+go test -bench=. -benchtime=1x -run='^$' ./...
 
 # Smoke: boot the single-process demo and check the observability
 # surface — /healthz answers, /metrics carries the cub counters and the
