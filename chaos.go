@@ -1,0 +1,388 @@
+package tiger
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/chaos"
+	"tiger/internal/core"
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/sim"
+)
+
+// This file adapts a Cluster to the chaos scenario engine
+// (internal/chaos): the System shim the runner drives, the standard
+// invariant set checked every tick, and the partition-duration sweep
+// behind `tigerbench -exp chaos`.
+
+// chaosSystem adapts *Cluster to chaos.System.
+type chaosSystem struct{ c *Cluster }
+
+func (s chaosSystem) NumCubs() int           { return len(s.c.Cubs) }
+func (s chaosSystem) Net() *netsim.Network   { return s.c.Net }
+func (s chaosSystem) CrashCub(i int)         { s.c.CrashCub(i) }
+func (s chaosSystem) RestartCub(i int)       { s.c.RestartCub(i) }
+func (s chaosSystem) FailCub(i int)          { s.c.FailCub(i) }
+func (s chaosSystem) ReviveCub(i int)        { s.c.ReviveCub(i) }
+func (s chaosSystem) RunFor(d time.Duration) { s.c.RunFor(d) }
+func (s chaosSystem) Now() sim.Time          { return s.c.Now() }
+
+// FailDisk kills the cub's disk-th local drive (0..DisksPerCub-1);
+// chaos scenarios name disks cub-locally so schedules stay valid across
+// layout changes.
+func (s chaosSystem) FailDisk(cub, disk int) {
+	ds := s.c.Cfg.Layout.DisksOfCub(msg.NodeID(cub))
+	s.c.Cubs[cub].FailDisk(ds[disk])
+}
+
+// serveKey identifies one block or mirror-piece service. Exactly one cub
+// may perform each: the slot owner for primaries, the covering disk's
+// cub for mirror pieces. Two cubs serving the same key is the
+// double-service the distributed schedule must never produce.
+type serveKey struct {
+	inst   msg.InstanceID
+	seq    int32
+	mirror bool
+	part   int8
+}
+
+type serveRec struct {
+	by msg.NodeID
+	at sim.Time
+}
+
+// servePruneAfter bounds the serve oracle's memory: duplicate services
+// of one key are near-simultaneous (a mirror piece is due within one
+// block-play of its primary), so records older than this cannot witness
+// a violation any more.
+const servePruneAfter = 10 * time.Second
+
+// ChaosHarness attaches the chaos invariant set to a cluster. It rewires
+// the cubs' hooks (keeping the built-in slot-conflict oracle) to add a
+// double-service oracle, and derives the runner's Invariants from the
+// cluster's counters, baselined at harness creation so earlier history
+// is not re-reported. Close restores the original hooks.
+//
+// EnableTrace and NewChaosHarness both replace the cub hooks wholesale;
+// use one at a time.
+type ChaosHarness struct {
+	c *Cluster
+
+	serves     map[serveKey]serveRec
+	doubles    int
+	lastDouble string
+	reported   int // doubles already surfaced as violations
+
+	baseSlot  int   // oracle violations at harness creation
+	baseState int64 // state conflicts at harness creation
+}
+
+// NewChaosHarness wires the harness into the cluster's hooks.
+func NewChaosHarness(c *Cluster) *ChaosHarness {
+	h := &ChaosHarness{
+		c:         c,
+		serves:    make(map[serveKey]serveRec),
+		baseSlot:  c.InvariantViolations(),
+		baseState: c.TotalCubStats().Conflicts,
+	}
+	for _, cub := range c.Cubs {
+		cub.SetHooks(core.Hooks{OnInsert: c.onInsertOracle, OnServe: h.onServe})
+	}
+	return h
+}
+
+// Close detaches the serve oracle, restoring the cluster's default hooks.
+func (h *ChaosHarness) Close() {
+	for _, cub := range h.c.Cubs {
+		cub.SetHooks(core.Hooks{OnInsert: h.c.onInsertOracle})
+	}
+}
+
+func (h *ChaosHarness) onServe(cub msg.NodeID, vs msg.ViewerState) {
+	k := serveKey{inst: vs.Instance, seq: vs.PlaySeq, mirror: vs.Mirror, part: vs.Part}
+	if prev, ok := h.serves[k]; ok && prev.by != cub {
+		h.doubles++
+		h.lastDouble = fmt.Sprintf("instance %d playseq %d (mirror=%v part %d) served by cub %v and cub %v",
+			vs.Instance, vs.PlaySeq, vs.Mirror, vs.Part, prev.by, cub)
+		return
+	}
+	h.serves[k] = serveRec{by: cub, at: h.c.Now()}
+}
+
+func (h *ChaosHarness) pruneServes() {
+	cut := h.c.Now().Add(-servePruneAfter)
+	for k, r := range h.serves {
+		if r.at < cut {
+			delete(h.serves, k)
+		}
+	}
+}
+
+// DoubleServes returns how many duplicate services the oracle observed.
+func (h *ChaosHarness) DoubleServes() int { return h.doubles }
+
+// Converged reports whether the cluster has returned to a clean steady
+// state: no cub believes any peer dead, and no mirror load covers a cub
+// whose own disks are all healthy. Cubs with genuinely failed disks are
+// excluded — their mirror load is the permanent failed-mode coverage the
+// paper's declustering is for, not residue to drain.
+func (h *ChaosHarness) Converged() bool {
+	for i, cub := range h.c.Cubs {
+		if cub.BelievedDead() != 0 {
+			return false
+		}
+		if cub.FailedDisks() == 0 && h.c.MirrorLoadFor(i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Invariants returns the standard invariant set, baselined now. The
+// counter-backed checks (slot conflicts, state conflicts, double
+// service) report each new event once; the quiet-only checks (mirror
+// conservation, convergence) engage once no fault is outstanding and
+// the scenario's settle period has elapsed.
+func (h *ChaosHarness) Invariants() []chaos.Invariant {
+	c := h.c
+	return []chaos.Invariant{
+		{Name: "slot-conflict", Check: func(bool) error {
+			if v := c.InvariantViolations(); v > h.baseSlot {
+				n := v - h.baseSlot
+				h.baseSlot = v
+				return fmt.Errorf("%d new slot double-occupancies", n)
+			}
+			return nil
+		}},
+		{Name: "state-conflict", Check: func(bool) error {
+			if v := c.TotalCubStats().Conflicts; v > h.baseState {
+				n := v - h.baseState
+				h.baseState = v
+				return fmt.Errorf("%d new viewer-state conflicts", n)
+			}
+			return nil
+		}},
+		{Name: "double-service", Check: func(bool) error {
+			h.pruneServes()
+			if h.doubles > h.reported {
+				n := h.doubles - h.reported
+				h.reported = h.doubles
+				return fmt.Errorf("%d double services (last: %s)", n, h.lastDouble)
+			}
+			return nil
+		}},
+		{Name: "mirror-conservation", Check: func(quiet bool) error {
+			if !quiet {
+				return nil
+			}
+			for i, cub := range c.Cubs {
+				if cub.FailedDisks() == 0 {
+					if ml := c.MirrorLoadFor(i); ml != 0 {
+						return fmt.Errorf("%d mirror entries cover healthy cub %d at rest", ml, i)
+					}
+				}
+			}
+			return nil
+		}},
+		{Name: "convergence", Check: func(quiet bool) error {
+			if !quiet {
+				return nil
+			}
+			for i, cub := range c.Cubs {
+				if n := cub.BelievedDead(); n != 0 {
+					return fmt.Errorf("cub %d still believes %d peers dead at rest", i, n)
+				}
+			}
+			return nil
+		}},
+	}
+}
+
+// ChaosOutcome is the result of one scenario run: the runner's report
+// plus the cluster's delivery and protocol-counter deltas over the run.
+type ChaosOutcome struct {
+	Report *chaos.Report
+
+	// Viewer delivery deltas across the run.
+	BlocksOK     int64
+	BlocksLost   int64
+	MirrorBlocks int64
+
+	// Protocol counter deltas across the run.
+	DeathsRefuted  int64
+	MirrorsRetired int64
+	Rejoins        int64
+	StartsDup      int64
+	StatesDup      int64
+
+	// Converged is true when the cluster returned to a clean steady
+	// state (no death beliefs, mirror load drained) after the last
+	// scheduled step; Recovery is how long that took, at invariant-tick
+	// granularity.
+	Converged bool
+	Recovery  time.Duration
+}
+
+// RunChaos drives this cluster through one scenario under the standard
+// invariant set. The cluster keeps running streams throughout; ramp load
+// before calling. Recovery is measured from the scenario's last step
+// (normally the final heal) to the first tick at which the system has
+// converged.
+//
+// When the scenario leaves Settle zero, RunChaos derives it from this
+// cluster's protocol timings rather than chaos.DefaultSettle: a covering
+// cub that never believed the victim dead has no death to refute, so its
+// mirror pieces drain only by being served — the last one was created
+// just before refutation from a state up to MaxVStateLead (plus a few
+// block plays of mirror-creation walk-back) ahead of the clock. The
+// quiet-state invariants must not engage before that horizon passes.
+func (c *Cluster) RunChaos(sc chaos.Scenario) (*ChaosOutcome, error) {
+	if sc.Settle == 0 {
+		sc.Settle = c.Cfg.DeadmanTimeout + c.Cfg.MaxVStateLead + 5*c.Cfg.Sched.BlockPlay
+	}
+	h := NewChaosHarness(c)
+	defer h.Close()
+	r, err := chaos.NewRunner(chaosSystem{c}, sc, h.Invariants())
+	if err != nil {
+		return nil, err
+	}
+
+	var lastStep time.Duration
+	for _, st := range sc.Steps {
+		if st.At > lastStep {
+			lastStep = st.At
+		}
+	}
+	healAt := c.Now().Add(lastStep)
+	conv := sim.Time(-1)
+	r.OnTick = func(now sim.Time, quiet bool) {
+		if conv < 0 && now >= healAt && h.Converged() {
+			conv = now
+		}
+	}
+
+	ok0, lost0, mir0 := c.ViewerTotals()
+	cs0 := c.TotalCubStats()
+	rep, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	ok1, lost1, mir1 := c.ViewerTotals()
+	cs1 := c.TotalCubStats()
+
+	out := &ChaosOutcome{
+		Report:         rep,
+		BlocksOK:       ok1 - ok0,
+		BlocksLost:     lost1 - lost0,
+		MirrorBlocks:   mir1 - mir0,
+		DeathsRefuted:  cs1.DeathsRefuted - cs0.DeathsRefuted,
+		MirrorsRetired: cs1.MirrorsRetired - cs0.MirrorsRetired,
+		Rejoins:        cs1.Rejoins - cs0.Rejoins,
+		StartsDup:      cs1.StartsDup - cs0.StartsDup,
+		StatesDup:      cs1.StatesDup - cs0.StatesDup,
+		Converged:      conv >= 0,
+	}
+	if out.Converged {
+		out.Recovery = conv.Sub(healAt)
+	}
+	return out, nil
+}
+
+// PartitionScenario cuts the victim cub's links to its next width ring
+// successors — its deadman monitors and mirror neighbours — for cut
+// long, then heals them and runs tail of quiet time. With width 2 the
+// victim loses both cubs that watch it: they declare it dead and build
+// mirror load while it keeps serving, the canonical false-death
+// split-brain the healing rule exists for.
+func PartitionScenario(victim, width, numCubs int, cut, tail time.Duration, seed int64) chaos.Scenario {
+	const lead = 2 * time.Second
+	var steps []chaos.Step
+	for k := 1; k <= width; k++ {
+		peer := (victim + k) % numCubs
+		steps = append(steps,
+			chaos.Step{At: lead, Kind: chaos.CutLink, A: victim, B: peer},
+			chaos.Step{At: lead + cut, Kind: chaos.HealLink, A: victim, B: peer},
+		)
+	}
+	return chaos.Scenario{
+		Name:     fmt.Sprintf("partition-%dx-%s", width, cut),
+		Seed:     seed,
+		Duration: lead + cut + tail,
+		Steps:    steps,
+	}
+}
+
+// ChaosPoint is one row of the partition-duration sweep.
+type ChaosPoint struct {
+	PartitionSec   float64
+	Streams        int
+	Converged      bool
+	RecoverySec    float64 // last heal to convergence
+	BlocksOK       int64
+	BlocksLost     int64
+	MirrorBlocks   int64
+	DeathsRefuted  int64
+	MirrorsRetired int64
+	Rejoins        int64 // must stay 0: refutation heals without restart
+	Violations     int
+}
+
+// RunChaosSweep measures split-brain healing across partition durations:
+// for each cut length it builds a fresh cluster, ramps it to streams
+// (half capacity when zero), cuts cub 5 off from both its successors for
+// that long, heals, and records recovery time and delivery loss. The
+// paper restarts a machine to recover from false death; the refutation
+// path makes recovery a heartbeat interval instead, independent of how
+// long the partition lasted.
+func RunChaosSweep(o Options, streams int, cuts []time.Duration) ([]ChaosPoint, error) {
+	o.ClientDropProb = 0
+	out := make([]ChaosPoint, len(cuts))
+	err := forEachPoint(len(cuts), func(i int) error {
+		c, err := New(o)
+		if err != nil {
+			return err
+		}
+		target := streams
+		if target <= 0 || target > c.Capacity() {
+			target = c.Capacity() / 2
+		}
+		if err := c.RampTo(target); err != nil {
+			return err
+		}
+		c.RunFor(10 * time.Second)
+
+		// Cut the victim off from every cub that holds its mirror pieces —
+		// the next Decluster ring successors. They all monitor its
+		// heartbeats, so on heal every piece holder refutes and retires
+		// immediately instead of draining residual entries by serving them.
+		const victim = 5
+		width := 2
+		if o.Decluster > width {
+			width = o.Decluster
+		}
+		sc := PartitionScenario(victim, width, len(c.Cubs), cuts[i], 30*time.Second, o.Seed)
+		res, err := c.RunChaos(sc)
+		if err != nil {
+			return err
+		}
+		out[i] = ChaosPoint{
+			PartitionSec:   cuts[i].Seconds(),
+			Streams:        c.Active(),
+			Converged:      res.Converged,
+			RecoverySec:    res.Recovery.Seconds(),
+			BlocksOK:       res.BlocksOK,
+			BlocksLost:     res.BlocksLost,
+			MirrorBlocks:   res.MirrorBlocks,
+			DeathsRefuted:  res.DeathsRefuted,
+			MirrorsRetired: res.MirrorsRetired,
+			Rejoins:        res.Rejoins,
+			Violations:     len(res.Report.Violations),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package tiger
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tiger/internal/chaos"
+	"tiger/internal/netsim"
+)
+
+// These tests drive the chaos scenario engine against full clusters.
+// They use a reduced system (8 cubs, 1 disk each, decluster 2) so the
+// whole suite stays fast; the protocol paths exercised are identical to
+// the paper-scale configuration.
+
+func chaosTestOptions(seed int64) Options {
+	o := DefaultOptions()
+	o.Cubs = 8
+	o.DisksPerCub = 1
+	o.Decluster = 2
+	o.NumFiles = 8
+	o.FileBlocks = 900
+	o.ClientDropProb = 0
+	o.Seed = seed
+	return o
+}
+
+func rampedCluster(t *testing.T, o Options, streams int) *Cluster {
+	t.Helper()
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RampTo(streams); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(10 * time.Second)
+	return c
+}
+
+// runSuccessorPartition is the acceptance scenario: cut the victim cub
+// off from BOTH of its ring successors — the cubs that monitor its
+// heartbeats and hold its mirror pieces — for cut long, then heal, and
+// return the outcome plus its canonical JSON encoding.
+func runSuccessorPartition(t *testing.T, seed int64, cut time.Duration) (*ChaosOutcome, []byte) {
+	t.Helper()
+	c := rampedCluster(t, chaosTestOptions(seed), 24)
+	const victim = 5
+	sc := PartitionScenario(victim, 2, len(c.Cubs), cut, 20*time.Second, seed+100)
+	res, err := c.RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml := c.MirrorLoadFor(victim); ml != 0 {
+		t.Errorf("mirror load for the victim did not drain: %d entries", ml)
+	}
+	if v := c.InvariantViolations(); v != 0 {
+		t.Errorf("slot conflicts: %d", v)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, b
+}
+
+// TestChaosPartitionBothSuccessors is the acceptance scenario for the
+// split-brain healing rule: a cub partitioned from both of its deadman
+// monitors for 30 simulated seconds is declared dead and covered by
+// mirror chains while it keeps serving; on heal, the first heartbeat
+// refutes the false death and the mirror load drains — without a
+// restart, without a single invariant violation, and with viewer loss
+// inside the paper's single-failure envelope.
+func TestChaosPartitionBothSuccessors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos acceptance run")
+	}
+	res, enc := runSuccessorPartition(t, 7, 30*time.Second)
+
+	if err := res.Report.Err(); err != nil {
+		t.Errorf("invariant violations: %v", err)
+	}
+	if res.DeathsRefuted == 0 {
+		t.Error("no false deaths refuted")
+	}
+	if res.MirrorsRetired == 0 {
+		t.Error("mirror load did not drain through the retire path")
+	}
+	if res.Rejoins != 0 {
+		t.Errorf("healing took %d restarts; refutation must not need one", res.Rejoins)
+	}
+	if !res.Converged {
+		t.Fatal("cluster did not converge after the heal")
+	}
+	if res.Recovery > 5*time.Second {
+		t.Errorf("recovery took %v; refutation should take about a heartbeat", res.Recovery)
+	}
+	// Single-failure envelope: the mirror chains cover the partitioned
+	// cub's blocks, so losses stay a tiny fraction of deliveries.
+	if res.BlocksOK == 0 {
+		t.Fatal("no blocks delivered during the scenario")
+	}
+	if res.BlocksLost*50 > res.BlocksOK {
+		t.Errorf("loss outside the single-failure envelope: %d lost of %d ok",
+			res.BlocksLost, res.BlocksOK)
+	}
+	t.Logf("refuted=%d retired=%d recovery=%v ok=%d lost=%d mirror=%d",
+		res.DeathsRefuted, res.MirrorsRetired, res.Recovery,
+		res.BlocksOK, res.BlocksLost, res.MirrorBlocks)
+
+	// Determinism: the same (cluster seed, scenario seed) pair must
+	// reproduce the run byte for byte.
+	_, enc2 := runSuccessorPartition(t, 7, 30*time.Second)
+	if string(enc) != string(enc2) {
+		t.Errorf("same seeds produced different results:\n%s\n%s", enc, enc2)
+	}
+}
+
+// TestChaosAsymmetricCut partitions only one direction of one link: the
+// watcher stops hearing the victim and declares it dead, while the
+// victim — which still hears the watcher — does not reciprocate. Healing
+// the one direction lets the next heartbeat through, which refutes the
+// death and retires the mirror chains, with no restart and no
+// invariant violations.
+func TestChaosAsymmetricCut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	c := rampedCluster(t, chaosTestOptions(3), 24)
+	const victim, watcher = 3, 4
+	// Duration leaves room after the one-way heal for the derived settle
+	// window: cub 5 covers the victim's part-1 pieces but never hears the
+	// cut (it is not on the cut link), so it never believes the victim
+	// dead and its entries drain only by being served — bounded by the
+	// viewer-state forwarding lead, not by a refutation.
+	sc := chaos.Scenario{
+		Name:     "asymmetric-cut",
+		Seed:     11,
+		Duration: 40 * time.Second,
+		Steps: []chaos.Step{
+			{At: 2 * time.Second, Kind: chaos.CutOneWay, A: victim, B: watcher},
+			{At: 12 * time.Second, Kind: chaos.HealOneWay, A: victim, B: watcher},
+		},
+	}
+	res, err := c.RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Report.Err(); err != nil {
+		t.Errorf("invariant violations: %v", err)
+	}
+	if res.DeathsRefuted == 0 {
+		t.Error("the one-way cut never produced a refuted death")
+	}
+	if res.Rejoins != 0 {
+		t.Errorf("%d restarts; an asymmetric blip must heal in place", res.Rejoins)
+	}
+	if !res.Converged {
+		t.Error("cluster did not converge after the one-way heal")
+	}
+	if v := c.InvariantViolations(); v != 0 {
+		t.Errorf("slot conflicts: %d", v)
+	}
+	if res.BlocksLost*50 > res.BlocksOK {
+		t.Errorf("loss outside the single-failure envelope: %d lost of %d ok",
+			res.BlocksLost, res.BlocksOK)
+	}
+}
+
+// TestChaosDuplicatedGossip makes every inter-cub link duplicate every
+// control message for 30 simulated seconds — each viewer-state forward
+// arrives twice, as do heartbeats, acks, and deschedules. The §4.1.2
+// idempotence rules must absorb all of it: duplicates land in StatesDup,
+// not in conflicts or double-scheduled slots.
+func TestChaosDuplicatedGossip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	o := chaosTestOptions(5)
+	c := rampedCluster(t, o, 24)
+	dup := netsim.FlakyParams{DupProb: 1}
+	var steps []chaos.Step
+	for a := 0; a < o.Cubs; a++ {
+		for b := a + 1; b < o.Cubs; b++ {
+			steps = append(steps, chaos.Step{At: time.Second, Kind: chaos.FlakyLink, A: a, B: b, Flaky: dup})
+		}
+	}
+	steps = append(steps, chaos.Step{At: 31 * time.Second, Kind: chaos.HealAll})
+	sc := chaos.Scenario{Name: "duplicate-gossip", Seed: 17, Duration: 45 * time.Second, Steps: steps}
+
+	res, err := c.RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Report.Err(); err != nil {
+		t.Errorf("invariant violations under duplication: %v", err)
+	}
+	if res.StatesDup == 0 {
+		t.Error("no duplicate states absorbed; the links were not duplicating")
+	}
+	if cs := c.TotalCubStats(); cs.Conflicts != 0 {
+		t.Errorf("duplicated gossip produced %d state conflicts", cs.Conflicts)
+	}
+	if v := c.InvariantViolations(); v != 0 {
+		t.Errorf("slot conflicts: %d", v)
+	}
+	if dups := c.Net.FaultStats().LinkDups; dups == 0 {
+		t.Error("network recorded no link duplications")
+	}
+	t.Logf("statesDup=%d linkDups=%d ok=%d lost=%d",
+		res.StatesDup, c.Net.FaultStats().LinkDups, res.BlocksOK, res.BlocksLost)
+}
+
+// TestChaosSmoke is the short-mode gate: a small partition scenario end
+// to end — schedule applied, invariants swept, refutation healed the
+// split — in a few simulated seconds.
+func TestChaosSmoke(t *testing.T) {
+	c := rampedCluster(t, chaosTestOptions(1), 12)
+	sc := PartitionScenario(5, 2, len(c.Cubs), 5*time.Second, 15*time.Second, 42)
+	res, err := c.RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Report.Err(); err != nil {
+		t.Errorf("invariant violations: %v", err)
+	}
+	if res.Rejoins != 0 {
+		t.Errorf("smoke partition took %d restarts", res.Rejoins)
+	}
+	if !res.Converged {
+		t.Error("smoke partition did not converge")
+	}
+	if res.Report.Ticks == 0 || !res.Report.QuietAtEnd {
+		t.Errorf("runner did not sweep/settle: %+v", res.Report)
+	}
+}

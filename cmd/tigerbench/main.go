@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|chaos|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
 	parallel = flag.Int("parallel", 1, "worker-pool width for multi-point sweeps (0 = GOMAXPROCS); results are identical at any width")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
@@ -150,6 +150,7 @@ func main() {
 	run("ablate-dc", func() error { return ablateDc(o) })
 	run("ablate-lead", func() error { return ablateLead(o) })
 	run("flash", func() error { return flash(o) })
+	run("chaos", func() error { return chaosSweep(o) })
 	run("score", func() error { return score(o) })
 	run("observe", func() error { return observe(o) })
 	run("ablate-frag", func() error { return ablateFrag() })
@@ -213,6 +214,50 @@ func observe(o tiger.Options) error {
 		return err
 	}
 	return writeArtifact("observe_events.jsonl", c.ExportEvents)
+}
+
+// chaosSweep is the partition-duration sweep: cut a cub off from both
+// of its ring successors (the cubs that monitor it and hold its mirror
+// pieces) for increasing durations, heal, and measure how long the
+// split-brain takes to clear. The paper's only recovery from false
+// death is a machine restart; the refutation path makes recovery a
+// heartbeat interval regardless of how long the partition lasted.
+func chaosSweep(o tiger.Options) error {
+	header("Chaos: partition-duration sweep (split-brain healing)",
+		"false deaths are refuted on proof of life -- no restart, zero conflicts, bounded loss")
+	cuts := []time.Duration{
+		5 * time.Second, 10 * time.Second, 20 * time.Second,
+		30 * time.Second, 60 * time.Second,
+	}
+	pts, err := tiger.RunChaosSweep(o, 0, cuts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %8s %10s %9s %8s %8s %9s %8s %10s\n",
+		"cut", "streams", "recovery", "refuted", "retired", "rejoins", "lost", "mirror", "violations")
+	for _, p := range pts {
+		rec := "never"
+		if p.Converged {
+			rec = fmt.Sprintf("%.1fs", p.RecoverySec)
+		}
+		fmt.Printf("%9.0fs %8d %10s %9d %8d %8d %9d %8d %10d\n",
+			p.PartitionSec, p.Streams, rec, p.DeathsRefuted, p.MirrorsRetired,
+			p.Rejoins, p.BlocksLost, p.MirrorBlocks, p.Violations)
+	}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			f1(p.PartitionSec), strconv.Itoa(p.Streams), f1(p.RecoverySec),
+			strconv.FormatInt(p.BlocksLost, 10), strconv.FormatInt(p.DeathsRefuted, 10),
+			strconv.FormatInt(p.Rejoins, 10), strconv.Itoa(p.Violations),
+		})
+	}
+	if err := writeCSV("chaos",
+		[]string{"partition_s", "streams", "recovery_s", "blocks_lost", "deaths_refuted", "rejoins", "violations"},
+		rows); err != nil {
+		return err
+	}
+	return writeJSON("chaos", pts)
 }
 
 func flash(o tiger.Options) error {

@@ -1,0 +1,235 @@
+// Package chaos is a declarative, seed-reproducible fault-schedule
+// harness for a Tiger cluster. A Scenario is a timed list of fault and
+// repair Steps (crash / restart / disk-fail / link-cut / flaky-link /
+// data-drop / heal); a Runner applies them to any System (the simulated
+// Cluster in practice) while a set of Invariants — no slot conflicts, no
+// double service, mirror-load conservation, view convergence — is
+// checked every tick. Everything runs under the deterministic sim clock
+// and a scenario-seeded rng, so a failing run replays byte-identically
+// from its seed.
+//
+// The paper's §5 failure experiments pull one power cord; this package
+// exists for the failures that are harder to stage by hand — partitions
+// that make a live cub look dead, asymmetric link loss, duplicated
+// gossip — and turns each into a reusable, reproducible schedule.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tiger/internal/netsim"
+)
+
+// Kind names one fault or repair action.
+type Kind string
+
+const (
+	// CrashCub kills cub A and dooms its in-flight traffic; pair with
+	// RestartCub for the full crash–restart cycle.
+	CrashCub Kind = "crash"
+	// RestartCub cold-restarts cub A (rejoin handshake, epoch bump).
+	RestartCub Kind = "restart"
+	// FailCub silently disconnects cub A (a network blip: state intact).
+	FailCub Kind = "fail"
+	// ReviveCub ends a FailCub blip.
+	ReviveCub Kind = "revive"
+	// FailDisk kills disk Disk on cub A; declustered mirrors take over.
+	FailDisk Kind = "disk-fail"
+	// CutLink severs the A↔B control link in both directions.
+	CutLink Kind = "cut"
+	// CutOneWay severs only the A→B direction (asymmetric partition).
+	CutOneWay Kind = "cut-oneway"
+	// HealLink restores A↔B (cut and flakiness, both directions).
+	HealLink Kind = "heal"
+	// HealOneWay restores only the A→B direction.
+	HealOneWay Kind = "heal-oneway"
+	// FlakyLink degrades A↔B with Flaky (drop/dup/extra-delay) params;
+	// zero params heal the flakiness.
+	FlakyLink Kind = "flaky"
+	// FlakyOneWay degrades only the A→B direction.
+	FlakyOneWay Kind = "flaky-oneway"
+	// Isolate cuts cub A off from every other cub and the controller —
+	// the canonical split-brain partition.
+	Isolate Kind = "isolate"
+	// Rejoin heals every link of cub A cut by Isolate (or otherwise).
+	Rejoin Kind = "rejoin"
+	// HealAll clears every link fault on the switch.
+	HealAll Kind = "heal-all"
+	// DropData sets the block-delivery drop probability for sends from
+	// cub A (A == All for every cub) to Prob; Prob 0 heals it.
+	DropData Kind = "drop-data"
+)
+
+// All, as Step.A for DropData, applies the probability to every cub.
+const All = -1
+
+// Step is one timed action in a scenario. At is the offset from the
+// start of the run; A and B are cub indices (B unused for single-node
+// kinds).
+type Step struct {
+	At    time.Duration
+	Kind  Kind
+	A, B  int
+	Disk  int                // FailDisk only
+	Flaky netsim.FlakyParams // FlakyLink / FlakyOneWay only
+	Prob  float64            // DropData only
+}
+
+// Scenario is a named, seeded fault schedule.
+type Scenario struct {
+	Name string
+	// Seed drives the runner's private rng (data-drop coin flips). Link
+	// flakiness draws from the simulator's own rng, so the pair
+	// (cluster seed, scenario seed) fully determines a run.
+	Seed int64
+	// Duration is the total virtual time the runner drives the system,
+	// including the tail after the last step.
+	Duration time.Duration
+	// Settle is how long after the last outstanding fault clears before
+	// the quiet-state invariants (mirror conservation, convergence)
+	// re-engage; zero takes DefaultSettle.
+	Settle time.Duration
+	// Tick is the invariant-check interval; zero takes DefaultTick.
+	Tick  time.Duration
+	Steps []Step
+}
+
+// DefaultTick is the invariant-check interval when Scenario.Tick is zero:
+// ten checks per simulated second catches transient double occupancy
+// without dominating run time.
+const DefaultTick = 100 * time.Millisecond
+
+// DefaultSettle is the post-heal grace period when Scenario.Settle is
+// zero. It must cover a deadman timeout plus a couple of forward
+// intervals so refutation and mirror retirement can complete before the
+// quiet invariants start failing runs.
+const DefaultSettle = 5 * time.Second
+
+func (s Scenario) tick() time.Duration {
+	if s.Tick > 0 {
+		return s.Tick
+	}
+	return DefaultTick
+}
+
+func (s Scenario) settle() time.Duration {
+	if s.Settle > 0 {
+		return s.Settle
+	}
+	return DefaultSettle
+}
+
+// needsPeer reports whether the kind uses Step.B.
+func (k Kind) needsPeer() bool {
+	switch k {
+	case CutLink, CutOneWay, HealLink, HealOneWay, FlakyLink, FlakyOneWay:
+		return true
+	}
+	return false
+}
+
+// Validate checks the scenario against a cluster of numCubs cubs.
+func (s Scenario) Validate(numCubs int) error {
+	if s.Duration <= 0 {
+		return fmt.Errorf("chaos: scenario %q has no duration", s.Name)
+	}
+	for i, st := range s.Steps {
+		if st.At < 0 || st.At > s.Duration {
+			return fmt.Errorf("chaos: step %d (%s) at %v outside run of %v", i, st.Kind, st.At, s.Duration)
+		}
+		switch st.Kind {
+		case CrashCub, RestartCub, FailCub, ReviveCub, FailDisk, CutLink, CutOneWay,
+			HealLink, HealOneWay, FlakyLink, FlakyOneWay, Isolate, Rejoin, HealAll, DropData:
+		default:
+			return fmt.Errorf("chaos: step %d has unknown kind %q", i, st.Kind)
+		}
+		if st.Kind == HealAll {
+			continue
+		}
+		if st.A < 0 || st.A >= numCubs {
+			if !(st.Kind == DropData && st.A == All) {
+				return fmt.Errorf("chaos: step %d (%s) names cub %d of %d", i, st.Kind, st.A, numCubs)
+			}
+		}
+		if st.Kind.needsPeer() {
+			if st.B < 0 || st.B >= numCubs {
+				return fmt.Errorf("chaos: step %d (%s) names peer cub %d of %d", i, st.Kind, st.B, numCubs)
+			}
+			if st.B == st.A {
+				return fmt.Errorf("chaos: step %d (%s) links cub %d to itself", i, st.Kind, st.A)
+			}
+		}
+		if st.Kind == DropData && (st.Prob < 0 || st.Prob > 1) {
+			return fmt.Errorf("chaos: step %d has drop probability %v", i, st.Prob)
+		}
+	}
+	return nil
+}
+
+// sortedSteps returns the steps ordered by At, original order preserved
+// among equals so scenarios read top to bottom.
+func (s Scenario) sortedSteps() []Step {
+	out := make([]Step, len(s.Steps))
+	copy(out, s.Steps)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// --- step constructors, so scenarios read as schedules ---
+
+// At prefixes a group of steps with a common offset.
+func At(at time.Duration, steps ...Step) []Step {
+	out := make([]Step, len(steps))
+	for i, st := range steps {
+		st.At = at
+		out[i] = st
+	}
+	return out
+}
+
+// Crash returns a CrashCub step (At filled by the caller or chaos.At).
+func Crash(cub int) Step { return Step{Kind: CrashCub, A: cub} }
+
+// Restart returns a RestartCub step.
+func Restart(cub int) Step { return Step{Kind: RestartCub, A: cub} }
+
+// Fail returns a FailCub step.
+func Fail(cub int) Step { return Step{Kind: FailCub, A: cub} }
+
+// Revive returns a ReviveCub step.
+func Revive(cub int) Step { return Step{Kind: ReviveCub, A: cub} }
+
+// DiskFail returns a FailDisk step.
+func DiskFail(cub, disk int) Step { return Step{Kind: FailDisk, A: cub, Disk: disk} }
+
+// Cut returns a symmetric CutLink step.
+func Cut(a, b int) Step { return Step{Kind: CutLink, A: a, B: b} }
+
+// CutTo returns an asymmetric CutOneWay step (a can no longer reach b).
+func CutTo(a, b int) Step { return Step{Kind: CutOneWay, A: a, B: b} }
+
+// Heal returns a symmetric HealLink step.
+func Heal(a, b int) Step { return Step{Kind: HealLink, A: a, B: b} }
+
+// Flaky returns a symmetric FlakyLink step.
+func Flaky(a, b int, p netsim.FlakyParams) Step { return Step{Kind: FlakyLink, A: a, B: b, Flaky: p} }
+
+// IsolateCub returns an Isolate step.
+func IsolateCub(cub int) Step { return Step{Kind: Isolate, A: cub} }
+
+// RejoinCub returns a Rejoin step.
+func RejoinCub(cub int) Step { return Step{Kind: Rejoin, A: cub} }
+
+// DataLoss returns a DropData step (cub == All for every sender).
+func DataLoss(cub int, prob float64) Step { return Step{Kind: DropData, A: cub, Prob: prob} }
+
+// Concat joins step groups built with At into one schedule.
+func Concat(groups ...[]Step) []Step {
+	var out []Step
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}

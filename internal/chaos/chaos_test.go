@@ -1,0 +1,271 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/sim"
+)
+
+// fakeSystem wraps a real engine + network with recording cub controls.
+type fakeSystem struct {
+	eng   *sim.Engine
+	net   *netsim.Network
+	cubs  int
+	calls []string
+}
+
+func newFakeSystem(t *testing.T, cubs int) *fakeSystem {
+	t.Helper()
+	eng := sim.New(1)
+	net := netsim.New(netsim.DefaultParams(), clock.Sim{Eng: eng}, eng.Rand())
+	for i := 0; i < cubs; i++ {
+		net.Register(msg.NodeID(i), netsim.HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	}
+	return &fakeSystem{eng: eng, net: net, cubs: cubs}
+}
+
+func (f *fakeSystem) record(s string)        { f.calls = append(f.calls, s) }
+func (f *fakeSystem) NumCubs() int           { return f.cubs }
+func (f *fakeSystem) Net() *netsim.Network   { return f.net }
+func (f *fakeSystem) CrashCub(i int)         { f.record("crash"); f.net.Crash(msg.NodeID(i)) }
+func (f *fakeSystem) RestartCub(i int)       { f.record("restart"); f.net.Revive(msg.NodeID(i)) }
+func (f *fakeSystem) FailCub(i int)          { f.record("fail"); f.net.Fail(msg.NodeID(i)) }
+func (f *fakeSystem) ReviveCub(i int)        { f.record("revive"); f.net.Revive(msg.NodeID(i)) }
+func (f *fakeSystem) FailDisk(cub, disk int) { f.record("disk") }
+func (f *fakeSystem) RunFor(d time.Duration) { f.eng.RunFor(d) }
+func (f *fakeSystem) Now() sim.Time          { return f.eng.Now() }
+
+func TestValidateRejectsBadSteps(t *testing.T) {
+	cases := []Scenario{
+		{Name: "no-duration"},
+		{Name: "late-step", Duration: time.Second, Steps: []Step{{At: 2 * time.Second, Kind: CrashCub}}},
+		{Name: "bad-kind", Duration: time.Second, Steps: []Step{{Kind: "melt"}}},
+		{Name: "bad-cub", Duration: time.Second, Steps: []Step{{Kind: CrashCub, A: 9}}},
+		{Name: "bad-peer", Duration: time.Second, Steps: []Step{{Kind: CutLink, A: 0, B: 9}}},
+		{Name: "self-link", Duration: time.Second, Steps: []Step{{Kind: CutLink, A: 1, B: 1}}},
+		{Name: "bad-prob", Duration: time.Second, Steps: []Step{{Kind: DropData, A: 0, Prob: 2}}},
+	}
+	for _, sc := range cases {
+		if err := sc.Validate(4); err == nil {
+			t.Errorf("scenario %q validated", sc.Name)
+		}
+	}
+	good := Scenario{
+		Name:     "good",
+		Duration: time.Second,
+		Steps: Concat(
+			At(0, IsolateCub(2), DataLoss(All, 0.5)),
+			At(500*time.Millisecond, RejoinCub(2), DataLoss(All, 0)),
+		),
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("good scenario rejected: %v", err)
+	}
+}
+
+func TestRunnerAppliesScheduleInOrder(t *testing.T) {
+	sys := newFakeSystem(t, 4)
+	sc := Scenario{
+		Name:     "order",
+		Duration: 2 * time.Second,
+		Settle:   100 * time.Millisecond,
+		Steps: Concat(
+			// Listed out of time order on purpose; the runner sorts.
+			At(900*time.Millisecond, Revive(1)),
+			At(100*time.Millisecond, Fail(1)),
+			At(300*time.Millisecond, Cut(2, 3)),
+			At(600*time.Millisecond, Heal(2, 3)),
+		),
+	}
+	r, err := NewRunner(sys, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fail", "revive"}
+	if len(sys.calls) != 2 || sys.calls[0] != want[0] || sys.calls[1] != want[1] {
+		t.Fatalf("calls %v, want %v", sys.calls, want)
+	}
+	if !rep.QuietAtEnd {
+		t.Fatal("faults left outstanding")
+	}
+	if sys.net.FaultedLinks() != 0 {
+		t.Fatal("link fault left behind")
+	}
+	if rep.Ticks < 19 {
+		t.Fatalf("only %d ticks for a 2s run at 100ms", rep.Ticks)
+	}
+	if rep.QuietTicks == 0 {
+		t.Fatal("never reached quiet despite 1.1s of settled tail")
+	}
+}
+
+func TestQuietGating(t *testing.T) {
+	sys := newFakeSystem(t, 3)
+	var quietSeen, loudSeen bool
+	inv := Invariant{Name: "probe", Check: func(quiet bool) error {
+		if quiet {
+			quietSeen = true
+		} else {
+			loudSeen = true
+		}
+		return nil
+	}}
+	sc := Scenario{
+		Name:     "quiet",
+		Duration: 3 * time.Second,
+		Settle:   500 * time.Millisecond,
+		Steps: Concat(
+			At(0, Cut(0, 1)),
+			At(2*time.Second, Heal(0, 1)),
+		),
+	}
+	r, err := NewRunner(sys, sc, []Invariant{inv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstQuiet sim.Time
+	r.OnTick = func(now sim.Time, quiet bool) {
+		if quiet && firstQuiet == 0 {
+			firstQuiet = now
+		}
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quietSeen || !loudSeen {
+		t.Fatalf("quietSeen=%v loudSeen=%v", quietSeen, loudSeen)
+	}
+	// Quiet must not engage before heal + settle.
+	if firstQuiet < sim.Time(2500*time.Millisecond) {
+		t.Fatalf("quiet at %v, before heal+settle", firstQuiet)
+	}
+	if rep.Ticks != rep.QuietTicks+countLoud(rep) {
+		t.Fatalf("tick bookkeeping inconsistent: %+v", rep)
+	}
+}
+
+func countLoud(rep *Report) int { return rep.Ticks - rep.QuietTicks }
+
+func TestViolationsRecorded(t *testing.T) {
+	sys := newFakeSystem(t, 2)
+	n := 0
+	inv := Invariant{Name: "flaky-check", Check: func(bool) error {
+		n++
+		if n == 3 {
+			return errTest
+		}
+		return nil
+	}}
+	sc := Scenario{Name: "viol", Duration: time.Second}
+	r, err := NewRunner(sys, sc, []Invariant{inv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() || len(rep.Violations) != 1 {
+		t.Fatalf("violations %v", rep.Violations)
+	}
+	if rep.Violations[0].Invariant != "flaky-check" {
+		t.Fatalf("violation %+v", rep.Violations[0])
+	}
+	if rep.Err() == nil {
+		t.Fatal("Err() nil with violations")
+	}
+}
+
+type testErr string
+
+func (e testErr) Error() string { return string(e) }
+
+const errTest = testErr("boom")
+
+func TestDropDataDeterministic(t *testing.T) {
+	run := func() (drops int64) {
+		sys := newFakeSystem(t, 2)
+		sink := dummySink{}
+		sys.net.RegisterViewer(1, sink)
+		sc := Scenario{
+			Name:     "drops",
+			Seed:     42,
+			Duration: time.Second,
+			Steps:    At(0, DataLoss(0, 0.5)),
+		}
+		r, err := NewRunner(sys, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Schedule a stream of block sends across the run.
+		for i := 0; i < 200; i++ {
+			d := time.Duration(i) * 4 * time.Millisecond
+			sys.eng.After(d, func() {
+				sys.net.SendBlock(0, netsim.BlockDelivery{Viewer: 1, Bytes: 100, Parts: 1}, time.Millisecond)
+			})
+		}
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.net.FaultStats().DataDrops
+	}
+	a, b := run(), run()
+	if a == 0 || a == 200 {
+		t.Fatalf("drop prob 0.5 dropped %d of 200", a)
+	}
+	if a != b {
+		t.Fatalf("same seed dropped %d then %d blocks", a, b)
+	}
+}
+
+type dummySink struct{}
+
+func (dummySink) DeliverBlock(netsim.BlockDelivery) {}
+
+func TestIsolateCutsEverything(t *testing.T) {
+	sys := newFakeSystem(t, 4)
+	sc := Scenario{
+		Name:     "iso",
+		Duration: time.Second,
+		Steps: Concat(
+			At(0, IsolateCub(1)),
+			At(500*time.Millisecond, RejoinCub(1)),
+		),
+	}
+	r, err := NewRunner(sys, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := false
+	r.OnTick = func(now sim.Time, quiet bool) {
+		if now < sim.Time(500*time.Millisecond) && !applied {
+			applied = true
+			// 3 peers + controller, both directions.
+			if got := sys.net.FaultedLinks(); got != 8 {
+				t.Fatalf("isolate cut %d directed links, want 8", got)
+			}
+			if !sys.net.LinkCut(1, msg.Controller) || !sys.net.LinkCut(msg.Controller, 1) {
+				t.Fatal("controller link not cut")
+			}
+		}
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("probe never ran")
+	}
+	if sys.net.FaultedLinks() != 0 || !rep.QuietAtEnd {
+		t.Fatal("rejoin did not heal all links")
+	}
+}

@@ -1,0 +1,264 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tiger/internal/msg"
+	"tiger/internal/netsim"
+	"tiger/internal/sim"
+)
+
+// System is the slice of a cluster the runner drives. The root tiger
+// package adapts *tiger.Cluster to it; tests substitute fakes.
+type System interface {
+	NumCubs() int
+	Net() *netsim.Network
+	CrashCub(i int)
+	RestartCub(i int)
+	FailCub(i int)
+	ReviveCub(i int)
+	FailDisk(cub, disk int)
+	RunFor(d time.Duration)
+	Now() sim.Time
+}
+
+// Invariant is one property checked every tick. Check receives quiet =
+// true once no fault is outstanding and the scenario's settle period has
+// elapsed; properties that only hold at rest (mirror-load conservation,
+// view convergence) must return nil while quiet is false.
+type Invariant struct {
+	Name  string
+	Check func(quiet bool) error
+}
+
+// Violation records one failed invariant check.
+type Violation struct {
+	At        sim.Time
+	Invariant string
+	Err       string
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario   string
+	Ticks      int  // invariant sweeps performed
+	QuietTicks int  // sweeps with quiet == true
+	QuietAtEnd bool // no fault outstanding when the run finished
+	Violations []Violation
+	FaultStats netsim.FaultStats // cumulative link/data interventions
+}
+
+// Ok reports whether the run completed with no invariant violations.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a clean report and a summary error otherwise.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	v := r.Violations[0]
+	return fmt.Errorf("chaos: scenario %q: %d invariant violations (first: %s at %v: %s)",
+		r.Scenario, len(r.Violations), v.Invariant, v.At, v.Err)
+}
+
+// Runner executes one Scenario against one System.
+type Runner struct {
+	Sys        System
+	Scenario   Scenario
+	Invariants []Invariant
+	// OnTick, if set, fires after each invariant sweep; sweeps and
+	// experiments use it to probe recovery progress.
+	OnTick func(now sim.Time, quiet bool)
+
+	rng      *rand.Rand      // scenario-seeded; data-drop coin flips only
+	dropProb map[int]float64 // cub index (or All) → drop probability
+	downCubs map[int]bool    // FailCub/CrashCub without a matching repair
+	sickCubs map[int]bool    // cubs with a failed disk: never fully quiet
+	lastCure sim.Time        // when the last outstanding fault cleared
+}
+
+// NewRunner builds a runner; it validates the scenario against the
+// system immediately so malformed schedules fail before any virtual time
+// passes.
+func NewRunner(sys System, sc Scenario, invs []Invariant) (*Runner, error) {
+	if err := sc.Validate(sys.NumCubs()); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Sys:        sys,
+		Scenario:   sc,
+		Invariants: invs,
+		rng:        rand.New(rand.NewSource(sc.Seed)),
+		dropProb:   make(map[int]float64),
+		downCubs:   make(map[int]bool),
+		sickCubs:   make(map[int]bool),
+	}, nil
+}
+
+// dropData is installed as the network's DropData hook while any
+// drop-data probability is set. Draws come from the runner's private
+// rng in simulator event order, so runs replay identically.
+func (r *Runner) dropData(from msg.NodeID, d netsim.BlockDelivery) bool {
+	p, ok := r.dropProb[int(from)]
+	if !ok {
+		p = r.dropProb[All]
+	}
+	return p > 0 && r.rng.Float64() < p
+}
+
+func (r *Runner) setDropProb(cub int, p float64) {
+	if p == 0 {
+		delete(r.dropProb, cub)
+	} else {
+		r.dropProb[cub] = p
+	}
+	net := r.Sys.Net()
+	if len(r.dropProb) == 0 {
+		net.DropData = nil
+	} else if net.DropData == nil {
+		net.DropData = r.dropData
+	}
+}
+
+// apply executes one step now.
+func (r *Runner) apply(st Step) {
+	net := r.Sys.Net()
+	a, b := msg.NodeID(st.A), msg.NodeID(st.B)
+	switch st.Kind {
+	case CrashCub:
+		r.Sys.CrashCub(st.A)
+		r.downCubs[st.A] = true
+	case RestartCub:
+		r.Sys.RestartCub(st.A)
+		delete(r.downCubs, st.A)
+	case FailCub:
+		r.Sys.FailCub(st.A)
+		r.downCubs[st.A] = true
+	case ReviveCub:
+		r.Sys.ReviveCub(st.A)
+		delete(r.downCubs, st.A)
+	case FailDisk:
+		r.Sys.FailDisk(st.A, st.Disk)
+		r.sickCubs[st.A] = true
+	case CutLink:
+		net.Cut(a, b)
+	case CutOneWay:
+		net.CutOneWay(a, b)
+	case HealLink:
+		net.Heal(a, b)
+	case HealOneWay:
+		net.HealOneWay(a, b)
+	case FlakyLink:
+		net.SetFlaky(a, b, st.Flaky)
+	case FlakyOneWay:
+		net.SetFlakyOneWay(a, b, st.Flaky)
+	case Isolate:
+		for i := 0; i < r.Sys.NumCubs(); i++ {
+			if i != st.A {
+				net.Cut(a, msg.NodeID(i))
+			}
+		}
+		net.Cut(a, msg.Controller)
+	case Rejoin:
+		for i := 0; i < r.Sys.NumCubs(); i++ {
+			if i != st.A {
+				net.Heal(a, msg.NodeID(i))
+			}
+		}
+		net.Heal(a, msg.Controller)
+	case HealAll:
+		net.HealAllLinks()
+	case DropData:
+		r.setDropProb(st.A, st.Prob)
+	}
+	r.lastCure = r.Sys.Now()
+}
+
+// faultOutstanding reports whether any injected fault is still active.
+// Disk failures are excluded: they are permanent by design (the paper
+// has no disk revive) and the system is expected to reach a new steady
+// state around them; invariants that care consult the system directly.
+func (r *Runner) faultOutstanding() bool {
+	return len(r.downCubs) > 0 || len(r.dropProb) > 0 || r.Sys.Net().FaultedLinks() > 0
+}
+
+// quiet reports whether the quiet-state invariants should engage: no
+// outstanding fault, and Settle elapsed since the last fault cleared.
+func (r *Runner) quiet(now sim.Time) bool {
+	return !r.faultOutstanding() && now.Sub(r.lastCure) >= r.Scenario.settle()
+}
+
+func (r *Runner) sweep(rep *Report, now sim.Time) {
+	q := r.quiet(now)
+	rep.Ticks++
+	if q {
+		rep.QuietTicks++
+	}
+	for _, inv := range r.Invariants {
+		if err := inv.Check(q); err != nil {
+			rep.Violations = append(rep.Violations, Violation{At: now, Invariant: inv.Name, Err: err.Error()})
+		}
+	}
+	if r.OnTick != nil {
+		r.OnTick(now, q)
+	}
+}
+
+// Run drives the system through the scenario: virtual time advances in
+// tick-sized slices, due steps are applied in schedule order, and every
+// invariant is checked each tick (and once more at the end). The report
+// collects all violations; Run itself errors only on harness misuse.
+func (r *Runner) Run() (*Report, error) {
+	sc := r.Scenario
+	steps := sc.sortedSteps()
+	tick := sc.tick()
+	start := r.Sys.Now()
+	end := start.Add(sc.Duration)
+	nextTick := start.Add(tick)
+	rep := &Report{Scenario: sc.Name}
+	r.lastCure = start
+
+	i := 0
+	lastSweep := sim.Time(-1)
+	for {
+		now := r.Sys.Now()
+		next := end
+		if i < len(steps) {
+			if at := start.Add(steps[i].At); at < next {
+				next = at
+			}
+		}
+		if nextTick < next {
+			next = nextTick
+		}
+		if d := next.Sub(now); d > 0 {
+			r.Sys.RunFor(d)
+		}
+		now = r.Sys.Now()
+		for i < len(steps) && start.Add(steps[i].At) <= now {
+			r.apply(steps[i])
+			i++
+		}
+		if now >= nextTick {
+			r.sweep(rep, now)
+			lastSweep = now
+			nextTick = nextTick.Add(tick)
+		}
+		if now >= end {
+			break
+		}
+	}
+	if r.Sys.Now() != lastSweep {
+		r.sweep(rep, r.Sys.Now())
+	}
+	rep.QuietAtEnd = !r.faultOutstanding()
+	rep.FaultStats = r.Sys.Net().FaultStats()
+	// Leave the network clean for whatever runs next.
+	if len(r.dropProb) > 0 {
+		r.dropProb = make(map[int]float64)
+		r.Sys.Net().DropData = nil
+	}
+	return rep, nil
+}

@@ -76,7 +76,9 @@ type CubStats struct {
 	// tolerance of disk-performance variation)
 	IndexMisses   int64 // index lookups that failed (always a bug)
 	DeadDeclared  int64 // deadman transitions observed
+	DeathsRefuted int64 // false death declarations withdrawn on proof of life
 	RedundantRuns int64 // redundant start queues promoted after a failure
+	StartsDup     int64 // duplicate start-play enqueues ignored
 
 	// Restart and reintegration counters.
 	Rejoins         int64 // cold restarts this cub performed
@@ -122,6 +124,7 @@ type Cub struct {
 	scanning       map[int]bool        // ownership scan active per disk
 	redundantStart map[msg.InstanceID]*startReq
 	cancelledStart map[msg.InstanceID]sim.Time // acks seen; GC'd lazily
+	enqueuedStart  map[msg.InstanceID]sim.Time // dedup of start enqueues; GC'd lazily
 
 	lastSeen     map[msg.NodeID]sim.Time
 	believedDead map[msg.NodeID]bool
@@ -183,6 +186,7 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 		scanning:       make(map[int]bool),
 		redundantStart: make(map[msg.InstanceID]*startReq),
 		cancelledStart: make(map[msg.InstanceID]sim.Time),
+		enqueuedStart:  make(map[msg.InstanceID]sim.Time),
 		lastSeen:       make(map[msg.NodeID]sim.Time),
 		believedDead:   make(map[msg.NodeID]bool),
 		epoch:          1,
@@ -247,6 +251,18 @@ func (c *Cub) MirrorLoadFor(owner msg.NodeID) int {
 	}
 	return n
 }
+
+// BelievesDead reports whether this cub currently believes z dead.
+func (c *Cub) BelievesDead(z msg.NodeID) bool { return c.believedDead[z] }
+
+// BelievedDead returns the number of peers this cub currently believes
+// dead; convergence checks expect it to return to 0 after all faults
+// heal.
+func (c *Cub) BelievedDead() int { return len(c.believedDead) }
+
+// FailedDisks returns how many of this cub's own drives are marked
+// failed.
+func (c *Cub) FailedDisks() int { return len(c.failedDisks) }
 
 // RecoveryTimes returns the restart-to-reintegration duration histogram.
 func (c *Cub) RecoveryTimes() *metrics.Histogram { return c.recovery }
@@ -384,8 +400,16 @@ func (c *Cub) Deliver(from msg.NodeID, m msg.Message) {
 func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 	switch t := m.(type) {
 	case *msg.ViewerState:
+		prior := c.peerEpoch[from]
 		if c.staleEpoch(from, t.Epoch) {
 			return
+		}
+		// Gossip is proof of life too: a viewer state arriving directly
+		// from a peer we believe dead refutes the death (deadman.go) just
+		// like a heartbeat would — during a partial partition the gossip
+		// path can heal before the next heartbeat arrives.
+		if c.believedDead[from] {
+			c.proofOfLife(from, t.Epoch, prior)
 		}
 		c.onViewerState(*t)
 	case *msg.Deschedule:
@@ -395,12 +419,13 @@ func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 	case *msg.StartAck:
 		c.onStartAck(*t)
 	case *msg.Heartbeat:
+		prior := c.peerEpoch[from]
 		if c.staleEpoch(from, t.Epoch) {
 			return
 		}
 		c.lastSeen[t.From] = c.clk.Now()
 		if c.believedDead[t.From] {
-			c.markAlive(t.From)
+			c.proofOfLife(t.From, t.Epoch, prior)
 		}
 	case *msg.Hello:
 		// Transport-level peer identification. Its epoch announcement is

@@ -92,11 +92,84 @@ func (c *Cub) markDead(z msg.NodeID) {
 	c.flushForwards()
 }
 
-// markAlive handles a heartbeat from a cub previously declared dead.
-// This alone only ends a network blip: the peer kept its state and
-// resumes where it left off. A peer that actually restarted additionally
-// runs the rejoin handshake (rejoin.go) to rebuild its view and take its
-// mirror load back.
+// markAlive clears the death belief for a peer without touching mirror
+// state. It is the right call when the peer's recovery path will perform
+// the handback itself — a restarted incarnation runs the rejoin
+// handshake (rejoin.go), which rebuilds its view and retires our
+// mirrors via RejoinConfirm.
 func (c *Cub) markAlive(z msg.NodeID) {
 	delete(c.believedDead, z)
+}
+
+// proofOfLife handles a direct message from z at epoch e when z is on
+// our believedDead list; prior is our epoch high-water mark for z before
+// this message. Two cases:
+//
+//   - e bumped past prior: z genuinely restarted. Clearing the belief is
+//     enough; its rejoin handshake transfers the view and takes the
+//     mirror load back.
+//   - e unchanged (or z was never epoch-known): z never died — the
+//     deadman timeout fired across a partition or asymmetric link loss.
+//     The death is refuted: we retire the mirror load we built for z and
+//     hand the rebuilt primaries straight back, no rejoin handshake
+//     required (z still holds its own view; the handback is absorbed as
+//     idempotent duplicates).
+func (c *Cub) proofOfLife(z msg.NodeID, e, prior int32) {
+	c.lastSeen[z] = c.clk.Now()
+	if !c.believedDead[z] {
+		return
+	}
+	if prior != 0 && e > prior {
+		c.markAlive(z)
+		return
+	}
+	c.refuteDeath(z)
+}
+
+// refuteDeath implements the split-brain healing rule: a false death
+// declaration is withdrawn and the mirror viewer states covering z's
+// disks are retired through the same path RejoinConfirm uses. For each
+// retired chain the primary state it derives from is rebuilt and
+// forwarded to z — if z somehow lost it the stream survives, and
+// otherwise z's dedup counters absorb the duplicate (§4.1.2's
+// idempotence argument, applied to the heal).
+func (c *Cub) refuteDeath(z msg.NodeID) {
+	c.markAlive(z)
+	c.stats.DeathsRefuted++
+	if o := c.obs; o != nil {
+		o.deathsRefuted.Inc()
+	}
+	pace := int64(c.cfg.MirrorPace())
+	now := int64(c.clk.Now())
+	var keys []entryKey
+	for k, e := range c.entries {
+		if k.part >= 0 && c.cfg.Layout.CubOfDisk(int(e.vs.OrigDisk)) == z {
+			keys = append(keys, k)
+		}
+	}
+	sortEntryKeys(keys)
+	handed := make(map[entryKey]bool)
+	for _, k := range keys {
+		e := c.entries[k]
+		// Rebuild the primary service this piece substitutes for: piece p
+		// is due p mirror paces after the primary send it replaces.
+		pvs := e.vs
+		pvs.Mirror = false
+		pvs.Part = 0
+		pvs.Due -= int64(e.vs.Part) * pace
+		pk := entryKey{pvs.Slot, -1, pvs.Due}
+		if pvs.Due > now && !handed[pk] {
+			handed[pk] = true
+			cp := pvs
+			c.enqueueForward(z, &cp)
+		}
+		c.dropEntryRelease(k)
+		c.stats.MirrorsRetired++
+		if o := c.obs; o != nil {
+			o.mirrorsBack.Inc()
+		}
+	}
+	if len(keys) > 0 {
+		c.flushForwards()
+	}
 }

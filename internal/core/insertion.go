@@ -42,6 +42,20 @@ func (c *Cub) onStartPlay(sp msg.StartPlay) {
 }
 
 func (c *Cub) enqueueStart(req *startReq) {
+	// Idempotence guard: a duplicated StartPlay (an at-least-once
+	// transport retrying across a blip, or a redundant copy racing its
+	// promotion) must not enqueue the same instance twice — two inserts
+	// of one instance into two slots would be a real double-schedule.
+	inst := req.sp.Instance
+	if _, dup := c.enqueuedStart[inst]; dup {
+		c.stats.StartsDup++
+		if o := c.obs; o != nil {
+			o.startsDup.Inc()
+		}
+		return
+	}
+	c.enqueuedStart[inst] = c.clk.Now()
+	c.clk.After(time.Minute, func() { delete(c.enqueuedStart, inst) })
 	c.queue[req.disk] = append(c.queue[req.disk], req)
 	if o := c.obs; o != nil {
 		o.queueLen.Set(float64(c.QueueLen()))

@@ -43,6 +43,8 @@ type cubObs struct {
 	piecesLost  *obs.Counter
 
 	deadDeclared  *obs.Counter
+	deathsRefuted *obs.Counter
+	startsDup     *obs.Counter
 	rejoins       *obs.Counter
 	rejoinsServed *obs.Counter
 	viewXfer      *obs.Counter
@@ -87,6 +89,8 @@ func (c *Cub) AttachObs(reg *obs.Registry) {
 		piecesLost:  reg.Counter("tiger_cub_pieces_lost_total", "Mirror pieces undeliverable (covering cub dead).", ls),
 
 		deadDeclared:  reg.Counter("tiger_cub_dead_declared_total", "Deadman transitions observed.", ls),
+		deathsRefuted: reg.Counter("tiger_cub_deaths_refuted_total", "False death declarations withdrawn on proof of life.", ls),
+		startsDup:     reg.Counter("tiger_cub_starts_dup_total", "Duplicate start-play enqueues ignored.", ls),
 		rejoins:       reg.Counter("tiger_cub_rejoins_total", "Cold restarts this cub performed.", ls),
 		rejoinsServed: reg.Counter("tiger_cub_rejoins_served_total", "Rejoin requests answered for neighbours.", ls),
 		viewXfer:      reg.Counter("tiger_cub_view_transferred_total", "Schedule entries rebuilt from rejoin replies.", ls),

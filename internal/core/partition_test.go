@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+// This file tests the split-brain healing rule (deadman.go): a false
+// death declaration — the deadman timeout firing across a partition
+// while the "dead" cub is alive and serving — must be refuted by the
+// first proof of life at an unchanged epoch, with the mirror load the
+// believers built drained through the retire path, no restart involved.
+
+// isolate cuts cub i off from every other node including the controller.
+func (r *rig) isolate(i int) {
+	for j := range r.cubs {
+		if j != i {
+			r.net.Cut(msg.NodeID(i), msg.NodeID(j))
+		}
+	}
+	r.net.Cut(msg.NodeID(i), msg.Controller)
+}
+
+func (r *rig) healAll() { r.net.HealAllLinks() }
+
+func TestFalseDeathRefutedOnHeal(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	r.play(1, 0, 0)
+	r.run(4 * time.Second)
+
+	const victim = 3
+	r.isolate(victim)
+	// Long enough for every monitored neighbour to declare the victim
+	// dead and for its first living successor to build mirror load.
+	r.run(5 * time.Second)
+
+	believers := 0
+	for j, c := range r.cubs {
+		if j != victim && c.BelievesDead(victim) {
+			believers++
+		}
+	}
+	if believers == 0 {
+		t.Fatal("no neighbour declared the isolated cub dead")
+	}
+	if r.cubs[victim].BelievedDead() == 0 {
+		t.Fatal("isolated cub did not reciprocate the death beliefs")
+	}
+	load := r.mirrorLoadFor(victim)
+	if load == 0 {
+		t.Fatal("no mirror load built for the falsely-declared cub")
+	}
+
+	r.healAll()
+	// A couple of heartbeat intervals: the first heartbeat across the
+	// healed links refutes the deaths in both directions.
+	r.run(5 * time.Second)
+
+	for j, c := range r.cubs {
+		if c.BelievedDead() != 0 {
+			t.Fatalf("cub %d still believes %d peers dead after heal", j, c.BelievedDead())
+		}
+	}
+	if got := r.mirrorLoadFor(victim); got != 0 {
+		t.Fatalf("mirror load for victim still %d after heal (was %d)", got, load)
+	}
+	tot := r.totals()
+	if tot.DeathsRefuted == 0 {
+		t.Fatal("no death refutation recorded")
+	}
+	if tot.Rejoins != 0 {
+		t.Fatalf("healing took %d restarts; refutation must not need one", tot.Rejoins)
+	}
+	if tot.MirrorsRetired == 0 {
+		t.Fatal("mirror load drained without passing the retire path")
+	}
+	if tot.Conflicts != 0 {
+		t.Fatalf("%d slot conflicts during a churn-free partition", tot.Conflicts)
+	}
+	// The handback states the believers forwarded are duplicates to the
+	// victim, which kept its view across the blip; idempotence absorbs
+	// them rather than double-scheduling.
+	if tot.IndexMisses != 0 {
+		t.Fatalf("%d index misses", tot.IndexMisses)
+	}
+
+	// The stream must still be flowing after the heal.
+	before := r.got(1)
+	r.run(5 * time.Second)
+	if after := r.got(1); after <= before {
+		t.Fatalf("stream stalled after heal: %d playseqs before, %d after", before, after)
+	}
+}
+
+func TestGossipRefutesDeath(t *testing.T) {
+	// Cut ONLY the heartbeat direction victim→successor long enough for
+	// the successor to declare the victim dead, then keep that one-way
+	// cut and let the victim's forwarded viewer states (redelivered via
+	// the healed link) refute the death: any direct message at a current
+	// epoch is proof of life, not just heartbeats.
+	r := newRig(t, defaultRigOptions())
+	r.play(1, 0, 0)
+	r.run(4 * time.Second)
+
+	const victim, watcher = 3, 4
+	r.net.CutOneWay(msg.NodeID(victim), msg.NodeID(watcher))
+	r.run(5 * time.Second)
+	if !r.cubs[watcher].BelievesDead(victim) {
+		t.Fatal("watcher did not declare the silenced cub dead")
+	}
+	if r.cubs[victim].BelievesDead(watcher) {
+		t.Fatal("asymmetric cut should not make the victim suspect the watcher")
+	}
+
+	r.net.HealOneWay(msg.NodeID(victim), msg.NodeID(watcher))
+	r.run(2 * time.Second)
+	if r.cubs[watcher].BelievesDead(victim) {
+		t.Fatal("death not refuted after one-way heal")
+	}
+	if r.totals().DeathsRefuted == 0 {
+		t.Fatal("no refutation recorded")
+	}
+	if r.totals().Rejoins != 0 {
+		t.Fatal("refutation must not require a restart")
+	}
+}
+
+func TestDuplicateStartPlayAbsorbed(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	// File 0 starts on disk (0*3)%8 = 0, owned by cub 0.
+	sp := msg.StartPlay{
+		Viewer: 9, Instance: 77, File: 0, StartBlock: 0,
+		Bitrate: 2_000_000, Primary: true,
+	}
+	r.cubs[0].Deliver(msg.Controller, &sp)
+	dup := sp
+	r.cubs[0].Deliver(msg.Controller, &dup)
+	r.run(5 * time.Second)
+
+	tot := r.totals()
+	if tot.Inserts != 1 {
+		t.Fatalf("duplicated StartPlay produced %d inserts, want 1", tot.Inserts)
+	}
+	if tot.StartsDup != 1 {
+		t.Fatalf("StartsDup = %d, want 1", tot.StartsDup)
+	}
+	if tot.Conflicts != 0 {
+		t.Fatalf("%d conflicts from a duplicated start", tot.Conflicts)
+	}
+}

@@ -69,6 +69,7 @@ func (c *Cub) Restart() {
 	c.queue = make(map[int][]*startReq)
 	c.redundantStart = make(map[msg.InstanceID]*startReq)
 	c.cancelledStart = make(map[msg.InstanceID]sim.Time)
+	c.enqueuedStart = make(map[msg.InstanceID]sim.Time)
 	c.believedDead = make(map[msg.NodeID]bool)
 	c.peerEpoch = make(map[msg.NodeID]int32)
 	c.fwdPending = make(map[msg.NodeID][]msg.Message)

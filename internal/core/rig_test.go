@@ -155,6 +155,8 @@ func (r *rig) totals() CubStats {
 		t.MirrorsMade += s.MirrorsMade
 		t.PiecesLost += s.PiecesLost
 		t.IndexMisses += s.IndexMisses
+		t.DeathsRefuted += s.DeathsRefuted
+		t.StartsDup += s.StartsDup
 		t.Rejoins += s.Rejoins
 		t.RejoinsServed += s.RejoinsServed
 		t.ViewTransferred += s.ViewTransferred

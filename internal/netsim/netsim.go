@@ -75,6 +75,36 @@ type DataSink interface {
 
 type pairKey struct{ from, to msg.NodeID }
 
+// FlakyParams describe a degraded (but not cut) link direction: an
+// independent per-message drop probability, a duplication probability
+// (the message is delivered twice, modelling an at-least-once transport
+// retrying across a blip), and an extra one-way delay drawn uniformly
+// from [0, ExtraDelay). All draws come from the simulator's seeded rng,
+// so runs are reproducible.
+type FlakyParams struct {
+	DropProb   float64
+	DupProb    float64
+	ExtraDelay time.Duration
+}
+
+func (p FlakyParams) zero() bool {
+	return p.DropProb == 0 && p.DupProb == 0 && p.ExtraDelay == 0
+}
+
+// linkFault is the fault state of one directed node pair. The zero value
+// means a healthy link; healthy links carry no record at all.
+type linkFault struct {
+	cut   bool
+	flaky FlakyParams
+}
+
+// FaultStats count what the fault layer did to traffic.
+type FaultStats struct {
+	LinkDrops int64 // control messages dropped by a cut or flaky link
+	LinkDups  int64 // duplicate control deliveries injected
+	DataDrops int64 // block deliveries dropped by the DropData hook
+}
+
 // nodeStats tracks per-node traffic. Control and data are separated
 // because the paper reports control traffic alone (Figures 8-9).
 type nodeStats struct {
@@ -107,12 +137,21 @@ type Network struct {
 	incarn  map[msg.NodeID]int // bumped by Crash; dooms in-flight messages
 	lastArr map[pairKey]sim.Time
 	stats   map[msg.NodeID]*nodeStats
+	links   map[pairKey]*linkFault // directed link faults; absent = healthy
+	faults  FaultStats
 	reg     *obs.Registry // nil without AttachObs
 
 	// DropControl, if non-nil, is consulted for each control message;
 	// returning true drops it. Used by fault-injection tests only — the
 	// real system runs control traffic over TCP.
 	DropControl func(from, to msg.NodeID, m msg.Message) bool
+
+	// DropData, if non-nil, is consulted for each block send before any
+	// pacing or NIC accounting; returning true silently loses the block.
+	// This is the data-plane half of fault injection: link cuts model the
+	// control mesh, while DropData models loss on the switched data path
+	// to viewers (internal/chaos drives it for its data-fault steps).
+	DropData func(from msg.NodeID, d BlockDelivery) bool
 }
 
 // New creates an empty network.
@@ -127,6 +166,7 @@ func New(params Params, clk clock.Clock, rng *rand.Rand) *Network {
 		incarn:  make(map[msg.NodeID]int),
 		lastArr: make(map[pairKey]sim.Time),
 		stats:   make(map[msg.NodeID]*nodeStats),
+		links:   make(map[pairKey]*linkFault),
 	}
 }
 
@@ -205,6 +245,90 @@ func (n *Network) Revive(id msg.NodeID) { delete(n.failed, id) }
 // Failed reports whether a node is currently marked down.
 func (n *Network) Failed(id msg.NodeID) bool { return n.failed[id] }
 
+// --- link-level faults ---
+//
+// Node failures (Fail/Crash) model a dead machine; link faults model a
+// live machine that some peers cannot reach — the partition case the
+// deadman protocol (§2.3) can misread as a death. Faults are directed:
+// an asymmetric cut (A hears B, B cannot hear A) is a single CutOneWay.
+
+func (n *Network) linkFor(from, to msg.NodeID) *linkFault {
+	k := pairKey{from, to}
+	lf := n.links[k]
+	if lf == nil {
+		lf = &linkFault{}
+		n.links[k] = lf
+	}
+	return lf
+}
+
+// pruneLink discards the record for a link with no remaining fault, so
+// FaultedLinks counts only genuinely degraded pairs.
+func (n *Network) pruneLink(from, to msg.NodeID) {
+	k := pairKey{from, to}
+	if lf := n.links[k]; lf != nil && !lf.cut && lf.flaky.zero() {
+		delete(n.links, k)
+	}
+}
+
+// CutOneWay severs the directed link from→to: every control message sent
+// that way is silently lost until HealOneWay (or Heal/HealAllLinks).
+func (n *Network) CutOneWay(from, to msg.NodeID) { n.linkFor(from, to).cut = true }
+
+// Cut severs the link between a and b in both directions.
+func (n *Network) Cut(a, b msg.NodeID) {
+	n.CutOneWay(a, b)
+	n.CutOneWay(b, a)
+}
+
+// HealOneWay restores the directed link from→to, clearing a cut and any
+// flaky parameters. Messages sent while the link was cut stay lost.
+func (n *Network) HealOneWay(from, to msg.NodeID) {
+	if lf := n.links[pairKey{from, to}]; lf != nil {
+		lf.cut = false
+		lf.flaky = FlakyParams{}
+		n.pruneLink(from, to)
+	}
+}
+
+// Heal restores the link between a and b in both directions.
+func (n *Network) Heal(a, b msg.NodeID) {
+	n.HealOneWay(a, b)
+	n.HealOneWay(b, a)
+}
+
+// HealAllLinks clears every link fault on the switch.
+func (n *Network) HealAllLinks() {
+	n.links = make(map[pairKey]*linkFault)
+}
+
+// SetFlakyOneWay degrades the directed link from→to. A zero FlakyParams
+// heals the flakiness (a cut on the same link, if any, remains).
+func (n *Network) SetFlakyOneWay(from, to msg.NodeID, p FlakyParams) {
+	n.linkFor(from, to).flaky = p
+	n.pruneLink(from, to)
+}
+
+// SetFlaky degrades the link between a and b in both directions.
+func (n *Network) SetFlaky(a, b msg.NodeID, p FlakyParams) {
+	n.SetFlakyOneWay(a, b, p)
+	n.SetFlakyOneWay(b, a, p)
+}
+
+// LinkCut reports whether the directed link from→to is currently cut.
+func (n *Network) LinkCut(from, to msg.NodeID) bool {
+	lf := n.links[pairKey{from, to}]
+	return lf != nil && lf.cut
+}
+
+// FaultedLinks returns the number of directed links with an active fault
+// (cut or flaky). Chaos harnesses use it to decide when the network is
+// clean again.
+func (n *Network) FaultedLinks() int { return len(n.links) }
+
+// FaultStats returns cumulative counts of fault-layer interventions.
+func (n *Network) FaultStats() FaultStats { return n.faults }
+
 func (n *Network) latency() time.Duration {
 	l := n.params.LatencyBase
 	if n.params.LatencyJitter > 0 {
@@ -230,7 +354,42 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 		st.obsCtlMsgs.Inc()
 	}
 
-	arrive := n.clk.Now().Add(n.latency())
+	// Link faults. The sender already paid for the bytes above: a cut or
+	// lossy link loses traffic in the network, it does not stop the
+	// sender transmitting.
+	var extra time.Duration
+	dup := false
+	if lf := n.links[pairKey{from, to}]; lf != nil {
+		if lf.cut {
+			n.faults.LinkDrops++
+			return
+		}
+		f := lf.flaky
+		if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
+			n.faults.LinkDrops++
+			return
+		}
+		if f.ExtraDelay > 0 {
+			extra = time.Duration(n.rng.Int63n(int64(f.ExtraDelay)))
+		}
+		if f.DupProb > 0 && n.rng.Float64() < f.DupProb {
+			dup = true
+		}
+	}
+	n.deliverCtl(from, to, m, extra)
+	if dup {
+		// The duplicate trails the original through the same FIFO link,
+		// like a retransmission whose first copy also arrived.
+		n.faults.LinkDups++
+		n.deliverCtl(from, to, m, extra)
+	}
+}
+
+// deliverCtl schedules one control-message arrival, preserving FIFO per
+// (from, to) pair and dooming the delivery if either endpoint fails or
+// crashes while it is in flight.
+func (n *Network) deliverCtl(from, to msg.NodeID, m msg.Message, extra time.Duration) {
+	arrive := n.clk.Now().Add(n.latency() + extra)
 	key := pairKey{from, to}
 	if last := n.lastArr[key]; arrive <= last {
 		arrive = last + 1 // preserve FIFO per pair
@@ -258,6 +417,10 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 // byte arrives.
 func (n *Network) SendBlock(from msg.NodeID, d BlockDelivery, pace time.Duration) {
 	if n.failed[from] {
+		return
+	}
+	if n.DropData != nil && n.DropData(from, d) {
+		n.faults.DataDrops++
 		return
 	}
 	st := n.statsFor(from)

@@ -255,6 +255,140 @@ func TestNICOverloadDetected(t *testing.T) {
 	}
 }
 
+func TestLinkCutAndHeal(t *testing.T) {
+	eng, n := testNet(t, nil)
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.Cut(0, 1)
+	if !n.LinkCut(1, 0) || !n.LinkCut(0, 1) {
+		t.Fatal("Cut is not symmetric")
+	}
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	eng.Run()
+	if len(r.msgs) != 0 {
+		t.Fatalf("cut link delivered %d messages", len(r.msgs))
+	}
+	if fs := n.FaultStats(); fs.LinkDrops != 1 {
+		t.Fatalf("link drops %d, want 1", fs.LinkDrops)
+	}
+	if n.FaultedLinks() != 2 {
+		t.Fatalf("faulted links %d, want 2", n.FaultedLinks())
+	}
+	n.Heal(0, 1)
+	if n.FaultedLinks() != 0 {
+		t.Fatalf("faulted links after heal: %d", n.FaultedLinks())
+	}
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	eng.Run()
+	if len(r.msgs) != 1 {
+		t.Fatalf("healed link delivered %d messages, want 1", len(r.msgs))
+	}
+}
+
+func TestAsymmetricCut(t *testing.T) {
+	// 0→1 cut, 1→0 intact: exactly the "B cannot hear A" half-failure the
+	// deadman protocol can misread as a death.
+	eng, n := testNet(t, nil)
+	r0 := &recorder{eng: eng}
+	r1 := &recorder{eng: eng}
+	n.Register(0, r0)
+	n.Register(1, r1)
+	n.CutOneWay(0, 1)
+	n.Send(0, 1, &msg.Heartbeat{From: 0})
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	eng.Run()
+	if len(r1.msgs) != 0 {
+		t.Fatal("cut direction delivered")
+	}
+	if len(r0.msgs) != 1 {
+		t.Fatal("intact direction lost the message")
+	}
+}
+
+func TestFlakyDropAndDup(t *testing.T) {
+	eng, n := testNet(t, nil)
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+
+	n.SetFlakyOneWay(1, 0, FlakyParams{DropProb: 1})
+	n.Send(1, 0, &msg.Heartbeat{From: 1})
+	eng.Run()
+	if len(r.msgs) != 0 {
+		t.Fatal("DropProb=1 delivered")
+	}
+
+	n.SetFlakyOneWay(1, 0, FlakyParams{DupProb: 1})
+	n.Send(1, 0, &msg.Heartbeat{From: 1, Epoch: 7})
+	eng.Run()
+	if len(r.msgs) != 2 {
+		t.Fatalf("DupProb=1 delivered %d copies, want 2", len(r.msgs))
+	}
+	if r.at[1] <= r.at[0] {
+		t.Fatal("duplicate did not trail the original")
+	}
+	fs := n.FaultStats()
+	if fs.LinkDrops != 1 || fs.LinkDups != 1 {
+		t.Fatalf("fault stats %+v", fs)
+	}
+
+	// Zero params heal the flakiness.
+	n.SetFlakyOneWay(1, 0, FlakyParams{})
+	if n.FaultedLinks() != 0 {
+		t.Fatalf("faulted links after zero params: %d", n.FaultedLinks())
+	}
+}
+
+func TestFlakyExtraDelayPreservesFIFO(t *testing.T) {
+	eng, n := testNet(t, func(p *Params) { p.LatencyJitter = 0 })
+	r := &recorder{eng: eng}
+	n.Register(0, r)
+	n.Register(1, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.SetFlakyOneWay(1, 0, FlakyParams{ExtraDelay: 20 * time.Millisecond})
+	for i := 0; i < 40; i++ {
+		n.Send(1, 0, &msg.Heartbeat{From: 1, Epoch: int32(i)})
+	}
+	eng.Run()
+	if len(r.msgs) != 40 {
+		t.Fatalf("%d deliveries", len(r.msgs))
+	}
+	for i, m := range r.msgs {
+		if m.(*msg.Heartbeat).Epoch != int32(i) {
+			t.Fatalf("message %d out of order under extra delay", i)
+		}
+	}
+	// At least one message must actually have been delayed beyond the
+	// base latency.
+	if r.at[0] == sim.Time(n.Params().LatencyBase) && r.at[39] <= r.at[0]+39 {
+		t.Fatal("extra delay never applied")
+	}
+}
+
+func TestDropDataHook(t *testing.T) {
+	eng, n := testNet(t, nil)
+	s := &sink{}
+	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))
+	n.RegisterViewer(7, s)
+	drop := true
+	n.DropData = func(from msg.NodeID, d BlockDelivery) bool { return drop }
+	n.SendBlock(0, BlockDelivery{Viewer: 7, Bytes: 1000, Parts: 1}, time.Second)
+	drop = false
+	n.SendBlock(0, BlockDelivery{Viewer: 7, Bytes: 1000, Parts: 1}, time.Second)
+	eng.Run()
+	if len(s.got) != 1 {
+		t.Fatalf("%d deliveries, want 1", len(s.got))
+	}
+	if fs := n.FaultStats(); fs.DataDrops != 1 {
+		t.Fatalf("data drops %d, want 1", fs.DataDrops)
+	}
+	// Dropped blocks must not pollute the NIC or byte accounting: only
+	// the delivered block counts.
+	if st := n.NodeStats(0); st.DataBytes != 1000 {
+		t.Fatalf("data bytes %d, want 1000", st.DataBytes)
+	}
+}
+
 func TestDuplicateRegistrationPanics(t *testing.T) {
 	_, n := testNet(t, nil)
 	n.Register(0, HandlerFunc(func(msg.NodeID, msg.Message) {}))

@@ -18,7 +18,12 @@ fi
 go vet ./...
 go build ./...
 go test -short ./...
-go test -race ./internal/rt ./internal/core ./internal/obs ./internal/sim
+go test -race ./internal/rt ./internal/core ./internal/obs ./internal/sim ./internal/netsim ./internal/chaos
+
+# Chaos gate: the short tier above already runs TestChaosSmoke (a full
+# partition-heal-refute cycle); here the full chaos scenarios and the
+# random-operations monkey test run under the race detector.
+go test -race -run 'TestChaos|TestRandomOperationsInvariants' .
 
 # Bench smoke: compile and single-shot every benchmark so the alloc
 # regression tests and hot-path benches can't silently rot.

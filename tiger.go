@@ -379,7 +379,9 @@ func (c *Cluster) TotalCubStats() core.CubStats {
 		t.PiecesLost += s.PiecesLost
 		t.IndexMisses += s.IndexMisses
 		t.DeadDeclared += s.DeadDeclared
+		t.DeathsRefuted += s.DeathsRefuted
 		t.RedundantRuns += s.RedundantRuns
+		t.StartsDup += s.StartsDup
 		t.Rejoins += s.Rejoins
 		t.RejoinsServed += s.RejoinsServed
 		t.ViewTransferred += s.ViewTransferred
