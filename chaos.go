@@ -36,6 +36,21 @@ func (s chaosSystem) FailDisk(cub, disk int) {
 	s.c.Cubs[cub].FailDisk(ds[disk])
 }
 
+// globalDisk translates a chaos schedule's cub-local disk index to the
+// cluster's global disk numbering.
+func (s chaosSystem) globalDisk(cub, disk int) int {
+	return s.c.Cfg.Layout.DisksOfCub(msg.NodeID(cub))[disk]
+}
+
+func (s chaosSystem) SlowDisk(cub, disk int, factor float64) {
+	s.c.FailDiskSlow(s.globalDisk(cub, disk), factor)
+}
+func (s chaosSystem) ErrorDisk(cub, disk int, prob float64) {
+	s.c.FailDiskErrors(s.globalDisk(cub, disk), prob)
+}
+func (s chaosSystem) StickDisk(cub, disk int) { s.c.StickDisk(s.globalDisk(cub, disk)) }
+func (s chaosSystem) HealDisk(cub, disk int)  { s.c.HealDisk(s.globalDisk(cub, disk)) }
+
 // serveKey identifies one block or mirror-piece service. Exactly one cub
 // may perform each: the slot owner for primaries, the covering disk's
 // cub for mirror pieces. Two cubs serving the same key is the

@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|chaos|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|chaos|grayfail|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
 	parallel = flag.Int("parallel", 1, "worker-pool width for multi-point sweeps (0 = GOMAXPROCS); results are identical at any width")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
@@ -37,6 +37,9 @@ var (
 	failedAt = flag.Int("fail-cub", 5, "cub to fail in failed-mode runs")
 	csvDir   = flag.String("csv", "", "also write plot-ready CSV files for fig8/fig9/fig10/scale into this directory")
 	outDir   = flag.String("out", "", "also write machine-readable BENCH_*.json result artifacts into this directory")
+
+	grayFactorsFlag = flag.String("grayfactors", "1.5,2,3", "comma-separated disk slowdown factors for the grayfail sweep")
+	grayHold        = flag.Duration("grayhold", 45*time.Second, "post-injection hold per grayfail point")
 )
 
 // writeCSV emits rows into <csvDir>/<name>.csv when -csv is set.
@@ -151,6 +154,7 @@ func main() {
 	run("ablate-lead", func() error { return ablateLead(o) })
 	run("flash", func() error { return flash(o) })
 	run("chaos", func() error { return chaosSweep(o) })
+	run("grayfail", func() error { return grayfail(o) })
 	run("score", func() error { return score(o) })
 	run("observe", func() error { return observe(o) })
 	run("ablate-frag", func() error { return ablateFrag() })
@@ -258,6 +262,60 @@ func chaosSweep(o tiger.Options) error {
 		return err
 	}
 	return writeJSON("chaos", pts)
+}
+
+// grayfail is the fail-slow sweep: slowdown factor × mitigation arm.
+// The fail-stop detectors never fire — the cub heartbeats, the disk
+// answers — so without the health monitor every stream touching the
+// slow drive silently loses blocks; the sweep shows detection time,
+// hedge activity, quarantine, and the resulting loss for both arms.
+func grayfail(o tiger.Options) error {
+	header("Gray failure: fail-slow disk sweep (detect, hedge, quarantine)",
+		"a slow disk defeats fail-stop detection; loss is driven entirely by late reads")
+	var factors []float64
+	for _, s := range strings.Split(*grayFactorsFlag, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("grayfail: bad factor %q: %v", s, err)
+		}
+		factors = append(factors, f)
+	}
+	pts, err := tiger.RunGrayFailSweep(o, 0, factors, *grayHold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%7s %8s %8s %7s %9s %8s %8s %10s %10s %8s\n",
+		"factor", "monitor", "lost", "loss%", "hedges", "mirror", "misses", "suspect", "quarant", "doubles")
+	for _, p := range pts {
+		arm := "off"
+		if p.Hedge {
+			arm = "on"
+		}
+		sus, quar := "never", "never"
+		if p.Suspected {
+			sus = fmt.Sprintf("%.1fs", p.TimeToSuspectSec)
+		}
+		if p.Quarantined {
+			quar = fmt.Sprintf("%.1fs", p.TimeToQuarantineSec)
+		}
+		fmt.Printf("%7.2f %8s %8d %6.3f%% %9d %8d %8d %10s %10s %8d\n",
+			p.Factor, arm, p.BlocksLost, p.LossPct, p.HedgesIssued,
+			p.MirrorBlocks, p.ServerMisses, sus, quar, p.DoubleServes)
+	}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			f1(p.Factor), strconv.FormatBool(p.Hedge), strconv.FormatInt(p.BlocksLost, 10),
+			f1(p.LossPct), strconv.FormatInt(p.HedgesIssued, 10),
+			f1(p.TimeToSuspectSec), f1(p.TimeToQuarantineSec), strconv.Itoa(p.DoubleServes),
+		})
+	}
+	if err := writeCSV("grayfail",
+		[]string{"factor", "monitor", "blocks_lost", "loss_pct", "hedges", "suspect_s", "quarantine_s", "double_serves"},
+		rows); err != nil {
+		return err
+	}
+	return writeJSON("grayfail", pts)
 }
 
 func flash(o tiger.Options) error {

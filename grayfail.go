@@ -1,0 +1,142 @@
+package tiger
+
+import (
+	"time"
+
+	"tiger/internal/core"
+	"tiger/internal/msg"
+)
+
+// This file implements the gray-failure experiment behind `tigerbench
+// -exp grayfail`. The paper's §5 failure experiment pulls a power cord —
+// a clean fail-stop the deadman detector handles. A fail-slow disk is
+// the failure Tiger's detectors cannot see: the cub still heartbeats,
+// the disk still completes reads, but late, and streams silently lose
+// blocks. The sweep measures that loss with and without the health
+// monitor (fail-slow detection, hedged mirror reads, quarantine) across
+// a range of slowdown factors.
+
+// GrayFailPoint is one row of the gray-failure sweep: one slowdown
+// factor under one arm (health monitor on or off).
+type GrayFailPoint struct {
+	Factor  float64 // victim disk service-time multiplier
+	Hedge   bool    // health monitor + hedged mirror reads enabled
+	Streams int
+
+	// Viewer delivery deltas from fault injection to the end of the hold.
+	BlocksOK     int64
+	BlocksLost   int64
+	LossPct      float64 // lost / (ok + lost), percent
+	MirrorBlocks int64
+
+	// Monitor activity over the hold.
+	HedgesIssued    int64
+	HedgeLocalWins  int64
+	HedgeMirrorWins int64
+	ServerMisses    int64
+
+	// Detection outcome: whether the victim was ever suspected /
+	// quarantined, and how long after injection each transition came.
+	Suspected           bool
+	Quarantined         bool
+	TimeToSuspectSec    float64
+	TimeToQuarantineSec float64
+
+	// DoubleServes must stay 0: hedging launches a second copy of a
+	// block's service, and the oracle proves the two never collide on
+	// the same service key.
+	DoubleServes int
+}
+
+// RunGrayFailSweep measures gray-failure tolerance: for each slowdown
+// factor it runs two arms — health monitor enabled and disabled — each
+// on a fresh cluster. The cluster ramps to streams (full capacity when
+// zero: a fail-slow drive only hurts when it has no headroom, like the
+// paper's fully loaded §5 runs), settles, then disk 0 of the last cub
+// turns fail-slow at the factor; the run holds for hold while polling
+// the victim's health state, and records the delivery loss and monitor
+// activity over that window. Client-overload drops are disabled so
+// every lost block is the slow disk's fault.
+func RunGrayFailSweep(o Options, streams int, factors []float64, hold time.Duration) ([]GrayFailPoint, error) {
+	o.ClientDropProb = 0
+	n := 2 * len(factors)
+	out := make([]GrayFailPoint, n)
+	err := forEachPoint(n, func(i int) error {
+		opt := o
+		hedge := i%2 == 0
+		opt.Health.Disable = !hedge
+		c, err := New(opt)
+		if err != nil {
+			return err
+		}
+		target := streams
+		if target <= 0 || target > c.Capacity() {
+			target = c.Capacity()
+		}
+		if err := c.RampTo(target); err != nil {
+			return err
+		}
+		c.RunFor(20 * time.Second)
+
+		h := NewChaosHarness(c)
+		defer h.Close()
+
+		// The victim: first disk of the last cub, so its declustered
+		// mirror pieces land on cubs 0..Decluster-1 rather than wrapping.
+		victim := c.Cfg.Layout.DisksOfCub(msg.NodeID(len(c.Cubs) - 1))[0]
+
+		ok0, lost0, mir0 := c.ViewerTotals()
+		cs0 := c.TotalCubStats()
+		failAt := c.Now()
+		c.FailDiskSlow(victim, factors[i/2])
+
+		tts, ttq := time.Duration(-1), time.Duration(-1)
+		for c.Now().Sub(failAt) < hold {
+			c.RunFor(250 * time.Millisecond)
+			switch c.DiskHealth(victim) {
+			case core.DiskQuarantined:
+				if ttq < 0 {
+					ttq = c.Now().Sub(failAt)
+				}
+				fallthrough
+			case core.DiskSuspected:
+				if tts < 0 {
+					tts = c.Now().Sub(failAt)
+				}
+			}
+		}
+
+		ok1, lost1, mir1 := c.ViewerTotals()
+		cs1 := c.TotalCubStats()
+		p := GrayFailPoint{
+			Factor:          factors[i/2],
+			Hedge:           hedge,
+			Streams:         c.Active(),
+			BlocksOK:        ok1 - ok0,
+			BlocksLost:      lost1 - lost0,
+			MirrorBlocks:    mir1 - mir0,
+			HedgesIssued:    cs1.HedgesIssued - cs0.HedgesIssued,
+			HedgeLocalWins:  cs1.HedgeLocalWins - cs0.HedgeLocalWins,
+			HedgeMirrorWins: cs1.HedgeMirrorWins - cs0.HedgeMirrorWins,
+			ServerMisses:    cs1.ServerMisses - cs0.ServerMisses,
+			Suspected:       tts >= 0,
+			Quarantined:     ttq >= 0,
+			DoubleServes:    h.DoubleServes(),
+		}
+		if total := p.BlocksOK + p.BlocksLost; total > 0 {
+			p.LossPct = 100 * float64(p.BlocksLost) / float64(total)
+		}
+		if p.Suspected {
+			p.TimeToSuspectSec = tts.Seconds()
+		}
+		if p.Quarantined {
+			p.TimeToQuarantineSec = ttq.Seconds()
+		}
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -60,6 +60,18 @@ const (
 	// DropData sets the block-delivery drop probability for sends from
 	// cub A (A == All for every cub) to Prob; Prob 0 heals it.
 	DropData Kind = "drop-data"
+	// SlowDisk degrades disk Disk on cub A to Factor× its nominal
+	// service time — the gray fail-slow fault the health monitor hunts.
+	SlowDisk Kind = "disk-slow"
+	// ErrorDisk gives disk Disk on cub A a transient read-failure
+	// probability of Prob.
+	ErrorDisk Kind = "disk-error"
+	// StickDisk wedges disk Disk's queue on cub A: reads are accepted
+	// but none completes until a DiskHeal.
+	StickDisk Kind = "disk-stick"
+	// HealDisk clears every gray fault (slow/error/stuck) on disk Disk
+	// of cub A; the health monitor's probes then un-quarantine it.
+	HealDisk Kind = "disk-heal"
 )
 
 // All, as Step.A for DropData, applies the probability to every cub.
@@ -69,12 +81,13 @@ const All = -1
 // start of the run; A and B are cub indices (B unused for single-node
 // kinds).
 type Step struct {
-	At    time.Duration
-	Kind  Kind
-	A, B  int
-	Disk  int                // FailDisk only
-	Flaky netsim.FlakyParams // FlakyLink / FlakyOneWay only
-	Prob  float64            // DropData only
+	At     time.Duration
+	Kind   Kind
+	A, B   int
+	Disk   int                // FailDisk / SlowDisk / ErrorDisk / StickDisk / HealDisk
+	Flaky  netsim.FlakyParams // FlakyLink / FlakyOneWay only
+	Prob   float64            // DropData / ErrorDisk
+	Factor float64            // SlowDisk only: service-time multiplier, ≥ 1
 }
 
 // Scenario is a named, seeded fault schedule.
@@ -141,7 +154,8 @@ func (s Scenario) Validate(numCubs int) error {
 		}
 		switch st.Kind {
 		case CrashCub, RestartCub, FailCub, ReviveCub, FailDisk, CutLink, CutOneWay,
-			HealLink, HealOneWay, FlakyLink, FlakyOneWay, Isolate, Rejoin, HealAll, DropData:
+			HealLink, HealOneWay, FlakyLink, FlakyOneWay, Isolate, Rejoin, HealAll, DropData,
+			SlowDisk, ErrorDisk, StickDisk, HealDisk:
 		default:
 			return fmt.Errorf("chaos: step %d has unknown kind %q", i, st.Kind)
 		}
@@ -163,6 +177,12 @@ func (s Scenario) Validate(numCubs int) error {
 		}
 		if st.Kind == DropData && (st.Prob < 0 || st.Prob > 1) {
 			return fmt.Errorf("chaos: step %d has drop probability %v", i, st.Prob)
+		}
+		if st.Kind == SlowDisk && st.Factor < 1 {
+			return fmt.Errorf("chaos: step %d has slow factor %v below 1 (use %s to heal)", i, st.Factor, HealDisk)
+		}
+		if st.Kind == ErrorDisk && (st.Prob <= 0 || st.Prob > 1) {
+			return fmt.Errorf("chaos: step %d has error probability %v outside (0,1] (use %s to heal)", i, st.Prob, HealDisk)
 		}
 	}
 	return nil
@@ -224,6 +244,22 @@ func RejoinCub(cub int) Step { return Step{Kind: Rejoin, A: cub} }
 
 // DataLoss returns a DropData step (cub == All for every sender).
 func DataLoss(cub int, prob float64) Step { return Step{Kind: DropData, A: cub, Prob: prob} }
+
+// DiskSlow returns a SlowDisk step: disk runs at factor× nominal time.
+func DiskSlow(cub, disk int, factor float64) Step {
+	return Step{Kind: SlowDisk, A: cub, Disk: disk, Factor: factor}
+}
+
+// DiskErrors returns an ErrorDisk step: reads fail with probability prob.
+func DiskErrors(cub, disk int, prob float64) Step {
+	return Step{Kind: ErrorDisk, A: cub, Disk: disk, Prob: prob}
+}
+
+// DiskStick returns a StickDisk step: the disk queue wedges solid.
+func DiskStick(cub, disk int) Step { return Step{Kind: StickDisk, A: cub, Disk: disk} }
+
+// DiskHeal returns a HealDisk step clearing all gray faults on the disk.
+func DiskHeal(cub, disk int) Step { return Step{Kind: HealDisk, A: cub, Disk: disk} }
 
 // Concat joins step groups built with At into one schedule.
 func Concat(groups ...[]Step) []Step {

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -36,8 +37,16 @@ func (f *fakeSystem) RestartCub(i int)       { f.record("restart"); f.net.Revive
 func (f *fakeSystem) FailCub(i int)          { f.record("fail"); f.net.Fail(msg.NodeID(i)) }
 func (f *fakeSystem) ReviveCub(i int)        { f.record("revive"); f.net.Revive(msg.NodeID(i)) }
 func (f *fakeSystem) FailDisk(cub, disk int) { f.record("disk") }
-func (f *fakeSystem) RunFor(d time.Duration) { f.eng.RunFor(d) }
-func (f *fakeSystem) Now() sim.Time          { return f.eng.Now() }
+func (f *fakeSystem) SlowDisk(cub, disk int, factor float64) {
+	f.record(fmt.Sprintf("slow %d/%d x%g", cub, disk, factor))
+}
+func (f *fakeSystem) ErrorDisk(cub, disk int, prob float64) {
+	f.record(fmt.Sprintf("err %d/%d p%g", cub, disk, prob))
+}
+func (f *fakeSystem) StickDisk(cub, disk int) { f.record(fmt.Sprintf("stick %d/%d", cub, disk)) }
+func (f *fakeSystem) HealDisk(cub, disk int)  { f.record(fmt.Sprintf("healdisk %d/%d", cub, disk)) }
+func (f *fakeSystem) RunFor(d time.Duration)  { f.eng.RunFor(d) }
+func (f *fakeSystem) Now() sim.Time           { return f.eng.Now() }
 
 func TestValidateRejectsBadSteps(t *testing.T) {
 	cases := []Scenario{
@@ -48,6 +57,9 @@ func TestValidateRejectsBadSteps(t *testing.T) {
 		{Name: "bad-peer", Duration: time.Second, Steps: []Step{{Kind: CutLink, A: 0, B: 9}}},
 		{Name: "self-link", Duration: time.Second, Steps: []Step{{Kind: CutLink, A: 1, B: 1}}},
 		{Name: "bad-prob", Duration: time.Second, Steps: []Step{{Kind: DropData, A: 0, Prob: 2}}},
+		{Name: "slow-below-1", Duration: time.Second, Steps: []Step{DiskSlow(0, 0, 0.5)}},
+		{Name: "err-prob-zero", Duration: time.Second, Steps: []Step{{Kind: ErrorDisk, A: 0}}},
+		{Name: "err-prob-high", Duration: time.Second, Steps: []Step{DiskErrors(0, 0, 1.5)}},
 	}
 	for _, sc := range cases {
 		if err := sc.Validate(4); err == nil {
@@ -59,7 +71,8 @@ func TestValidateRejectsBadSteps(t *testing.T) {
 		Duration: time.Second,
 		Steps: Concat(
 			At(0, IsolateCub(2), DataLoss(All, 0.5)),
-			At(500*time.Millisecond, RejoinCub(2), DataLoss(All, 0)),
+			At(250*time.Millisecond, DiskSlow(1, 0, 3), DiskErrors(1, 1, 0.05), DiskStick(0, 0)),
+			At(500*time.Millisecond, RejoinCub(2), DataLoss(All, 0), DiskHeal(1, 0), DiskHeal(1, 1), DiskHeal(0, 0)),
 		),
 	}
 	if err := good.Validate(4); err != nil {
@@ -224,6 +237,51 @@ func TestDropDataDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("same seed dropped %d then %d blocks", a, b)
+	}
+}
+
+func TestGrayDiskStepsApplyAndGateQuiet(t *testing.T) {
+	sys := newFakeSystem(t, 3)
+	sc := Scenario{
+		Name:     "gray",
+		Duration: 2 * time.Second,
+		Settle:   200 * time.Millisecond,
+		Steps: Concat(
+			At(100*time.Millisecond, DiskSlow(1, 0, 3)),
+			At(300*time.Millisecond, DiskStick(2, 1)),
+			At(600*time.Millisecond, DiskHeal(1, 0)),
+			At(900*time.Millisecond, DiskHeal(2, 1)),
+		),
+	}
+	r, err := NewRunner(sys, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstQuiet sim.Time
+	r.OnTick = func(now sim.Time, quiet bool) {
+		if quiet && firstQuiet == 0 {
+			firstQuiet = now
+		}
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"slow 1/0 x3", "stick 2/1", "healdisk 1/0", "healdisk 2/1"}
+	if len(sys.calls) != len(want) {
+		t.Fatalf("calls %v, want %v", sys.calls, want)
+	}
+	for i := range want {
+		if sys.calls[i] != want[i] {
+			t.Fatalf("calls %v, want %v", sys.calls, want)
+		}
+	}
+	// Gray faults gate quiet: it cannot engage until the last heal + settle.
+	if firstQuiet < sim.Time(1100*time.Millisecond) {
+		t.Fatalf("quiet at %v, before last heal + settle", firstQuiet)
+	}
+	if !rep.QuietAtEnd {
+		t.Fatal("gray fault left outstanding after heals")
 	}
 }
 

@@ -20,6 +20,12 @@ type System interface {
 	FailCub(i int)
 	ReviveCub(i int)
 	FailDisk(cub, disk int)
+	// Gray disk faults (PR 5): degrade a disk without killing it, so the
+	// health monitor has something to detect. HealDisk clears all three.
+	SlowDisk(cub, disk int, factor float64)
+	ErrorDisk(cub, disk int, prob float64)
+	StickDisk(cub, disk int)
+	HealDisk(cub, disk int)
 	RunFor(d time.Duration)
 	Now() sim.Time
 }
@@ -72,11 +78,12 @@ type Runner struct {
 	// experiments use it to probe recovery progress.
 	OnTick func(now sim.Time, quiet bool)
 
-	rng      *rand.Rand      // scenario-seeded; data-drop coin flips only
-	dropProb map[int]float64 // cub index (or All) → drop probability
-	downCubs map[int]bool    // FailCub/CrashCub without a matching repair
-	sickCubs map[int]bool    // cubs with a failed disk: never fully quiet
-	lastCure sim.Time        // when the last outstanding fault cleared
+	rng       *rand.Rand      // scenario-seeded; data-drop coin flips only
+	dropProb  map[int]float64 // cub index (or All) → drop probability
+	downCubs  map[int]bool    // FailCub/CrashCub without a matching repair
+	sickCubs  map[int]bool    // cubs with a failed disk: never fully quiet
+	grayDisks map[[2]int]bool // {cub, disk} with a gray fault not yet healed
+	lastCure  sim.Time        // when the last outstanding fault cleared
 }
 
 // NewRunner builds a runner; it validates the scenario against the
@@ -94,6 +101,7 @@ func NewRunner(sys System, sc Scenario, invs []Invariant) (*Runner, error) {
 		dropProb:   make(map[int]float64),
 		downCubs:   make(map[int]bool),
 		sickCubs:   make(map[int]bool),
+		grayDisks:  make(map[[2]int]bool),
 	}, nil
 }
 
@@ -172,6 +180,18 @@ func (r *Runner) apply(st Step) {
 		net.HealAllLinks()
 	case DropData:
 		r.setDropProb(st.A, st.Prob)
+	case SlowDisk:
+		r.Sys.SlowDisk(st.A, st.Disk, st.Factor)
+		r.grayDisks[[2]int{st.A, st.Disk}] = true
+	case ErrorDisk:
+		r.Sys.ErrorDisk(st.A, st.Disk, st.Prob)
+		r.grayDisks[[2]int{st.A, st.Disk}] = true
+	case StickDisk:
+		r.Sys.StickDisk(st.A, st.Disk)
+		r.grayDisks[[2]int{st.A, st.Disk}] = true
+	case HealDisk:
+		r.Sys.HealDisk(st.A, st.Disk)
+		delete(r.grayDisks, [2]int{st.A, st.Disk})
 	}
 	r.lastCure = r.Sys.Now()
 }
@@ -180,8 +200,11 @@ func (r *Runner) apply(st Step) {
 // Disk failures are excluded: they are permanent by design (the paper
 // has no disk revive) and the system is expected to reach a new steady
 // state around them; invariants that care consult the system directly.
+// Gray disk faults DO count — unlike FailDisk they are healable, and a
+// scenario is not quiet until its slow/flaky/stuck disks are healed.
 func (r *Runner) faultOutstanding() bool {
-	return len(r.downCubs) > 0 || len(r.dropProb) > 0 || r.Sys.Net().FaultedLinks() > 0
+	return len(r.downCubs) > 0 || len(r.dropProb) > 0 || len(r.grayDisks) > 0 ||
+		r.Sys.Net().FaultedLinks() > 0
 }
 
 // quiet reports whether the quiet-state invariants should engage: no

@@ -73,7 +73,47 @@ type Config struct {
 	DiskParams disk.Params
 	CPUModel   metrics.CPUModel
 
+	// Health tunes the per-disk gray-failure monitor (DESIGN §12).
+	Health HealthParams
+
 	Files map[msg.FileID]layout.File
+}
+
+// HealthParams tune the per-disk gray-failure monitor: the EWMA slack
+// detector, the healthy → suspected → quarantined state machine, and the
+// un-quarantine probe loop. Zero fields take DefaultTimings' defaults;
+// Disable turns the whole monitor off (the unmitigated ablation arm of
+// the grayfail sweep).
+type HealthParams struct {
+	Disable bool
+
+	// SlackAlpha is the EWMA weight of the newest completion sample, for
+	// both the normalized-slack and the issue-to-completion latency
+	// estimators.
+	SlackAlpha float64
+
+	// SuspectSlack and HealthySlack are normalized-slack EWMA thresholds
+	// in units of the zoned worst-case service time: below SuspectSlack a
+	// healthy disk becomes suspected; back above HealthySlack (with a
+	// clean streak) a suspected disk recovers. A healthy fully loaded
+	// disk sits far above both (slack ≈ ReadAhead / worst-case service),
+	// so the hysteresis band only engages on genuine degradation.
+	SuspectSlack float64
+	HealthySlack float64
+
+	// SuspectAfter / QuarantineAfter are the consecutive bad-event
+	// streaks (late completion, failed read, or deadline miss) that force
+	// healthy → suspected and suspected → quarantined regardless of the
+	// EWMA — the only signal path a stuck drive ever produces.
+	SuspectAfter    int
+	QuarantineAfter int
+
+	// ProbeInterval is the cadence of single-block probe reads against a
+	// quarantined drive; ProbeGood consecutive probes completing within
+	// 1.5× the worst-case service budget un-quarantine it, at an
+	// unchanged epoch.
+	ProbeInterval time.Duration
+	ProbeGood     int
 }
 
 // DefaultTimings fills in the paper's typical protocol constants.
@@ -101,6 +141,27 @@ func (c *Config) DefaultTimings() {
 	}
 	if c.DeadmanTimeout == 0 {
 		c.DeadmanTimeout = 2500 * time.Millisecond
+	}
+	if c.Health.SlackAlpha == 0 {
+		c.Health.SlackAlpha = 0.2
+	}
+	if c.Health.SuspectSlack == 0 {
+		c.Health.SuspectSlack = 3
+	}
+	if c.Health.HealthySlack == 0 {
+		c.Health.HealthySlack = 6
+	}
+	if c.Health.SuspectAfter == 0 {
+		c.Health.SuspectAfter = 3
+	}
+	if c.Health.QuarantineAfter == 0 {
+		c.Health.QuarantineAfter = 8
+	}
+	if c.Health.ProbeInterval == 0 {
+		c.Health.ProbeInterval = 5 * time.Second
+	}
+	if c.Health.ProbeGood == 0 {
+		c.Health.ProbeGood = 3
 	}
 }
 
@@ -141,6 +202,22 @@ func (c *Config) Validate() error {
 	}
 	if c.DeadmanTimeout < 2*c.HeartbeatInterval {
 		return fmt.Errorf("core: deadman timeout %v under two heartbeat intervals", c.DeadmanTimeout)
+	}
+	if !c.Health.Disable {
+		h := c.Health
+		if h.SlackAlpha <= 0 || h.SlackAlpha > 1 {
+			return fmt.Errorf("core: health slack alpha %v outside (0,1]", h.SlackAlpha)
+		}
+		if h.SuspectSlack >= h.HealthySlack {
+			return fmt.Errorf("core: health suspect slack %v must be below healthy slack %v (hysteresis)",
+				h.SuspectSlack, h.HealthySlack)
+		}
+		if h.SuspectAfter <= 0 || h.QuarantineAfter <= 0 || h.ProbeGood <= 0 {
+			return fmt.Errorf("core: health streak/probe counts must be positive: %+v", h)
+		}
+		if h.ProbeInterval <= 0 {
+			return fmt.Errorf("core: health probe interval %v must be positive", h.ProbeInterval)
+		}
 	}
 	for id, f := range c.Files {
 		if f.ID != id {

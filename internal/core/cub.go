@@ -39,7 +39,9 @@ type entry struct {
 	disk      int // this cub's disk that will serve it
 	ready     bool
 	forwarded bool
-	buffered  int64 // bytes of buffer pool held for this entry's read
+	hedged    bool   // a mirror chain was launched to cover a suspected disk
+	readID    uint64 // outstanding disk read, cancellable; 0 when none
+	buffered  int64  // bytes of buffer pool held for this entry's read
 	readTimer clock.Timer
 	sendTimer clock.Timer
 }
@@ -86,6 +88,16 @@ type CubStats struct {
 	ViewTransferred int64 // schedule entries rebuilt from rejoin replies
 	MirrorsRetired  int64 // mirror entries handed back to a rejoined primary
 	StaleEpochDrops int64 // messages discarded for carrying a stale epoch
+
+	// Gray-failure tolerance counters (health.go).
+	HedgesIssued      int64 // mirror chains launched to cover suspected disks
+	HedgeLocalWins    int64 // hedged sends where the local read made it anyway
+	HedgeMirrorWins   int64 // hedged sends covered by the mirror pieces
+	DiskReadErrors    int64 // transient read failures reported by local drives
+	DiskSuspects      int64 // healthy → suspected transitions
+	DiskRecoveries    int64 // suspected → healthy transitions
+	DiskQuarantines   int64 // suspected → quarantined transitions
+	DiskUnquarantines int64 // quarantines cleared by passing probes
 }
 
 // Hooks let tests and harnesses observe protocol events without
@@ -114,6 +126,13 @@ type Cub struct {
 	disks       map[int]*disk.Disk
 	index       map[int]*diskIndex
 	failedDisks map[int]bool // this cub's own dead drives
+
+	// Gray-failure monitor (health.go): per-local-disk detector state,
+	// and the subset of failedDisks that were retired by the health
+	// machine rather than an operator — only those are probed for
+	// un-quarantine.
+	health      map[int]*diskHealth
+	quarantined map[int]bool
 
 	entries map[entryKey]*entry
 	slotOcc map[int32]int // entries per slot, all parts
@@ -179,6 +198,8 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 		disks:          make(map[int]*disk.Disk, len(diskNums)),
 		index:          buildIndexes(cfg, diskNums),
 		failedDisks:    make(map[int]bool),
+		health:         make(map[int]*diskHealth, len(diskNums)),
+		quarantined:    make(map[int]bool),
 		entries:        make(map[entryKey]*entry),
 		slotOcc:        make(map[int32]int),
 		desch:          make(map[descKey]*msg.Deschedule),
@@ -197,6 +218,7 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 	c.cpu.Model = cfg.CPUModel
 	for _, d := range diskNums {
 		c.disks[d] = disk.New(d, cfg.DiskParams, clk, rng)
+		c.health[d] = &diskHealth{}
 	}
 	// Monitor liveness of the cubs we must make decisions about: up to
 	// max(2, decluster+1) hops in each ring direction.
@@ -261,8 +283,12 @@ func (c *Cub) BelievesDead(z msg.NodeID) bool { return c.believedDead[z] }
 func (c *Cub) BelievedDead() int { return len(c.believedDead) }
 
 // FailedDisks returns how many of this cub's own drives are marked
-// failed.
+// failed (permanently dead or health-quarantined).
 func (c *Cub) FailedDisks() int { return len(c.failedDisks) }
+
+// QuarantinedDisks returns how many of this cub's drives are currently
+// health-quarantined — the probed subset of FailedDisks.
+func (c *Cub) QuarantinedDisks() int { return len(c.quarantined) }
 
 // RecoveryTimes returns the restart-to-reintegration duration histogram.
 func (c *Cub) RecoveryTimes() *metrics.Histogram { return c.recovery }
@@ -307,15 +333,36 @@ func (c *Cub) Start() {
 	c.forwardTick()
 }
 
-// FailDisk marks one of this cub's own drives as dead. The cub itself
-// keeps running and converts schedule entries for that disk into mirror
-// viewer states ("the decision to send this data is made by the cub
-// succeeding the failed component" — for a lone disk, its own cub is the
-// first living component that can decide).
+// FailDisk marks one of this cub's own drives as permanently dead. The
+// cub itself keeps running and converts schedule entries for that disk
+// into mirror viewer states ("the decision to send this data is made by
+// the cub succeeding the failed component" — for a lone disk, its own
+// cub is the first living component that can decide). Unlike a health
+// quarantine, a FailDisk is never probed: the drive stays retired until
+// operator action replaces it.
 func (c *Cub) FailDisk(d int) {
 	if _, mine := c.disks[d]; !mine {
 		panic(fmt.Sprintf("cub %v: disk %d is not local", c.id, d))
 	}
+	// A permanent failure overrides any health quarantine: stop probing,
+	// and keep the state machine pinned at quarantined so the health
+	// gauge reflects a drive that is out of service.
+	if h := c.health[d]; h != nil {
+		if h.probeTimer != nil {
+			h.probeTimer.Stop()
+			h.probeTimer = nil
+		}
+		delete(c.quarantined, d)
+		h.state = DiskQuarantined
+		c.setHealthGauge(d, h)
+	}
+	c.retireDisk(d)
+}
+
+// retireDisk converts every pending schedule entry on local drive d to
+// mirror service and marks the drive failed. Shared by the permanent
+// FailDisk path and the health monitor's quarantine; idempotent.
+func (c *Cub) retireDisk(d int) {
 	if c.failedDisks[d] {
 		return
 	}
@@ -330,7 +377,9 @@ func (c *Cub) FailDisk(d int) {
 	sortEntryKeys(keys)
 	for _, k := range keys {
 		e := c.entries[k]
-		if e.vs.Due > int64(c.clk.Now()) {
+		if e.vs.Due > int64(c.clk.Now()) && !e.hedged {
+			// Hedged entries already launched their mirror chain; starting
+			// another would only create duplicate gossip.
 			c.createMirrors(e.vs, d)
 		}
 		c.dropEntryRelease(k)

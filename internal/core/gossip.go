@@ -160,12 +160,40 @@ func (c *Cub) issueRead(key entryKey) {
 	// for the pool so tests can check it against the cubs' real memory.
 	e.buffered = ie.bytes
 	c.bufAdjust(ie.bytes)
-	c.disks[e.disk].Read(ie.bytes, ie.zone, sim.Time(e.vs.Due), func(done sim.Time) {
+	d := e.disk
+	due := sim.Time(e.vs.Due)
+	// Gray-failure hedge (health.go): on a suspected drive, a read whose
+	// predicted completion would miss the deadline gets its mirror chain
+	// launched in parallel; service() sends whichever copy is ready.
+	if key.part == -1 && c.shouldHedge(d, ie.bytes, ie.zone, due) {
+		c.hedgeEntry(e)
+		c.flushForwards()
+	}
+	issued := c.clk.Now()
+	e.readID = c.disks[d].Read(ie.bytes, ie.zone, due, func(done sim.Time, ok bool) {
+		c.noteRead(d, issued, due, done, ie.bytes, ie.zone, ok)
 		cur, still := c.entries[key]
 		if !still || cur.vs.Instance != inst {
 			// The entry was served-as-missed or descheduled while the
 			// read was in flight; discard the buffer.
 			c.bufAdjust(-ie.bytes)
+			return
+		}
+		cur.readID = 0
+		if !ok {
+			// Transient read failure: release the buffer and retry while
+			// the deadline allows. Repeated failures feed the health
+			// monitor, whose suspicion makes the retry hedge to the
+			// mirrors (shouldHedge returns true mid-streak).
+			c.bufAdjust(-ie.bytes)
+			cur.buffered = 0
+			c.stats.DiskReadErrors++
+			if o := c.obs; o != nil {
+				o.diskReadErrors.Inc()
+			}
+			if due > c.clk.Now() {
+				c.issueRead(key)
+			}
 			return
 		}
 		cur.ready = true
@@ -185,10 +213,36 @@ func (c *Cub) service(key entryKey) {
 	}
 	c.dropEntry(key)
 	if !e.ready {
-		// The read has not completed: its completion callback will find
-		// the entry gone and release the buffer.
+		// The read did not complete in time. Feed the health monitor
+		// first — for a stuck drive, these misses are its only signal —
+		// then withdraw the read: if it is still queued it never starts
+		// (and is never charged), and either way its callback will not
+		// fire, so the buffer is released here.
+		c.noteDeadlineMiss(e.disk)
+		if e.readID != 0 && c.disks[e.disk].Cancel(e.readID) {
+			c.bufAdjust(-e.buffered)
+			e.buffered = 0
+		}
+		if e.hedged {
+			// The hedge's mirror chain covers this send: the viewer
+			// assembles the block from the declustered pieces, so the
+			// block is not lost and the miss is not recorded as one.
+			c.stats.HedgeMirrorWins++
+			if o := c.obs; o != nil {
+				o.hedgeMirrorWins.Inc()
+			}
+			return
+		}
 		c.recordMiss(e.vs)
 		return
+	}
+	if e.hedged {
+		// Local read beat the fault after all; the mirror pieces arrive
+		// as duplicates the verification client tolerates.
+		c.stats.HedgeLocalWins++
+		if o := c.obs; o != nil {
+			o.hedgeLocalWins.Inc()
+		}
 	}
 	pace := c.cfg.Sched.BlockPlay
 	bytes := c.cfg.BlockSize
@@ -272,10 +326,18 @@ func (c *Cub) recordMiss(vs msg.ViewerState) {
 // dropEntryRelease removes an entry and releases any completed read's
 // buffer. Deschedule and disk-failure paths use it; the service path
 // uses dropEntry directly because it frees the buffer after the send.
+// An entry whose read is still outstanding has the read withdrawn — a
+// descheduled viewer's prefetch should not occupy a drive — and since a
+// cancelled read's callback never fires, the buffer is released here.
 func (c *Cub) dropEntryRelease(key entryKey) {
-	if e, ok := c.entries[key]; ok && e.ready && e.buffered > 0 {
-		c.bufAdjust(-e.buffered)
-		e.buffered = 0
+	if e, ok := c.entries[key]; ok && e.buffered > 0 {
+		if e.ready {
+			c.bufAdjust(-e.buffered)
+			e.buffered = 0
+		} else if e.readID != 0 && c.disks[e.disk].Cancel(e.readID) {
+			c.bufAdjust(-e.buffered)
+			e.buffered = 0
+		}
 	}
 	c.dropEntry(key)
 }

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/disk"
+	"tiger/internal/sim"
+)
+
+// This file implements the per-disk gray-failure monitor (DESIGN §12).
+// Tiger's fail-stop machinery — the deadman detector, mirror takeover,
+// restart rejoin — cannot see a drive that still answers, only slowly or
+// unreliably; yet such a drive silently drops every stream it serves,
+// because loss in Tiger is driven entirely by *late* reads. The monitor
+// watches every local read completion and runs a three-state machine per
+// drive:
+//
+//	healthy ──(slack EWMA < SuspectSlack, or SuspectAfter consecutive
+//	           bad events)──▶ suspected
+//	suspected ──(clean streak and slack EWMA > HealthySlack)──▶ healthy
+//	suspected ──(slack EWMA < 0, or QuarantineAfter consecutive bad
+//	           events)──▶ quarantined
+//	quarantined ──(ProbeGood consecutive in-budget probe reads)──▶ healthy
+//
+// A *bad event* is a read that completed late or failed, or a scheduled
+// send that fired with its read still outstanding — the deadline-miss
+// path matters because a stuck drive produces no completions at all, so
+// misses are its only signal.
+//
+// While a drive is suspected, reads whose predicted completion would
+// miss the block deadline are hedged: the declustered mirror chain is
+// launched in parallel with the local read, first copy wins at service
+// time and the loser is cancelled. The capacity plan already reserves
+// one secondary piece budget per stream slot on every disk
+// (disk.PlanCapacity), which is exactly what makes the extra mirror load
+// safe at the paper's 10.75 streams/disk operating point.
+//
+// Quarantine reuses the fail-stop retire path (retireDisk): the drive is
+// declared dead, its entries convert to mirror chains, and incoming
+// states route straight to mirrors. Unlike FailDisk it is not
+// permanent: the drive is probed every ProbeInterval with one
+// block-sized read, and ProbeGood consecutive probes inside the budget
+// clear the quarantine at an unchanged epoch — no restart, no rejoin
+// handshake, the cub never stopped being alive.
+
+// DiskHealthState is the monitor's verdict on one drive.
+type DiskHealthState int32
+
+const (
+	DiskHealthy DiskHealthState = iota
+	DiskSuspected
+	DiskQuarantined
+)
+
+func (s DiskHealthState) String() string {
+	switch s {
+	case DiskHealthy:
+		return "healthy"
+	case DiskSuspected:
+		return "suspected"
+	default:
+		return "quarantined"
+	}
+}
+
+// diskHealth is the monitor state for one local drive.
+type diskHealth struct {
+	state DiskHealthState
+
+	// slackEwma tracks (due − completion) of recent reads, normalized by
+	// the zoned worst-case service time; lat tracks raw issue-to-
+	// completion latency for the hedge predictor. seeded is false until
+	// the first sample (and again after an un-quarantine, so stale
+	// pre-fault estimates cannot linger).
+	slackEwma float64
+	lat       time.Duration
+	seeded    bool
+
+	badStreak  int
+	probeGood  int
+	probeTimer clock.Timer
+}
+
+// DiskHealth reports the monitor's state for a local disk.
+func (c *Cub) DiskHealth(d int) DiskHealthState {
+	if h := c.health[d]; h != nil {
+		return h.state
+	}
+	return DiskHealthy
+}
+
+// noteRead feeds one local read completion to the monitor. issued/due/
+// done are the read's issue time, service deadline, and completion time;
+// ok is false for a (transiently) failed read.
+func (c *Cub) noteRead(d int, issued, due, done sim.Time, size int64, zone disk.Zone, ok bool) {
+	if c.cfg.Health.Disable {
+		return
+	}
+	h := c.health[d]
+	if h == nil || h.state == DiskQuarantined {
+		return // quarantined drives are judged by their probes alone
+	}
+	hp := &c.cfg.Health
+	lat := done.Sub(issued)
+	worst := c.cfg.DiskParams.WorstServiceTime(size, zone)
+	slack := float64(due.Sub(done)) / float64(worst)
+	if !h.seeded {
+		h.lat = lat
+		h.slackEwma = slack
+		h.seeded = true
+	} else {
+		h.lat = time.Duration(float64(h.lat)*(1-hp.SlackAlpha) + float64(lat)*hp.SlackAlpha)
+		h.slackEwma = h.slackEwma*(1-hp.SlackAlpha) + slack*hp.SlackAlpha
+	}
+	if !ok || done > due {
+		h.badStreak++
+	} else {
+		h.badStreak = 0
+	}
+	c.evalHealth(d, h)
+}
+
+// noteDeadlineMiss records a send that fired with its read outstanding
+// on drive d. For a stuck drive these misses are the only signal the
+// monitor ever receives, so they must advance the state machine alone.
+func (c *Cub) noteDeadlineMiss(d int) {
+	if c.cfg.Health.Disable {
+		return
+	}
+	h := c.health[d]
+	if h == nil || h.state == DiskQuarantined {
+		return
+	}
+	h.badStreak++
+	c.evalHealth(d, h)
+}
+
+// evalHealth applies the state machine after the estimators moved.
+func (c *Cub) evalHealth(d int, h *diskHealth) {
+	hp := &c.cfg.Health
+	switch h.state {
+	case DiskHealthy:
+		if h.badStreak >= hp.SuspectAfter || (h.seeded && h.slackEwma < hp.SuspectSlack) {
+			c.suspectDisk(d, h)
+		}
+	case DiskSuspected:
+		switch {
+		case h.badStreak >= hp.QuarantineAfter || (h.seeded && h.slackEwma < 0):
+			c.quarantineDisk(d, h)
+		case h.badStreak == 0 && h.seeded && h.slackEwma > hp.HealthySlack:
+			h.state = DiskHealthy
+			c.stats.DiskRecoveries++
+			if o := c.obs; o != nil {
+				o.diskRecoveries.Inc()
+			}
+			c.setHealthGauge(d, h)
+		}
+	}
+}
+
+func (c *Cub) suspectDisk(d int, h *diskHealth) {
+	h.state = DiskSuspected
+	c.stats.DiskSuspects++
+	if o := c.obs; o != nil {
+		o.diskSuspects.Inc()
+	}
+	c.setHealthGauge(d, h)
+	// The backlog that triggered suspicion is exactly the set of reads
+	// that will miss: hedge every outstanding not-yet-due primary on the
+	// drive immediately rather than waiting for each to be re-judged.
+	c.hedgeOutstanding(d)
+}
+
+// hedgeOutstanding launches mirror chains for every unhedged, not-ready,
+// future-due primary entry on drive d.
+func (c *Cub) hedgeOutstanding(d int) {
+	now := int64(c.clk.Now())
+	var keys []entryKey
+	for k, e := range c.entries {
+		if k.part == -1 && e.disk == d && !e.ready && !e.hedged && e.vs.Due > now {
+			keys = append(keys, k)
+		}
+	}
+	sortEntryKeys(keys)
+	for _, k := range keys {
+		c.hedgeEntry(c.entries[k])
+	}
+	if len(keys) > 0 {
+		c.flushForwards()
+	}
+}
+
+// shouldHedge is the per-read hedge decision (§12's rule): on a
+// suspected drive, hedge when the predicted completion — now, plus the
+// latency EWMA, plus one worst-case service time for the read itself —
+// would miss the due time, or when the drive is mid-streak (its
+// estimators cannot be trusted while every read is failing).
+func (c *Cub) shouldHedge(d int, size int64, zone disk.Zone, due sim.Time) bool {
+	if c.cfg.Health.Disable {
+		return false
+	}
+	h := c.health[d]
+	if h == nil || h.state != DiskSuspected {
+		return false
+	}
+	if h.badStreak > 0 {
+		return true
+	}
+	if !h.seeded {
+		return false
+	}
+	predicted := c.clk.Now().Add(h.lat).Add(c.cfg.DiskParams.WorstServiceTime(size, zone))
+	return predicted > due
+}
+
+// hedgeEntry launches the declustered mirror chain for a primary entry
+// whose local read is in doubt. The local read keeps running: service()
+// sends whichever copy is ready and cancels the loser. The primary block
+// and its mirror pieces carry distinct (mirror, part) identities, so the
+// double-service oracle sees the hedge as the redundancy it is, and the
+// verification client assembles whichever copies arrive.
+func (c *Cub) hedgeEntry(e *entry) {
+	if e.hedged || e.vs.Mirror || e.vs.Due <= int64(c.clk.Now()) {
+		return
+	}
+	e.hedged = true
+	c.stats.HedgesIssued++
+	if o := c.obs; o != nil {
+		o.hedgesIssued.Inc()
+	}
+	c.createMirrors(e.vs, e.disk)
+}
+
+// quarantineDisk retires a drive through the same conversion the
+// fail-stop path uses, and starts the un-quarantine probe loop.
+func (c *Cub) quarantineDisk(d int, h *diskHealth) {
+	h.state = DiskQuarantined
+	h.badStreak = 0
+	h.probeGood = 0
+	h.seeded = false
+	c.stats.DiskQuarantines++
+	if o := c.obs; o != nil {
+		o.diskQuarantines.Inc()
+	}
+	c.setHealthGauge(d, h)
+	c.quarantined[d] = true
+	c.retireDisk(d)
+	c.armProbe(d)
+}
+
+func (c *Cub) armProbe(d int) {
+	h := c.health[d]
+	h.probeTimer = c.clk.After(c.cfg.Health.ProbeInterval, func() { c.probeDisk(d) })
+}
+
+// probeBudget is the pass/fail bound for one probe read: 1.5× the
+// worst-case service time of a full primary block. Generous enough that
+// queueing the probe behind a residual read cannot fail a recovered
+// drive, tight enough that a still-degraded one cannot pass.
+func probeBudget(p disk.Params, blockSize int64) time.Duration {
+	return time.Duration(1.5 * float64(p.WorstServiceTime(blockSize, disk.Outer)))
+}
+
+// probeDisk issues one block-sized read against a quarantined drive and
+// re-arms the next probe. The probe bypasses the block buffer pool — it
+// carries no payload anywhere — and a wedged drive simply never answers,
+// which resets nothing: the quarantine holds until real completions
+// return.
+func (c *Cub) probeDisk(d int) {
+	if !c.quarantined[d] {
+		return
+	}
+	h := c.health[d]
+	start := c.clk.Now()
+	budget := probeBudget(c.cfg.DiskParams, c.cfg.BlockSize)
+	c.cpu.ChargeDiskOp()
+	if o := c.obs; o != nil {
+		o.diskProbes.Inc()
+	}
+	c.disks[d].Read(c.cfg.BlockSize, disk.Outer, start.Add(budget), func(done sim.Time, ok bool) {
+		if !c.quarantined[d] {
+			return
+		}
+		if ok && done.Sub(start) <= budget {
+			h.probeGood++
+			if h.probeGood >= c.cfg.Health.ProbeGood {
+				c.unquarantineDisk(d, h)
+			}
+		} else {
+			h.probeGood = 0
+		}
+	})
+	c.armProbe(d)
+}
+
+// unquarantineDisk returns a probed-healthy drive to service at an
+// unchanged epoch: the cub never died, so there is nothing to fence —
+// new viewer states simply start landing on the drive again, and the
+// residual mirror load drains as its entries fall due.
+func (c *Cub) unquarantineDisk(d int, h *diskHealth) {
+	delete(c.quarantined, d)
+	delete(c.failedDisks, d)
+	if h.probeTimer != nil {
+		h.probeTimer.Stop()
+		h.probeTimer = nil
+	}
+	h.state = DiskHealthy
+	h.badStreak = 0
+	h.probeGood = 0
+	h.seeded = false
+	c.stats.DiskUnquarantines++
+	if o := c.obs; o != nil {
+		o.diskUnquarantines.Inc()
+	}
+	c.setHealthGauge(d, h)
+}
+
+func (c *Cub) setHealthGauge(d int, h *diskHealth) {
+	if o := c.obs; o != nil {
+		if g := o.diskHealth[d]; g != nil {
+			g.Set(float64(h.state))
+		}
+	}
+}

@@ -187,8 +187,8 @@ func (m *MBRCub) StartPlay(viewer msg.ViewerID, inst msg.InstanceID, bitrate int
 	// hidden by overlapping it with speculative action").
 	if m.disk != nil {
 		size := m.cfg.BlockSize(bitrate)
-		m.disk.Read(size, disk.Outer, p.sendAt, func(sim.Time) {
-			if cur, live := m.pending[seq]; live && cur == p {
+		m.disk.Read(size, disk.Outer, p.sendAt, func(_ sim.Time, ok bool) {
+			if cur, live := m.pending[seq]; live && cur == p && ok {
 				p.readDone = true
 			}
 		})

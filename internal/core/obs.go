@@ -51,6 +51,18 @@ type cubObs struct {
 	mirrorsBack   *obs.Counter
 	staleDrops    *obs.Counter
 
+	// Gray-failure monitor (health.go).
+	hedgesIssued      *obs.Counter
+	hedgeLocalWins    *obs.Counter
+	hedgeMirrorWins   *obs.Counter
+	diskReadErrors    *obs.Counter
+	diskSuspects      *obs.Counter
+	diskRecoveries    *obs.Counter
+	diskQuarantines   *obs.Counter
+	diskUnquarantines *obs.Counter
+	diskProbes        *obs.Counter
+	diskHealth        map[int]*obs.Gauge // health state per local disk
+
 	viewSize *obs.Gauge
 	queueLen *obs.Gauge
 	bufBytes *obs.Gauge
@@ -97,6 +109,16 @@ func (c *Cub) AttachObs(reg *obs.Registry) {
 		mirrorsBack:   reg.Counter("tiger_cub_mirrors_retired_total", "Mirror entries handed back to a rejoined primary.", ls),
 		staleDrops:    reg.Counter("tiger_cub_stale_epoch_drops_total", "Messages discarded for carrying a stale epoch.", ls),
 
+		hedgesIssued:      reg.Counter("tiger_cub_hedges_issued_total", "Mirror chains launched to hedge reads on suspected disks.", ls),
+		hedgeLocalWins:    reg.Counter("tiger_cub_hedge_local_wins_total", "Hedged sends where the local read completed in time.", ls),
+		hedgeMirrorWins:   reg.Counter("tiger_cub_hedge_mirror_wins_total", "Hedged sends covered by the declustered mirror pieces.", ls),
+		diskReadErrors:    reg.Counter("tiger_cub_disk_read_errors_total", "Transient read failures reported by local drives.", ls),
+		diskSuspects:      reg.Counter("tiger_cub_disk_suspects_total", "Disk health transitions healthy→suspected.", ls),
+		diskRecoveries:    reg.Counter("tiger_cub_disk_recoveries_total", "Disk health transitions suspected→healthy.", ls),
+		diskQuarantines:   reg.Counter("tiger_cub_disk_quarantines_total", "Disk health transitions suspected→quarantined.", ls),
+		diskUnquarantines: reg.Counter("tiger_cub_disk_unquarantines_total", "Quarantines cleared by passing probes.", ls),
+		diskProbes:        reg.Counter("tiger_cub_disk_probes_total", "Probe reads issued against quarantined drives.", ls),
+
 		viewSize: reg.Gauge("tiger_cub_view_entries", "Schedule entries currently in the cub's view.", ls),
 		queueLen: reg.Gauge("tiger_cub_queued_starts", "Start requests waiting for a free slot.", ls),
 		bufBytes: reg.Gauge("tiger_cub_buffered_bytes", "Block buffer bytes currently held.", ls),
@@ -113,6 +135,7 @@ func (c *Cub) AttachObs(reg *obs.Registry) {
 	o.epoch.Set(float64(c.epoch))
 	c.obs = o
 
+	o.diskHealth = make(map[int]*obs.Gauge, len(c.disks))
 	for dnum, dk := range c.disks {
 		dls := obs.Labels{"cub": cl, "disk": strconv.Itoa(dnum)}
 		dk.SetObs(disk.Obs{
@@ -120,7 +143,14 @@ func (c *Cub) AttachObs(reg *obs.Registry) {
 			Bytes:       reg.Counter("tiger_disk_read_bytes_total", "Bytes read from disk.", dls),
 			BusySeconds: reg.Counter("tiger_disk_busy_seconds_total", "Cumulative disk service time.", dls),
 			Queue:       reg.Gauge("tiger_disk_queue_depth", "Outstanding reads including the one in service.", dls),
+			Cancelled:   reg.Counter("tiger_disk_cancelled_reads_total", "Reads withdrawn before or during service.", dls),
+			Errors:      reg.Counter("tiger_disk_read_errors_total", "Reads completed with a transient failure.", dls),
 		})
+		g := reg.Gauge("tiger_disk_health_state", "Gray-failure monitor state: 0 healthy, 1 suspected, 2 quarantined.", dls)
+		o.diskHealth[dnum] = g
+		if h := c.health[dnum]; h != nil {
+			g.Set(float64(h.state))
+		}
 	}
 }
 

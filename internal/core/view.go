@@ -87,6 +87,9 @@ func (c *Cub) DumpView() string {
 	now := c.clk.Now()
 	fmt.Fprintf(&b, "cub %v view at %v (%d entries, %d held deschedules):\n",
 		c.id, now, len(c.entries), len(c.desch))
+	if hl := c.diskHealthLine(); hl != "" {
+		fmt.Fprintf(&b, "  disk health: %s\n", hl)
+	}
 	for _, e := range c.ViewWindow() {
 		kind := "primary"
 		if e.Mirror {
@@ -101,6 +104,30 @@ func (c *Cub) DumpView() string {
 			e.Viewer, e.Block, ready)
 	}
 	return b.String()
+}
+
+// diskHealthLine summarizes the local drives that are not plain healthy
+// — suspected, quarantined, or permanently failed — for DumpView and the
+// /debug/vars surface. Empty when every drive is fine.
+func (c *Cub) diskHealthLine() string {
+	var nums []int
+	for d := range c.disks {
+		nums = append(nums, d)
+	}
+	sort.Ints(nums)
+	var parts []string
+	for _, d := range nums {
+		st := c.DiskHealth(d)
+		switch {
+		case c.quarantined[d]:
+			parts = append(parts, fmt.Sprintf("disk %d quarantined", d))
+		case c.failedDisks[d]:
+			parts = append(parts, fmt.Sprintf("disk %d failed", d))
+		case st != DiskHealthy:
+			parts = append(parts, fmt.Sprintf("disk %d %s", d, st))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 // HeldDeschedules returns the slots with live deschedule records.

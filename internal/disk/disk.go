@@ -109,6 +109,26 @@ func (p Params) WorstServiceTime(size int64, z Zone) time.Duration {
 	return time.Duration(float64(p.MeanServiceTime(size, z)) * p.WorstCaseMargin)
 }
 
+// Faults is the injectable gray-failure state of one drive. The zero
+// value is a healthy disk. Unlike the fail-stop faults of the crash and
+// partition machinery, these model a drive that is still answering —
+// just slowly, unreliably, or not at all — which is exactly the failure
+// mode a deadman detector cannot see.
+type Faults struct {
+	// SlowFactor > 1 multiplies every service time (fail-slow drive:
+	// dying bearings, internal retries, thermal throttling). 0 and 1
+	// both mean nominal speed.
+	SlowFactor float64
+	// ErrProb is the per-read probability of a transient failure: the
+	// operation occupies the drive for its full service time but
+	// completes with ok=false.
+	ErrProb float64
+	// Stuck wedges the service queue: reads are accepted and queued but
+	// none is dispatched until the fault clears. A read already on the
+	// platter when the drive sticks completes normally.
+	Stuck bool
+}
+
 // Disk is one simulated drive. It is not safe for concurrent use; all
 // calls must come from the owning node's executor (trivially true in the
 // single-threaded simulator).
@@ -121,12 +141,17 @@ type Disk struct {
 	pending pendingHeap
 	seq     uint64
 	busy    bool
+	cur     *pending // the read on the platter, nil when idle
+	faults  Faults
 
 	// statistics
-	reads     int64
-	busyTotal time.Duration // cumulative service time
-	bytes     int64
-	maxQueue  int
+	reads         int64
+	busyTotal     time.Duration // cumulative service time
+	bytes         int64
+	maxQueue      int
+	cancelled     int64
+	cancelledBusy int64
+	readErrs      int64
 
 	obs Obs
 }
@@ -141,6 +166,8 @@ type Obs struct {
 	Bytes       *obs.Counter // bytes read
 	BusySeconds *obs.Counter // cumulative service time, seconds
 	Queue       *obs.Gauge   // outstanding reads including the one in service
+	Cancelled   *obs.Counter // reads withdrawn before or during service
+	Errors      *obs.Counter // reads completed with an injected failure
 }
 
 // SetObs attaches registry instruments to the drive.
@@ -157,10 +184,26 @@ func New(id int, params Params, clk clock.Clock, rng *rand.Rand) *Disk {
 // Params returns the drive's model parameters.
 func (d *Disk) Params() Params { return d.params }
 
+// SetFaults replaces the drive's injected gray-failure state. Clearing
+// Stuck restarts service of whatever accumulated in the queue.
+func (d *Disk) SetFaults(f Faults) {
+	wasStuck := d.faults.Stuck
+	d.faults = f
+	if wasStuck && !f.Stuck && !d.busy && len(d.pending) > 0 {
+		d.startNext()
+	}
+}
+
+// Faults returns the drive's current injected fault state.
+func (d *Disk) Faults() Faults { return d.faults }
+
 // Read enqueues a read of size bytes from zone z, needed by due. done is
-// invoked at the virtual time the read completes. Under EDF the queue is
-// served in due order; under FIFO in arrival order.
-func (d *Disk) Read(size int64, z Zone, due sim.Time, done func(completed sim.Time)) {
+// invoked at the virtual time the read completes, with ok=false when the
+// drive reported a (injected) transient failure; it is never invoked for
+// a read withdrawn by Cancel. Under EDF the queue is served in due
+// order; under FIFO in arrival order. The returned id names the read for
+// Cancel.
+func (d *Disk) Read(size int64, z Zone, due sim.Time, done func(completed sim.Time, ok bool)) uint64 {
 	d.seq++
 	p := &pending{size: size, zone: z, due: due, seq: d.seq, done: done}
 	if d.params.Discipline == FIFO {
@@ -174,12 +217,55 @@ func (d *Disk) Read(size int64, z Zone, due sim.Time, done func(completed sim.Ti
 	if d.obs.Queue != nil {
 		d.obs.Queue.Set(float64(q))
 	}
-	if !d.busy {
+	if !d.busy && !d.faults.Stuck {
 		d.startNext()
 	}
+	return p.seq
+}
+
+// Cancel withdraws an outstanding read. A read still queued is removed
+// without ever starting — it is never charged to Reads/Bytes/BusyTotal,
+// so duty-cycle accounting stays honest. A read already on the platter
+// cannot be stopped: its service time remains charged (the drive really
+// spent it) but its completion callback is suppressed. Returns false if
+// the read already completed, was already cancelled, or was never
+// issued.
+func (d *Disk) Cancel(id uint64) bool {
+	for i, p := range d.pending {
+		if p.seq == id {
+			heap.Remove(&d.pending, i)
+			d.cancelled++
+			if d.obs.Cancelled != nil {
+				d.obs.Cancelled.Inc()
+			}
+			if d.obs.Queue != nil {
+				d.obs.Queue.Set(float64(d.QueueLen()))
+			}
+			return true
+		}
+	}
+	if d.cur != nil && d.cur.seq == id && !d.cur.cancelled {
+		d.cur.cancelled = true
+		d.cancelled++
+		d.cancelledBusy++
+		if d.obs.Cancelled != nil {
+			d.obs.Cancelled.Inc()
+		}
+		return true
+	}
+	return false
 }
 
 func (d *Disk) startNext() {
+	if d.faults.Stuck {
+		// Controller hang: leave the queue intact and the drive idle;
+		// SetFaults restarts service when the fault clears.
+		d.busy = false
+		if d.obs.Queue != nil {
+			d.obs.Queue.Set(float64(d.QueueLen()))
+		}
+		return
+	}
 	if len(d.pending) == 0 {
 		d.busy = false
 		if d.obs.Queue != nil {
@@ -189,11 +275,18 @@ func (d *Disk) startNext() {
 	}
 	d.busy = true
 	p := heap.Pop(&d.pending).(*pending)
+	d.cur = p
 	svc := d.serviceTime(p.size, p.zone)
+	// A transient failure still occupies the drive for the full service
+	// time (the firmware retried and gave up); it just returns ok=false.
+	failed := d.faults.ErrProb > 0 && d.rng.Float64() < d.faults.ErrProb
 	completed := d.clk.Now().Add(svc)
 	d.reads++
 	d.bytes += p.size
 	d.busyTotal += svc
+	if failed {
+		d.readErrs++
+	}
 	if d.obs.Reads != nil {
 		d.obs.Reads.Inc()
 	}
@@ -203,12 +296,16 @@ func (d *Disk) startNext() {
 	if d.obs.BusySeconds != nil {
 		d.obs.BusySeconds.Add(svc.Seconds())
 	}
+	if failed && d.obs.Errors != nil {
+		d.obs.Errors.Inc()
+	}
 	if d.obs.Queue != nil {
 		d.obs.Queue.Set(float64(d.QueueLen()))
 	}
 	d.clk.At(completed, func() {
-		if p.done != nil {
-			p.done(completed)
+		d.cur = nil
+		if p.done != nil && !p.cancelled {
+			p.done(completed, !failed)
 		}
 		d.startNext()
 	})
@@ -221,6 +318,9 @@ func (d *Disk) serviceTime(size int64, z Zone) time.Duration {
 	if d.params.BlipProb > 0 && d.rng.Float64() < d.params.BlipProb {
 		span := d.params.BlipMax - d.params.BlipMin
 		svc += d.params.BlipMin + time.Duration(d.rng.Int63n(int64(span)+1))
+	}
+	if f := d.faults.SlowFactor; f > 0 && f != 1 {
+		svc = time.Duration(float64(svc) * f)
 	}
 	return svc
 }
@@ -235,18 +335,33 @@ func (d *Disk) QueueLen() int {
 	return n
 }
 
-// Stats is a snapshot of cumulative disk activity.
+// Stats is a snapshot of cumulative disk activity. Reads/Bytes/BusyTotal
+// count only operations that actually started on the platter: a read
+// cancelled while still queued appears solely in Cancelled, so hedged
+// reads withdrawn by the gray-failure machinery cannot inflate
+// duty-cycle math.
 type Stats struct {
 	Reads     int64
 	Bytes     int64
 	BusyTotal time.Duration
 	MaxQueue  int
+	// Cancelled counts every withdrawn read; CancelledBusy is the subset
+	// that was already in service (whose service time stays in
+	// BusyTotal, because the drive really spent it).
+	Cancelled     int64
+	CancelledBusy int64
+	// ReadErrors counts reads completed with an injected transient
+	// failure.
+	ReadErrors int64
 }
 
 // Stats returns cumulative counters; callers diff snapshots to compute
 // duty cycles over a window, as the paper does over 50 s intervals.
 func (d *Disk) Stats() Stats {
-	return Stats{Reads: d.reads, Bytes: d.bytes, BusyTotal: d.busyTotal, MaxQueue: d.maxQueue}
+	return Stats{
+		Reads: d.reads, Bytes: d.bytes, BusyTotal: d.busyTotal, MaxQueue: d.maxQueue,
+		Cancelled: d.cancelled, CancelledBusy: d.cancelledBusy, ReadErrors: d.readErrs,
+	}
 }
 
 // Capacity computes per-disk and whole-system stream capacity the way

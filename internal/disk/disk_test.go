@@ -39,7 +39,7 @@ func TestServiceTimeComposition(t *testing.T) {
 func TestSingleReadCompletes(t *testing.T) {
 	eng, d := testDisk(t, nil)
 	var done sim.Time
-	d.Read(262144, Outer, sim.Time(time.Second), func(at sim.Time) { done = at })
+	d.Read(262144, Outer, sim.Time(time.Second), func(at sim.Time, _ bool) { done = at })
 	eng.Run()
 	want := d.Params().MeanServiceTime(262144, Outer)
 	if done != sim.Time(want) {
@@ -56,7 +56,7 @@ func TestQueueingSerializes(t *testing.T) {
 	var order []int
 	for i := 0; i < 5; i++ {
 		i := i
-		d.Read(262144, Outer, sim.Time(time.Duration(i)*time.Second), func(sim.Time) {
+		d.Read(262144, Outer, sim.Time(time.Duration(i)*time.Second), func(sim.Time, bool) {
 			order = append(order, i)
 		})
 	}
@@ -79,9 +79,9 @@ func TestEDFPrefersEarliestDue(t *testing.T) {
 	eng, d := testDisk(t, nil)
 	var order []string
 	// Occupy the head, then enqueue far-due before near-due.
-	d.Read(262144, Outer, 0, func(sim.Time) { order = append(order, "head") })
-	d.Read(262144, Outer, sim.Time(time.Hour), func(sim.Time) { order = append(order, "far") })
-	d.Read(262144, Outer, sim.Time(time.Second), func(sim.Time) { order = append(order, "near") })
+	d.Read(262144, Outer, 0, func(sim.Time, bool) { order = append(order, "head") })
+	d.Read(262144, Outer, sim.Time(time.Hour), func(sim.Time, bool) { order = append(order, "far") })
+	d.Read(262144, Outer, sim.Time(time.Second), func(sim.Time, bool) { order = append(order, "near") })
 	eng.Run()
 	if len(order) != 3 || order[1] != "near" || order[2] != "far" {
 		t.Fatalf("EDF order %v", order)
@@ -91,9 +91,9 @@ func TestEDFPrefersEarliestDue(t *testing.T) {
 func TestFIFOIgnoresDue(t *testing.T) {
 	eng, d := testDisk(t, func(p *Params) { p.Discipline = FIFO })
 	var order []string
-	d.Read(262144, Outer, 0, func(sim.Time) { order = append(order, "head") })
-	d.Read(262144, Outer, sim.Time(time.Hour), func(sim.Time) { order = append(order, "far") })
-	d.Read(262144, Outer, sim.Time(time.Second), func(sim.Time) { order = append(order, "near") })
+	d.Read(262144, Outer, 0, func(sim.Time, bool) { order = append(order, "head") })
+	d.Read(262144, Outer, sim.Time(time.Hour), func(sim.Time, bool) { order = append(order, "far") })
+	d.Read(262144, Outer, sim.Time(time.Second), func(sim.Time, bool) { order = append(order, "near") })
 	eng.Run()
 	if len(order) != 3 || order[1] != "far" || order[2] != "near" {
 		t.Fatalf("FIFO order %v", order)
@@ -107,7 +107,7 @@ func TestJitterBounds(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		var start, end sim.Time
 		start = eng.Now()
-		d.Read(262144, Outer, start, func(at sim.Time) { end = at })
+		d.Read(262144, Outer, start, func(at sim.Time, _ bool) { end = at })
 		eng.Run()
 		svc := end.Sub(start)
 		if svc < lo || svc > hi {
@@ -123,7 +123,7 @@ func TestBlipAlwaysFires(t *testing.T) {
 		p.BlipMax = 2 * time.Second
 	})
 	var end sim.Time
-	d.Read(262144, Outer, 0, func(at sim.Time) { end = at })
+	d.Read(262144, Outer, 0, func(at sim.Time, _ bool) { end = at })
 	eng.Run()
 	mean := d.Params().MeanServiceTime(262144, Outer)
 	if extra := end.Sub(0) - mean; extra < time.Second || extra > 2*time.Second {

@@ -1,0 +1,152 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/sim"
+)
+
+func TestSlowFactorStretchesService(t *testing.T) {
+	eng, d := testDisk(t, nil)
+	d.SetFaults(Faults{SlowFactor: 3})
+	var done sim.Time
+	d.Read(262144, Outer, sim.Time(time.Second), func(at sim.Time, ok bool) {
+		done = at
+		if !ok {
+			t.Error("slow read should still succeed")
+		}
+	})
+	eng.Run()
+	want := 3 * d.Params().MeanServiceTime(262144, Outer)
+	if done != sim.Time(want) {
+		t.Fatalf("slow read completed at %v, want %v", done, want)
+	}
+	// Factor 1 restores nominal speed.
+	d.SetFaults(Faults{SlowFactor: 1})
+	start := eng.Now()
+	d.Read(262144, Outer, sim.Time(time.Hour), func(at sim.Time, _ bool) { done = at })
+	eng.Run()
+	if got := done.Sub(start); got != d.Params().MeanServiceTime(262144, Outer) {
+		t.Fatalf("healed read took %v", got)
+	}
+}
+
+func TestErrProbReportsFailure(t *testing.T) {
+	eng, d := testDisk(t, nil)
+	d.SetFaults(Faults{ErrProb: 1})
+	fails := 0
+	d.Read(262144, Outer, 0, func(_ sim.Time, ok bool) {
+		if !ok {
+			fails++
+		}
+	})
+	eng.Run()
+	if fails != 1 {
+		t.Fatalf("expected the read to fail, fails=%d", fails)
+	}
+	st := d.Stats()
+	// The failed operation still occupied the drive: it is charged to
+	// duty cycle and counted as an error.
+	if st.Reads != 1 || st.ReadErrors != 1 || st.BusyTotal == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStuckQueueAccumulates(t *testing.T) {
+	eng, d := testDisk(t, nil)
+	var order []int
+	// One read reaches the platter before the controller wedges; it must
+	// complete normally. Everything behind it waits for the heal.
+	d.Read(262144, Outer, 0, func(sim.Time, bool) { order = append(order, 0) })
+	d.SetFaults(Faults{Stuck: true})
+	for i := 1; i <= 3; i++ {
+		i := i
+		d.Read(262144, Outer, sim.Time(time.Duration(i)*time.Second), func(sim.Time, bool) {
+			order = append(order, i)
+		})
+	}
+	eng.Run()
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("stuck drive completed %v, want only the in-flight read", order)
+	}
+	if d.QueueLen() != 3 {
+		t.Fatalf("queue %d, want 3 wedged reads", d.QueueLen())
+	}
+	d.SetFaults(Faults{})
+	eng.Run()
+	if len(order) != 4 || d.QueueLen() != 0 {
+		t.Fatalf("heal did not drain the queue: %v, queue %d", order, d.QueueLen())
+	}
+}
+
+// TestCancelQueuedReadAccounting pins the satellite requirement: a read
+// withdrawn while still queued must leave duty-cycle and throughput
+// statistics untouched.
+func TestCancelQueuedReadAccounting(t *testing.T) {
+	eng, d := testDisk(t, nil)
+	fired := false
+	d.Read(262144, Outer, 0, func(sim.Time, bool) {}) // occupies the platter
+	id := d.Read(262144, Outer, sim.Time(time.Second), func(sim.Time, bool) { fired = true })
+	if !d.Cancel(id) {
+		t.Fatal("cancel of a queued read should succeed")
+	}
+	if d.Cancel(id) {
+		t.Fatal("double cancel should report false")
+	}
+	eng.Run()
+	st := d.Stats()
+	if fired {
+		t.Fatal("cancelled read's callback fired")
+	}
+	if st.Reads != 1 || st.Bytes != 262144 {
+		t.Fatalf("cancelled queued read was charged: %+v", st)
+	}
+	if want := d.Params().MeanServiceTime(262144, Outer); st.BusyTotal != want {
+		t.Fatalf("busy %v, want %v (one read only)", st.BusyTotal, want)
+	}
+	if st.Cancelled != 1 || st.CancelledBusy != 0 {
+		t.Fatalf("cancel counters %+v", st)
+	}
+	if d.QueueLen() != 0 {
+		t.Fatalf("queue %d after drain", d.QueueLen())
+	}
+}
+
+func TestCancelInServiceSuppressesCallback(t *testing.T) {
+	eng, d := testDisk(t, nil)
+	fired := false
+	id := d.Read(262144, Outer, 0, func(sim.Time, bool) { fired = true })
+	// The read is on the platter: Cancel cannot stop it, but the service
+	// time stays charged (really spent) and the callback is suppressed.
+	if !d.Cancel(id) {
+		t.Fatal("cancel of the in-service read should succeed")
+	}
+	eng.Run()
+	st := d.Stats()
+	if fired {
+		t.Fatal("cancelled in-service read's callback fired")
+	}
+	if st.Reads != 1 || st.Cancelled != 1 || st.CancelledBusy != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if want := d.Params().MeanServiceTime(262144, Outer); st.BusyTotal != want {
+		t.Fatalf("busy %v, want %v", st.BusyTotal, want)
+	}
+	if d.Cancel(999) {
+		t.Fatal("cancel of an unknown id should report false")
+	}
+}
+
+func TestStuckDriveStillCancellable(t *testing.T) {
+	eng, d := testDisk(t, nil)
+	d.SetFaults(Faults{Stuck: true})
+	id := d.Read(262144, Outer, 0, func(sim.Time, bool) { t.Error("wedged read completed") })
+	if !d.Cancel(id) {
+		t.Fatal("cancel of a wedged read should succeed")
+	}
+	eng.Run()
+	if st := d.Stats(); st.Reads != 0 || st.Cancelled != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -32,7 +32,11 @@ type pending struct {
 	zone Zone
 	due  sim.Time
 	seq  uint64
-	done func(completed sim.Time)
+	done func(completed sim.Time, ok bool)
+	// cancelled marks a read withdrawn after service started: the
+	// platter operation cannot be stopped, but the completion callback
+	// is suppressed.
+	cancelled bool
 }
 
 // pendingHeap orders by (due, seq); with FIFO the cub pushes monotonically

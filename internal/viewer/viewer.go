@@ -5,6 +5,7 @@
 package viewer
 
 import (
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -101,9 +102,22 @@ type Viewer struct {
 	OnTimedDelivery func(d netsim.BlockDelivery, slack time.Duration)
 }
 
+// partState tracks one play sequence's deliveries. A hedged or
+// split-brain-healed send can deliver BOTH the full primary block and
+// some mirror pieces for the same sequence, so the two copies are
+// tracked independently: the primary completes the block by itself, and
+// pieces complete it only when every distinct piece index is present
+// (the mask defends against duplicate pieces masquerading as coverage).
+// Decluster factors above 32 are not supported by the verification
+// client.
 type partState struct {
-	parts int8
-	need  int8
+	primary bool
+	need    int8
+	mask    uint32
+}
+
+func (p partState) complete() bool {
+	return p.primary || (p.need > 0 && bits.OnesCount32(p.mask) >= int(p.need))
 }
 
 // New creates a viewer. slack is the grace period after a block's
@@ -166,14 +180,18 @@ func (v *Viewer) DeliverBlock(d netsim.BlockDelivery) {
 		return
 	}
 	ps := v.received[d.PlaySeq]
-	ps.parts++
-	ps.need = d.Parts
+	if d.Parts <= 1 {
+		ps.primary = true
+	} else {
+		ps.need = d.Parts
+		ps.mask |= 1 << uint(d.Part)
+	}
 	v.received[d.PlaySeq] = ps
 	// The timeline anchors on the completion of the first block — the
 	// paper's client records "the receive time of a block to be when the
 	// last byte of the block arrives". A mirror-served first block
 	// completes with its final declustered piece.
-	if !v.gotFirst && (d.PlaySeq == 0 && ps.parts >= ps.need || d.PlaySeq > 0) {
+	if !v.gotFirst && (d.PlaySeq == 0 && ps.complete() || d.PlaySeq > 0) {
 		// Anchor on the completed first block; if the first block was
 		// lost entirely, infer the timeline from a later delivery so the
 		// loss is still detected.
@@ -211,11 +229,11 @@ func (v *Viewer) check(k int32, inst msg.InstanceID) {
 	}
 	ps, ok := v.received[k]
 	delete(v.received, k)
-	complete := ok && ps.need > 0 && ps.parts >= ps.need
+	complete := ok && ps.complete()
 	if complete {
 		v.stats.BlocksOK++
 		v.consecLost = 0
-		if ps.need > 1 {
+		if !ps.primary {
 			v.stats.MirrorBlocks++
 		}
 	} else {

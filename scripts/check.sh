@@ -18,12 +18,26 @@ fi
 go vet ./...
 go build ./...
 go test -short ./...
-go test -race ./internal/rt ./internal/core ./internal/obs ./internal/sim ./internal/netsim ./internal/chaos
+go test -race ./internal/rt ./internal/core ./internal/obs ./internal/sim ./internal/netsim ./internal/chaos ./internal/disk
 
 # Chaos gate: the short tier above already runs TestChaosSmoke (a full
 # partition-heal-refute cycle); here the full chaos scenarios and the
 # random-operations monkey test run under the race detector.
 go test -race -run 'TestChaos|TestRandomOperationsInvariants' .
+
+# Gray-failure gate: the fail-slow acceptance sweep, the quarantine
+# interaction tests (rejoin, split-brain), and the disk fault/hedging
+# unit tier, all under the race detector. The short tier above already
+# ran TestGrayFailChaosSmoke.
+go test -race -run 'TestGrayFail|TestQuarantine' .
+go test -race -run 'TestFailSlow|TestStuckDisk|TestProbes|TestCancel' ./internal/core ./internal/disk
+
+# Grayfail bench artifact: the sweep must run end to end and emit
+# BENCH_grayfail.json.
+graydir=$(mktemp -d)
+go run ./cmd/tigerbench -exp grayfail -grayfactors 3 -grayhold 20s -out "$graydir" >/dev/null
+[ -s "$graydir/BENCH_grayfail.json" ]
+rm -rf "$graydir"
 
 # Bench smoke: compile and single-shot every benchmark so the alloc
 # regression tests and hot-path benches can't silently rot.

@@ -69,6 +69,11 @@ type Options struct {
 	AdmitLimit        float64
 	SingleForward     bool // ablation: forward viewer states once, not twice
 
+	// Health configures the gray-failure monitor (fail-slow detection,
+	// hedged mirror reads, quarantine); zero fields take the defaults,
+	// Health.Disable turns the monitor off for baselines.
+	Health core.HealthParams
+
 	// Client model.
 	ViewersPerMachine int
 	ClientDropProb    float64
@@ -206,6 +211,7 @@ func New(o Options) (*Cluster, error) {
 		DeadmanTimeout:    o.DeadmanTimeout,
 		AdmitLimit:        o.AdmitLimit,
 		SingleForward:     o.SingleForward,
+		Health:            o.Health,
 		DiskParams:        o.DiskParams,
 		CPUModel:          o.CPUModel,
 		Files:             files,
@@ -298,6 +304,56 @@ func (c *Cluster) RestartCub(i int) {
 	c.Cubs[i].Restart()
 }
 
+// diskModel returns the simulated drive behind global disk number d.
+func (c *Cluster) diskModel(d int) *disk.Disk {
+	return c.Cubs[int(c.Cfg.Layout.CubOfDisk(d))].Disks()[d]
+}
+
+// FailDiskSlow makes global disk d a fail-slow drive: every read takes
+// factor× its nominal service time, without any hard error. This is the
+// gray failure the health monitor (suspect → hedge → quarantine) exists
+// for; HealDisk restores the drive. Mirrors CrashCub/RestartCub for use
+// from tests and the chaos engine.
+func (c *Cluster) FailDiskSlow(d int, factor float64) {
+	dk := c.diskModel(d)
+	f := dk.Faults()
+	f.SlowFactor = factor
+	dk.SetFaults(f)
+}
+
+// FailDiskErrors gives global disk d a transient read-failure
+// probability; reads complete on time but report failure with
+// probability prob. HealDisk restores the drive.
+func (c *Cluster) FailDiskErrors(d int, prob float64) {
+	dk := c.diskModel(d)
+	f := dk.Faults()
+	f.ErrProb = prob
+	dk.SetFaults(f)
+}
+
+// StickDisk wedges global disk d's queue: reads are accepted but none
+// completes — the silent-hang gray failure. HealDisk unsticks it and
+// restarts the queue.
+func (c *Cluster) StickDisk(d int) {
+	dk := c.diskModel(d)
+	f := dk.Faults()
+	f.Stuck = true
+	dk.SetFaults(f)
+}
+
+// HealDisk clears every gray fault (slow, flaky, stuck) on global disk
+// d. A quarantined drive is then un-quarantined by the owning cub's
+// periodic probes, not immediately.
+func (c *Cluster) HealDisk(d int) {
+	c.diskModel(d).SetFaults(disk.Faults{})
+}
+
+// DiskHealth reports the owning cub's health-monitor state for global
+// disk d.
+func (c *Cluster) DiskHealth(d int) core.DiskHealthState {
+	return c.Cubs[int(c.Cfg.Layout.CubOfDisk(d))].DiskHealth(d)
+}
+
 // MirrorLoadFor returns the number of mirror-piece schedule entries the
 // rest of the system currently holds covering cub i's disks — the extra
 // service cost the ring pays while i is down, which reintegration must
@@ -387,6 +443,14 @@ func (c *Cluster) TotalCubStats() core.CubStats {
 		t.ViewTransferred += s.ViewTransferred
 		t.MirrorsRetired += s.MirrorsRetired
 		t.StaleEpochDrops += s.StaleEpochDrops
+		t.HedgesIssued += s.HedgesIssued
+		t.HedgeLocalWins += s.HedgeLocalWins
+		t.HedgeMirrorWins += s.HedgeMirrorWins
+		t.DiskReadErrors += s.DiskReadErrors
+		t.DiskSuspects += s.DiskSuspects
+		t.DiskRecoveries += s.DiskRecoveries
+		t.DiskQuarantines += s.DiskQuarantines
+		t.DiskUnquarantines += s.DiskUnquarantines
 	}
 	return t
 }
