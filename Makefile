@@ -1,4 +1,4 @@
-.PHONY: check test bench
+.PHONY: check test bench elastic
 
 # Full verification gate: vet, build, short tests, race detector on the
 # concurrent packages. CI and pre-commit both run this.
@@ -10,3 +10,8 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Regenerate the online elastic restripe sweep (all chaos arms) and
+# refresh the committed BENCH_elastic.json artifact.
+elastic:
+	go run ./cmd/tigerbench -exp elastic -out .

@@ -6,6 +6,7 @@ import (
 
 	"tiger/internal/chaos"
 	"tiger/internal/core"
+	"tiger/internal/disk"
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
 	"tiger/internal/sim"
@@ -30,26 +31,37 @@ func (s chaosSystem) Now() sim.Time          { return s.c.Now() }
 
 // FailDisk kills the cub's disk-th local drive (0..DisksPerCub-1);
 // chaos scenarios name disks cub-locally so schedules stay valid across
-// layout changes.
+// layout changes — including mid-run restripes that renumber every disk.
 func (s chaosSystem) FailDisk(cub, disk int) {
-	ds := s.c.Cfg.Layout.DisksOfCub(msg.NodeID(cub))
-	s.c.Cubs[cub].FailDisk(ds[disk])
+	c := s.c.Cubs[cub]
+	c.FailDisk(c.NativeDiskKey(disk))
 }
 
-// globalDisk translates a chaos schedule's cub-local disk index to the
-// cluster's global disk numbering.
-func (s chaosSystem) globalDisk(cub, disk int) int {
-	return s.c.Cfg.Layout.DisksOfCub(msg.NodeID(cub))[disk]
+// diskFaults mutates the fault state of the cub's idx-th local drive.
+func (s chaosSystem) diskFaults(cub, idx int, mut func(*disk.Faults)) {
+	dk := s.c.Cubs[cub].DiskByIndex(idx)
+	f := dk.Faults()
+	mut(&f)
+	dk.SetFaults(f)
 }
 
-func (s chaosSystem) SlowDisk(cub, disk int, factor float64) {
-	s.c.FailDiskSlow(s.globalDisk(cub, disk), factor)
+func (s chaosSystem) SlowDisk(cub, idx int, factor float64) {
+	s.diskFaults(cub, idx, func(f *disk.Faults) { f.SlowFactor = factor })
 }
-func (s chaosSystem) ErrorDisk(cub, disk int, prob float64) {
-	s.c.FailDiskErrors(s.globalDisk(cub, disk), prob)
+func (s chaosSystem) ErrorDisk(cub, idx int, prob float64) {
+	s.diskFaults(cub, idx, func(f *disk.Faults) { f.ErrProb = prob })
 }
-func (s chaosSystem) StickDisk(cub, disk int) { s.c.StickDisk(s.globalDisk(cub, disk)) }
-func (s chaosSystem) HealDisk(cub, disk int)  { s.c.HealDisk(s.globalDisk(cub, disk)) }
+func (s chaosSystem) StickDisk(cub, idx int) {
+	s.diskFaults(cub, idx, func(f *disk.Faults) { f.Stuck = true })
+}
+func (s chaosSystem) HealDisk(cub, idx int) {
+	s.diskFaults(cub, idx, func(f *disk.Faults) { *f = disk.Faults{} })
+}
+
+// StartRestripe and RestripePhase make the cluster an
+// chaos.ElasticSystem, unlocking the restripe step kinds.
+func (s chaosSystem) StartRestripe(targetCubs int) error { return s.c.StartRestripe(targetCubs) }
+func (s chaosSystem) RestripePhase() string              { return s.c.RestripePhase() }
 
 // serveKey identifies one block or mirror-piece service. Exactly one cub
 // may perform each: the slot owner for primaries, the covering disk's
@@ -101,16 +113,20 @@ func NewChaosHarness(c *Cluster) *ChaosHarness {
 		baseSlot:  c.InvariantViolations(),
 		baseState: c.TotalCubStats().Conflicts,
 	}
+	// Publish through cubHooks so cubs created mid-run (an elastic
+	// restripe growing the array) observe the serve oracle too.
+	c.cubHooks = core.Hooks{OnInsert: c.onInsertOracle, OnServe: h.onServe}
 	for _, cub := range c.Cubs {
-		cub.SetHooks(core.Hooks{OnInsert: c.onInsertOracle, OnServe: h.onServe})
+		cub.SetHooks(c.cubHooks)
 	}
 	return h
 }
 
 // Close detaches the serve oracle, restoring the cluster's default hooks.
 func (h *ChaosHarness) Close() {
+	h.c.cubHooks = core.Hooks{OnInsert: h.c.onInsertOracle}
 	for _, cub := range h.c.Cubs {
-		cub.SetHooks(core.Hooks{OnInsert: h.c.onInsertOracle})
+		cub.SetHooks(h.c.cubHooks)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tiger/internal/clock"
+	"tiger/internal/core"
 	"tiger/internal/disk"
 	"tiger/internal/layout"
 	"tiger/internal/msg"
@@ -35,6 +36,9 @@ var (
 	rate      = flag.Float64("diskrate", 5.08e6, "per-disk copy rate, bytes/s")
 	simulate  = flag.Bool("simulate", false, "execute the plan on the disk models instead of only estimating")
 	throttle  = flag.Float64("throttle", 1.0, "fraction of disk bandwidth the restripe may use (rest reserved for service)")
+	live      = flag.Bool("live", false, "project the ONLINE restripe: copies trickled through idle schedule slots while serving")
+	liveLoad  = flag.Float64("load", 1.0, "stream load fraction for -live (1.0 = full planned capacity)")
+	budget    = flag.Float64("budget", 0.5, "fraction of idle disk time the live mover may consume")
 )
 
 func parseShape(s string) (cubs, disks int, err error) {
@@ -120,4 +124,22 @@ func main() {
 	capOld := disk.PlanCapacity(disk.DefaultParams(), old.NumDisks(), *blockSize, time.Second, *decl)
 	capNew := disk.PlanCapacity(disk.DefaultParams(), new.NumDisks(), *blockSize, time.Second, toDecl)
 	fmt.Printf("  capacity change  : %d -> %d streams\n", capOld.Streams, capNew.Streams)
+
+	if *live {
+		// The online restripe never takes the system down: the core
+		// mover trickles copies through idle slots of the disk schedule,
+		// so throughput is governed by how much of each drive the
+		// streams leave unused. Source drives bound the copy: every old
+		// drive ships moves, and the busiest one finishes last.
+		cps, bps := core.ProjectedMoveRate(disk.DefaultParams(), *blockSize, time.Second, *decl, *liveLoad, *budget)
+		duty := core.PlanMoveCapacity(disk.DefaultParams(), *blockSize, time.Second, *decl) * *liveLoad
+		if duty > 1 {
+			duty = 1
+		}
+		perDisk := float64(len(plan.Moves)) / float64(old.NumDisks())
+		fmt.Printf("  live restripe    : at %.0f%% load (disk duty %.0f%%), %.1f copies/s per drive (%.2f MB/s)\n",
+			*liveLoad*100, duty*100, cps, bps/1e6)
+		fmt.Printf("  live copy time   : ~%v for ~%.0f moves per source drive\n",
+			(time.Duration(perDisk / cps * float64(time.Second))).Round(time.Second), perDisk)
+	}
 }

@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|chaos|grayfail|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|chaos|grayfail|elastic|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
 	parallel = flag.Int("parallel", 1, "worker-pool width for multi-point sweeps (0 = GOMAXPROCS); results are identical at any width")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
@@ -40,6 +40,9 @@ var (
 
 	grayFactorsFlag = flag.String("grayfactors", "1.5,2,3", "comma-separated disk slowdown factors for the grayfail sweep")
 	grayHold        = flag.Duration("grayhold", 45*time.Second, "post-injection hold per grayfail point")
+
+	elasticArmsFlag = flag.String("elasticarms", strings.Join(tiger.ElasticArms, ","),
+		"comma-separated chaos arms for the elastic sweep (clean|crash|partition|disk-slow)")
 )
 
 // writeCSV emits rows into <csvDir>/<name>.csv when -csv is set.
@@ -155,6 +158,7 @@ func main() {
 	run("flash", func() error { return flash(o) })
 	run("chaos", func() error { return chaosSweep(o) })
 	run("grayfail", func() error { return grayfail(o) })
+	run("elastic", func() error { return elastic(o) })
 	run("score", func() error { return score(o) })
 	run("observe", func() error { return observe(o) })
 	run("ablate-frag", func() error { return ablateFrag() })
@@ -316,6 +320,52 @@ func grayfail(o tiger.Options) error {
 		return err
 	}
 	return writeJSON("grayfail", pts)
+}
+
+// elastic is the online-restripe sweep: grow and shrink the array under
+// full load, with chaos arms striking mid-restripe. The headline
+// numbers are the zero columns: no stream loses a block and no block is
+// double-served in any arm, including a crash of the newest cub
+// mid-copy and a partition of a retiring cub during its linger window.
+func elastic(o tiger.Options) error {
+	header("Elastic: online restripe sweep (grow and shrink while serving)",
+		"every admitted stream keeps playing through the copy, cutover and drain")
+	var arms []string
+	for _, s := range strings.Split(*elasticArmsFlag, ",") {
+		if a := strings.TrimSpace(s); a != "" {
+			arms = append(arms, a)
+		}
+	}
+	pts, err := tiger.RunElasticSweep(o, arms)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%7s %10s %6s %6s %7s %8s %7s %7s %8s %8s %7s %8s %8s %6s\n",
+		"dir", "arm", "cubs", "moves", "reroute", "copy", "drain", "total", "MB/s", "lost", "doubles", "viol", "active", "cap")
+	for _, p := range pts {
+		fmt.Printf("%7s %10s %2d->%-3d %6d %7d %7.1fs %6.0fs %6.0fs %8.1f %8d %7d %8d %8d %6d\n",
+			p.Dir, p.Arm, p.FromCubs, p.TargetCubs, p.Moves, p.Rerouted,
+			p.CopySec, p.DrainSec, p.TotalSec, p.MoveMBps,
+			p.BlocksLost, p.DoubleServes, p.Violations, p.ActiveAfter, p.CapacityAfter)
+	}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Dir, p.Arm, strconv.Itoa(p.FromCubs), strconv.Itoa(p.TargetCubs),
+			strconv.Itoa(p.Moves), strconv.FormatInt(p.Rerouted, 10),
+			f1(p.CopySec), f1(p.DrainSec), f1(p.TotalSec), f1(p.MoveMBps),
+			strconv.FormatInt(p.BlocksLost, 10), strconv.Itoa(p.DoubleServes),
+			strconv.Itoa(p.Violations), strconv.Itoa(p.ActiveAfter), strconv.Itoa(p.CapacityAfter),
+		})
+	}
+	if err := writeCSV("elastic",
+		[]string{"dir", "arm", "from_cubs", "target_cubs", "moves", "rerouted",
+			"copy_s", "drain_s", "total_s", "move_mbps", "blocks_lost",
+			"double_serves", "violations", "active_after", "capacity_after"},
+		rows); err != nil {
+		return err
+	}
+	return writeJSON("elastic", pts)
 }
 
 func flash(o tiger.Options) error {

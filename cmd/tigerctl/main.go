@@ -10,6 +10,11 @@
 // its metrics:
 //
 //	tigerctl stats -debug 127.0.0.1:9000
+//
+// The restripe subcommand summarises elastic-restripe progress from the
+// same endpoint: phase, committed/rerouted moves, and mover totals:
+//
+//	tigerctl restripe -debug 127.0.0.1:9000
 package main
 
 import (
@@ -75,6 +80,10 @@ type viewerState struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		runStats(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "restripe" {
+		runRestripe(os.Args[2:])
 		return
 	}
 	flag.Parse()
@@ -199,6 +208,71 @@ func main() {
 	if !sum.OK {
 		os.Exit(1)
 	}
+}
+
+// runRestripe scrapes a tigerd debug endpoint's /metrics and prints the
+// elastic-restripe status: the phase gauge, coordinator progress, and
+// the mover counters summed over every cub.
+func runRestripe(args []string) {
+	fs := flag.NewFlagSet("restripe", flag.ExitOnError)
+	addr := fs.String("debug", "127.0.0.1:9000", "tigerd debug address (control port + 2000 by default)")
+	fs.Parse(args)
+
+	resp, err := http.Get("http://" + *addr + "/metrics")
+	if err != nil {
+		log.Fatalf("scrape %s: %v", *addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("scrape %s: %s", *addr, resp.Status)
+	}
+
+	// Sum each restripe-relevant series over its labels (the per-cub
+	// mover counters carry a cub label; the controller's do not).
+	sums := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, value := line[:sp], line[sp+1:]
+		name := series
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			name = name[:b]
+		}
+		if !strings.HasPrefix(name, "tiger_restripe_") && !strings.HasPrefix(name, "tiger_cub_move") {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		sums[name] += v
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading scrape: %v", err)
+	}
+
+	phases := []string{"idle", "copy", "cutover", "drain", "linger", "done"}
+	phase := "idle"
+	if p := int(sums["tiger_restripe_phase"]); p >= 0 && p < len(phases) {
+		phase = phases[p]
+	}
+	fmt.Printf("phase      : %s\n", phase)
+	fmt.Printf("committed  : %.0f moves\n", sums["tiger_restripe_commits_total"])
+	fmt.Printf("rerouted   : %.0f moves\n", sums["tiger_restripe_reroutes_total"])
+	fmt.Printf("pending    : %.0f copy jobs queued at cubs\n", sums["tiger_cub_moves_pending"])
+	fmt.Printf("moved out  : %.0f blocks (%.1f MB)\n",
+		sums["tiger_cub_moves_out_total"], sums["tiger_cub_move_bytes_out_total"]/1e6)
+	fmt.Printf("moved in   : %.0f blocks (%.1f MB)\n",
+		sums["tiger_cub_moves_in_total"], sums["tiger_cub_move_bytes_in_total"]/1e6)
+	fmt.Printf("nacked     : %.0f move orders\n", sums["tiger_cub_moves_nacked_total"])
 }
 
 // runStats scrapes a tigerd debug endpoint's /metrics and prints a

@@ -72,6 +72,24 @@ const (
 	// HealDisk clears every gray fault (slow/error/stuck) on disk Disk
 	// of cub A; the health monitor's probes then un-quarantine it.
 	HealDisk Kind = "disk-heal"
+	// RestripeStart begins an online elastic restripe of the array to A
+	// cubs (grow or shrink). Requires a System that also implements
+	// ElasticSystem; later steps may name cubs up to the largest target
+	// any earlier restripe-start introduced.
+	RestripeStart Kind = "restripe-start"
+	// CrashDuringRestripe crashes cub A like CrashCub, but asserts a
+	// restripe is in progress at apply time — applying it to an idle
+	// system records a restripe-precondition violation (the schedule's
+	// timing no longer tests what it claims to). Pair with RestartCub.
+	CrashDuringRestripe Kind = "crash-during-restripe"
+	// PartitionMidMove isolates cub A like Isolate, asserting a restripe
+	// is in progress. Pair with Rejoin.
+	PartitionMidMove Kind = "partition-mid-move"
+	// DiskSlowDuringRestripe degrades disk Disk on cub A to Factor× like
+	// SlowDisk, asserting a restripe is in progress — the move scheduler
+	// must re-route the disk's pending copies when the health monitor
+	// quarantines it. Pair with HealDisk.
+	DiskSlowDuringRestripe Kind = "disk-slow-during-restripe"
 )
 
 // All, as Step.A for DropData, applies the probability to every cub.
@@ -143,7 +161,11 @@ func (k Kind) needsPeer() bool {
 	return false
 }
 
-// Validate checks the scenario against a cluster of numCubs cubs.
+// Validate checks the scenario against a cluster of numCubs cubs. A
+// restripe-start step raises the cub-index bound for every later step:
+// a grow to N cubs makes cubs numCubs..N-1 real targets (and a shrink
+// never lowers the bound — retired cubs still exist to be crashed or
+// partitioned, which is exactly what the linger window defends).
 func (s Scenario) Validate(numCubs int) error {
 	if s.Duration <= 0 {
 		return fmt.Errorf("chaos: scenario %q has no duration", s.Name)
@@ -155,21 +177,23 @@ func (s Scenario) Validate(numCubs int) error {
 		switch st.Kind {
 		case CrashCub, RestartCub, FailCub, ReviveCub, FailDisk, CutLink, CutOneWay,
 			HealLink, HealOneWay, FlakyLink, FlakyOneWay, Isolate, Rejoin, HealAll, DropData,
-			SlowDisk, ErrorDisk, StickDisk, HealDisk:
+			SlowDisk, ErrorDisk, StickDisk, HealDisk,
+			RestripeStart, CrashDuringRestripe, PartitionMidMove, DiskSlowDuringRestripe:
 		default:
 			return fmt.Errorf("chaos: step %d has unknown kind %q", i, st.Kind)
 		}
 		if st.Kind == HealAll {
 			continue
 		}
-		if st.A < 0 || st.A >= numCubs {
-			if !(st.Kind == DropData && st.A == All) {
-				return fmt.Errorf("chaos: step %d (%s) names cub %d of %d", i, st.Kind, st.A, numCubs)
+		if st.Kind == RestripeStart {
+			if st.A < 2 {
+				return fmt.Errorf("chaos: step %d (%s) targets %d cubs", i, st.Kind, st.A)
 			}
+			continue
 		}
 		if st.Kind.needsPeer() {
-			if st.B < 0 || st.B >= numCubs {
-				return fmt.Errorf("chaos: step %d (%s) names peer cub %d of %d", i, st.Kind, st.B, numCubs)
+			if st.B < 0 {
+				return fmt.Errorf("chaos: step %d (%s) names peer cub %d", i, st.Kind, st.B)
 			}
 			if st.B == st.A {
 				return fmt.Errorf("chaos: step %d (%s) links cub %d to itself", i, st.Kind, st.A)
@@ -178,11 +202,33 @@ func (s Scenario) Validate(numCubs int) error {
 		if st.Kind == DropData && (st.Prob < 0 || st.Prob > 1) {
 			return fmt.Errorf("chaos: step %d has drop probability %v", i, st.Prob)
 		}
-		if st.Kind == SlowDisk && st.Factor < 1 {
+		if (st.Kind == SlowDisk || st.Kind == DiskSlowDuringRestripe) && st.Factor < 1 {
 			return fmt.Errorf("chaos: step %d has slow factor %v below 1 (use %s to heal)", i, st.Factor, HealDisk)
 		}
 		if st.Kind == ErrorDisk && (st.Prob <= 0 || st.Prob > 1) {
 			return fmt.Errorf("chaos: step %d has error probability %v outside (0,1] (use %s to heal)", i, st.Prob, HealDisk)
+		}
+	}
+	// Cub-index bounds in schedule order, tracking the widening effect of
+	// restripe-start steps.
+	bound := numCubs
+	for _, st := range s.sortedSteps() {
+		switch st.Kind {
+		case HealAll:
+			continue
+		case RestripeStart:
+			if st.A > bound {
+				bound = st.A
+			}
+			continue
+		}
+		if st.A < 0 || st.A >= bound {
+			if !(st.Kind == DropData && st.A == All) {
+				return fmt.Errorf("chaos: step %s at %v names cub %d of %d", st.Kind, st.At, st.A, bound)
+			}
+		}
+		if st.Kind.needsPeer() && st.B >= bound {
+			return fmt.Errorf("chaos: step %s at %v names peer cub %d of %d", st.Kind, st.At, st.B, bound)
 		}
 	}
 	return nil
@@ -260,6 +306,21 @@ func DiskStick(cub, disk int) Step { return Step{Kind: StickDisk, A: cub, Disk: 
 
 // DiskHeal returns a HealDisk step clearing all gray faults on the disk.
 func DiskHeal(cub, disk int) Step { return Step{Kind: HealDisk, A: cub, Disk: disk} }
+
+// Restripe returns a RestripeStart step growing or shrinking the array
+// to targetCubs.
+func Restripe(targetCubs int) Step { return Step{Kind: RestripeStart, A: targetCubs} }
+
+// CrashMidRestripe returns a CrashDuringRestripe step.
+func CrashMidRestripe(cub int) Step { return Step{Kind: CrashDuringRestripe, A: cub} }
+
+// IsolateMidRestripe returns a PartitionMidMove step.
+func IsolateMidRestripe(cub int) Step { return Step{Kind: PartitionMidMove, A: cub} }
+
+// DiskSlowMidRestripe returns a DiskSlowDuringRestripe step.
+func DiskSlowMidRestripe(cub, disk int, factor float64) Step {
+	return Step{Kind: DiskSlowDuringRestripe, A: cub, Disk: disk, Factor: factor}
+}
 
 // Concat joins step groups built with At into one schedule.
 func Concat(groups ...[]Step) []Step {

@@ -327,3 +327,112 @@ func TestIsolateCutsEverything(t *testing.T) {
 		t.Fatal("rejoin did not heal all links")
 	}
 }
+
+func TestValidateRestripeWidening(t *testing.T) {
+	// A restripe-start to 6 cubs makes cubs 4 and 5 legal targets for
+	// every later step on a 4-cub cluster.
+	grow := Scenario{
+		Name:     "grow-widens",
+		Duration: 10 * time.Second,
+		Steps: Concat(
+			At(0, Restripe(6)),
+			At(time.Second, CrashMidRestripe(5)),
+			At(2*time.Second, Restart(5)),
+		),
+	}
+	if err := grow.Validate(4); err != nil {
+		t.Fatalf("grow scenario rejected: %v", err)
+	}
+
+	// The same crash without the restripe-start is out of bounds.
+	noStart := Scenario{
+		Name:     "no-start",
+		Duration: 10 * time.Second,
+		Steps:    At(time.Second, CrashMidRestripe(5)),
+	}
+	if err := noStart.Validate(4); err == nil {
+		t.Fatal("crash of cub 5 of 4 validated without a restripe-start")
+	}
+
+	// The widening applies in schedule order: a step BEFORE the
+	// restripe-start cannot use the future bound.
+	early := Scenario{
+		Name:     "early-strike",
+		Duration: 10 * time.Second,
+		Steps: Concat(
+			At(0, Crash(5)),
+			At(time.Second, Restripe(6)),
+		),
+	}
+	if err := early.Validate(4); err == nil {
+		t.Fatal("step before restripe-start used the widened bound")
+	}
+
+	// A shrink never lowers the bound: the retiring cubs still exist to
+	// be crashed or partitioned — that is what the linger defends.
+	shrink := Scenario{
+		Name:     "shrink-keeps-bound",
+		Duration: 10 * time.Second,
+		Steps: Concat(
+			At(0, Restripe(2)),
+			At(time.Second, IsolateMidRestripe(3)),
+			At(2*time.Second, RejoinCub(3)),
+		),
+	}
+	if err := shrink.Validate(4); err != nil {
+		t.Fatalf("shrink scenario rejected: %v", err)
+	}
+
+	for _, bad := range []Scenario{
+		{Name: "target-too-small", Duration: time.Second, Steps: At(0, Restripe(1))},
+		{Name: "slow-below-1", Duration: time.Second, Steps: At(0, DiskSlowMidRestripe(0, 0, 0.5))},
+	} {
+		if err := bad.Validate(4); err == nil {
+			t.Errorf("scenario %q validated", bad.Name)
+		}
+	}
+}
+
+func TestRestripePreconditionViolations(t *testing.T) {
+	// On a system that does not support elastic restriping, every
+	// restripe-gated step still applies its generic fault but records a
+	// restripe-precondition violation.
+	sys := newFakeSystem(t, 4)
+	sc := Scenario{
+		Name:     "no-elastic",
+		Duration: time.Second,
+		Settle:   100 * time.Millisecond,
+		Steps: Concat(
+			At(100*time.Millisecond, Restripe(6)),
+			At(200*time.Millisecond, CrashMidRestripe(2)),
+			At(400*time.Millisecond, Restart(2)),
+		),
+	}
+	r, err := NewRunner(sys, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre int
+	for _, v := range rep.Violations {
+		if v.Invariant == "restripe-precondition" {
+			pre++
+		}
+	}
+	if pre != 2 {
+		t.Fatalf("recorded %d restripe-precondition violations, want 2: %v", pre, rep.Violations)
+	}
+	// The crash itself still acted.
+	var crashed bool
+	for _, call := range sys.calls {
+		if call == "crash" {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatal("gated crash step never applied its fault")
+	}
+}

@@ -30,6 +30,23 @@ type System interface {
 	Now() sim.Time
 }
 
+// ElasticSystem is the optional extension a System implements when it
+// supports online elastic restriping. The restripe step kinds require
+// it; applying them to a plain System records a restripe-precondition
+// violation instead of acting.
+type ElasticSystem interface {
+	// StartRestripe begins an online restripe to targetCubs cubs.
+	StartRestripe(targetCubs int) error
+	// RestripePhase reports the current phase; "idle" and "done" mean no
+	// restripe is in progress.
+	RestripePhase() string
+}
+
+// restripeInProgress interprets an ElasticSystem phase string.
+func restripeInProgress(phase string) bool {
+	return phase != "" && phase != "idle" && phase != "done"
+}
+
 // Invariant is one property checked every tick. Check receives quiet =
 // true once no fault is outstanding and the scenario's settle period has
 // elapsed; properties that only hold at rest (mirror-load conservation,
@@ -130,8 +147,41 @@ func (r *Runner) setDropProb(cub int, p float64) {
 	}
 }
 
-// apply executes one step now.
-func (r *Runner) apply(st Step) {
+// requireRestripe records a restripe-precondition violation when the
+// system is not mid-restripe at apply time: the step still acts (the
+// fault is generic), but the run is flagged because its timing no longer
+// exercises the interplay the schedule was written to test.
+func (r *Runner) requireRestripe(rep *Report, st Step) {
+	es, ok := r.Sys.(ElasticSystem)
+	if !ok {
+		rep.Violations = append(rep.Violations, Violation{
+			At: r.Sys.Now(), Invariant: "restripe-precondition",
+			Err: fmt.Sprintf("step %s requires an elastic system", st.Kind),
+		})
+		return
+	}
+	if p := es.RestripePhase(); !restripeInProgress(p) {
+		rep.Violations = append(rep.Violations, Violation{
+			At: r.Sys.Now(), Invariant: "restripe-precondition",
+			Err: fmt.Sprintf("step %s at %v fired with restripe phase %q", st.Kind, st.At, p),
+		})
+	}
+}
+
+// isolate cuts cub a off from every other cub and the controller.
+func (r *Runner) isolate(a msg.NodeID) {
+	net := r.Sys.Net()
+	for i := 0; i < r.Sys.NumCubs(); i++ {
+		if msg.NodeID(i) != a {
+			net.Cut(a, msg.NodeID(i))
+		}
+	}
+	net.Cut(a, msg.Controller)
+}
+
+// apply executes one step now. rep collects precondition violations
+// from the restripe-gated kinds.
+func (r *Runner) apply(rep *Report, st Step) {
 	net := r.Sys.Net()
 	a, b := msg.NodeID(st.A), msg.NodeID(st.B)
 	switch st.Kind {
@@ -163,12 +213,7 @@ func (r *Runner) apply(st Step) {
 	case FlakyOneWay:
 		net.SetFlakyOneWay(a, b, st.Flaky)
 	case Isolate:
-		for i := 0; i < r.Sys.NumCubs(); i++ {
-			if i != st.A {
-				net.Cut(a, msg.NodeID(i))
-			}
-		}
-		net.Cut(a, msg.Controller)
+		r.isolate(a)
 	case Rejoin:
 		for i := 0; i < r.Sys.NumCubs(); i++ {
 			if i != st.A {
@@ -192,6 +237,32 @@ func (r *Runner) apply(st Step) {
 	case HealDisk:
 		r.Sys.HealDisk(st.A, st.Disk)
 		delete(r.grayDisks, [2]int{st.A, st.Disk})
+	case RestripeStart:
+		es, ok := r.Sys.(ElasticSystem)
+		if !ok {
+			rep.Violations = append(rep.Violations, Violation{
+				At: r.Sys.Now(), Invariant: "restripe-precondition",
+				Err: fmt.Sprintf("step %s requires an elastic system", st.Kind),
+			})
+			break
+		}
+		if err := es.StartRestripe(st.A); err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				At: r.Sys.Now(), Invariant: "restripe-precondition",
+				Err: fmt.Sprintf("restripe to %d cubs refused: %v", st.A, err),
+			})
+		}
+	case CrashDuringRestripe:
+		r.requireRestripe(rep, st)
+		r.Sys.CrashCub(st.A)
+		r.downCubs[st.A] = true
+	case PartitionMidMove:
+		r.requireRestripe(rep, st)
+		r.isolate(a)
+	case DiskSlowDuringRestripe:
+		r.requireRestripe(rep, st)
+		r.Sys.SlowDisk(st.A, st.Disk, st.Factor)
+		r.grayDisks[[2]int{st.A, st.Disk}] = true
 	}
 	r.lastCure = r.Sys.Now()
 }
@@ -202,15 +273,29 @@ func (r *Runner) apply(st Step) {
 // state around them; invariants that care consult the system directly.
 // Gray disk faults DO count — unlike FailDisk they are healable, and a
 // scenario is not quiet until its slow/flaky/stuck disks are healed.
+// An in-progress elastic restripe also counts: the system is between
+// steady states until the old generation is dropped.
 func (r *Runner) faultOutstanding() bool {
-	return len(r.downCubs) > 0 || len(r.dropProb) > 0 || len(r.grayDisks) > 0 ||
-		r.Sys.Net().FaultedLinks() > 0
+	if len(r.downCubs) > 0 || len(r.dropProb) > 0 || len(r.grayDisks) > 0 ||
+		r.Sys.Net().FaultedLinks() > 0 {
+		return true
+	}
+	if es, ok := r.Sys.(ElasticSystem); ok && restripeInProgress(es.RestripePhase()) {
+		return true
+	}
+	return false
 }
 
 // quiet reports whether the quiet-state invariants should engage: no
 // outstanding fault, and Settle elapsed since the last fault cleared.
+// Faults can clear between scheduled steps (a restripe finishing, links
+// healing), so the clock restarts at every tick that still sees one.
 func (r *Runner) quiet(now sim.Time) bool {
-	return !r.faultOutstanding() && now.Sub(r.lastCure) >= r.Scenario.settle()
+	if r.faultOutstanding() {
+		r.lastCure = now
+		return false
+	}
+	return now.Sub(r.lastCure) >= r.Scenario.settle()
 }
 
 func (r *Runner) sweep(rep *Report, now sim.Time) {
@@ -261,7 +346,7 @@ func (r *Runner) Run() (*Report, error) {
 		}
 		now = r.Sys.Now()
 		for i < len(steps) && start.Add(steps[i].At) <= now {
-			r.apply(steps[i])
+			r.apply(rep, steps[i])
 			i++
 		}
 		if now >= nextTick {

@@ -28,6 +28,7 @@ type playRecord struct {
 	slot       int32
 	state      PlayState
 	issued     sim.Time
+	gen        int32 // striping generation the play was admitted under
 }
 
 // ControllerStats are cumulative counters for the controller.
@@ -54,25 +55,76 @@ type Controller struct {
 	plays        map[msg.InstanceID]*playRecord
 	active       int
 
+	// Striping generations: during an elastic restripe two schedules
+	// coexist and admission must respect the disks they share. gens maps
+	// installed generation -> its Config; genLoad counts not-yet-finished
+	// plays admitted under each generation.
+	gens      map[int32]*Config
+	activeGen int32
+	genLoad   map[int32]int
+
+	// Live-restripe coordinator state (restriper.go).
+	rs restriperState
+
 	stats ControllerStats
 	obs   *ctlObs // nil until AttachObs
 
 	// OnAck, if set, is called when an insertion is confirmed; harnesses
 	// use it to measure slot-assignment latency.
 	OnAck func(inst msg.InstanceID, slot int32, waited time.Duration)
+
+	// OnRestripeDone, if set, is called once every move of a restripe run
+	// has committed at its destination.
+	OnRestripeDone func()
 }
 
 // NewController creates a controller for the given system.
 func NewController(cfg *Config, clk clock.Clock, net Transport) *Controller {
 	c := &Controller{
-		cfg:   cfg,
-		clk:   clk,
-		net:   net,
-		plays: make(map[msg.InstanceID]*playRecord),
+		cfg:     cfg,
+		clk:     clk,
+		net:     net,
+		plays:   make(map[msg.InstanceID]*playRecord),
+		gens:    map[int32]*Config{0: cfg},
+		genLoad: make(map[int32]int),
 	}
 	c.cpu.Model = cfg.CPUModel
 	return c
 }
+
+// InstallGen makes a striping generation's configuration known to the
+// controller. Idempotent.
+func (c *Controller) InstallGen(gen int32, cfg *Config) {
+	if _, ok := c.gens[gen]; ok {
+		return
+	}
+	c.gens[gen] = cfg
+}
+
+// SetActiveGen flips which generation admits new plays.
+func (c *Controller) SetActiveGen(gen int32) {
+	if _, ok := c.gens[gen]; !ok {
+		panic(fmt.Sprintf("controller: SetActiveGen(%d) before InstallGen", gen))
+	}
+	c.activeGen = gen
+}
+
+// ActiveGen returns the generation new plays are admitted under.
+func (c *Controller) ActiveGen() int32 { return c.activeGen }
+
+// DropGen forgets a fully drained generation.
+func (c *Controller) DropGen(gen int32) {
+	if gen == c.activeGen {
+		panic(fmt.Sprintf("controller: cannot drop active generation %d", gen))
+	}
+	delete(c.gens, gen)
+	delete(c.genLoad, gen)
+}
+
+// GenLoad returns the number of not-yet-finished plays admitted under
+// one generation; the restripe drain monitor polls the old generation's
+// count toward zero.
+func (c *Controller) GenLoad(gen int32) int { return c.genLoad[gen] }
 
 // CPUBusy returns the controller's cumulative modelled CPU time.
 func (c *Controller) CPUBusy() time.Duration { return c.cpu.Busy() }
@@ -96,27 +148,49 @@ func (c *Controller) StartPlay(viewer msg.ViewerID, file msg.FileID, startBlock 
 // (the real-time transport uses it; the simulator routes by ViewerID).
 func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.FileID, startBlock int32, bitrate int32) (msg.InstanceID, error) {
 	c.cpu.ChargeStartReq()
-	f, ok := c.cfg.Files[file]
+	acfg := c.gens[c.activeGen]
+	f, ok := acfg.Files[file]
 	if !ok {
 		return 0, fmt.Errorf("controller: unknown file %d", file)
 	}
 	if startBlock < 0 || int(startBlock) >= f.Blocks {
 		return 0, fmt.Errorf("controller: file %d has no block %d", file, startBlock)
 	}
-	if c.cfg.AdmitLimit > 0 {
-		limit := int(c.cfg.AdmitLimit * float64(c.cfg.Sched.NumSlots))
-		if c.pendingAndActive() >= limit {
-			c.stats.Rejected++
-			if o := c.obs; o != nil {
-				o.rejected.Inc()
+	if acfg.AdmitLimit > 0 {
+		if len(c.gens) == 1 {
+			limit := int(acfg.AdmitLimit * float64(acfg.Sched.NumSlots))
+			if c.pendingAndActive() >= limit {
+				c.stats.Rejected++
+				if o := c.obs; o != nil {
+					o.rejected.Inc()
+				}
+				return 0, fmt.Errorf("controller: schedule load limit %d reached", limit)
 			}
-			return 0, fmt.Errorf("controller: schedule load limit %d reached", limit)
+		} else {
+			// During a restripe the generations share the same spindles,
+			// so the admission budget is joint: each play consumes one
+			// slot-fraction of its own generation's ring, and the sum of
+			// fractions bounds per-disk stream load exactly as the single
+			// ring did (both rings carry the same streams-per-disk ratio).
+			frac := 0.0
+			for g, n := range c.genLoad {
+				if gcfg := c.gens[g]; gcfg != nil && n > 0 {
+					frac += float64(n) / float64(gcfg.Sched.NumSlots)
+				}
+			}
+			if frac >= acfg.AdmitLimit {
+				c.stats.Rejected++
+				if o := c.obs; o != nil {
+					o.rejected.Inc()
+				}
+				return 0, fmt.Errorf("controller: joint schedule load limit %.3f reached", acfg.AdmitLimit)
+			}
 		}
 	}
 	c.nextInstance++
 	inst := c.nextInstance
-	d0 := c.cfg.Layout.PrimaryDisk(f, int(startBlock))
-	primary := c.cfg.Layout.CubOfDisk(d0)
+	d0 := acfg.Layout.PrimaryDisk(f, int(startBlock))
+	primary := acfg.Layout.CubOfDisk(d0)
 	now := c.clk.Now()
 	c.plays[inst] = &playRecord{
 		viewer:     viewer,
@@ -127,7 +201,9 @@ func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.
 		slot:       -1,
 		state:      PlayQueued,
 		issued:     now,
+		gen:        c.activeGen,
 	}
+	c.genLoad[c.activeGen]++
 	sp := msg.StartPlay{
 		Viewer:     viewer,
 		Instance:   inst,
@@ -142,7 +218,7 @@ func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.
 	c.net.Send(msg.Controller, primary, &p)
 	r := sp
 	r.Primary = false
-	c.net.Send(msg.Controller, c.cfg.Layout.Successor(primary), &r)
+	c.net.Send(msg.Controller, acfg.Layout.Successor(primary), &r)
 	c.stats.Starts++
 	if o := c.obs; o != nil {
 		o.starts.Inc()
@@ -170,16 +246,20 @@ func (c *Controller) StopPlay(inst msg.InstanceID) {
 		Slot:     rec.slot, // -1 when still queued: cancels the start
 		Created:  int64(c.clk.Now()),
 	}
+	rcfg := c.gens[rec.gen]
+	if rcfg == nil {
+		rcfg = c.cfg
+	}
 	var target msg.NodeID
 	if rec.state == PlayQueued {
 		target = rec.primary
 	} else {
-		target = c.cfg.Layout.CubOfDisk(c.servingDisk(rec.slot))
+		target = rcfg.Layout.CubOfDisk(c.servingDisk(rec.slot))
 	}
 	d1 := d
 	c.net.Send(msg.Controller, target, &d1)
 	d2 := d
-	c.net.Send(msg.Controller, c.cfg.Layout.Successor(target), &d2)
+	c.net.Send(msg.Controller, rcfg.Layout.Successor(target), &d2)
 	c.finish(rec)
 }
 
@@ -205,15 +285,26 @@ func (c *Controller) finish(rec *playRecord) {
 			o.active.Set(float64(c.active))
 		}
 	}
+	if rec.state != PlayDone {
+		if n := c.genLoad[rec.gen]; n > 0 {
+			c.genLoad[rec.gen] = n - 1
+		}
+	}
 	rec.state = PlayDone
 }
 
-// servingDisk returns the disk about to serve the given slot.
+// servingDisk returns the generation-local disk about to serve the
+// given slot, under the slot's own generation.
 func (c *Controller) servingDisk(slot int32) int {
+	cfg := c.gens[GenOf(slot)]
+	if cfg == nil {
+		cfg = c.cfg
+	}
+	raw := RawSlot(slot)
 	now := c.clk.Now()
 	best, bestT := 0, sim.Time(0)
-	for d := 0; d < c.cfg.Sched.NumDisks; d++ {
-		t := c.cfg.Sched.ServiceTime(d, slot, now)
+	for d := 0; d < cfg.Sched.NumDisks; d++ {
+		t := cfg.Sched.ServiceTime(d, raw, now)
 		if d == 0 || t < bestT {
 			best, bestT = d, t
 		}
@@ -232,13 +323,21 @@ func (c *Controller) pendingAndActive() int {
 }
 
 // Deliver implements netsim.Handler for messages addressed to the
-// controller (start acknowledgements from cubs).
+// controller: start acknowledgements from cubs, and the commit/nack
+// halves of the live-restripe move protocol.
 func (c *Controller) Deliver(from msg.NodeID, m msg.Message) {
 	c.cpu.ChargeCtlMsg()
-	a, ok := m.(*msg.StartAck)
-	if !ok {
-		return
+	switch t := m.(type) {
+	case *msg.StartAck:
+		c.onStartAck(t)
+	case *msg.MoveCommit:
+		c.onMoveCommit(t)
+	case *msg.MoveNack:
+		c.onMoveNack(t)
 	}
+}
+
+func (c *Controller) onStartAck(a *msg.StartAck) {
 	rec, found := c.plays[a.Instance]
 	if !found {
 		return
@@ -254,10 +353,14 @@ func (c *Controller) Deliver(from msg.NodeID, m msg.Message) {
 			Slot:     a.Slot,
 			Created:  int64(c.clk.Now()),
 		}
+		rcfg := c.gens[rec.gen]
+		if rcfg == nil {
+			rcfg = c.cfg
+		}
 		d1 := d
 		c.net.Send(msg.Controller, a.By, &d1)
 		d2 := d
-		c.net.Send(msg.Controller, c.cfg.Layout.Successor(a.By), &d2)
+		c.net.Send(msg.Controller, rcfg.Layout.Successor(a.By), &d2)
 		return
 	}
 	if rec.state != PlayQueued {

@@ -7,6 +7,7 @@ import (
 
 	"tiger/internal/clock"
 	"tiger/internal/disk"
+	"tiger/internal/layout"
 	"tiger/internal/metrics"
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
@@ -52,10 +53,12 @@ type descKey struct {
 	instance msg.InstanceID
 }
 
-// startReq is a queued start-play request (§4.1.3).
+// startReq is a queued start-play request (§4.1.3). dkey packs the
+// striping generation with the generation-local disk holding the first
+// block wanted (genDiskKey).
 type startReq struct {
 	sp       msg.StartPlay
-	disk     int // disk holding the first block wanted
+	dkey     int32
 	enqueued sim.Time
 }
 
@@ -98,6 +101,13 @@ type CubStats struct {
 	DiskRecoveries    int64 // suspected → healthy transitions
 	DiskQuarantines   int64 // suspected → quarantined transitions
 	DiskUnquarantines int64 // quarantines cleared by passing probes
+
+	// Live-restripe mover counters (mover.go).
+	MovesOut     int64 // move copies read and shipped by this cub
+	MovesIn      int64 // move copies landed on this cub's drives
+	MoveBytesOut int64
+	MoveBytesIn  int64
+	MovesNacked  int64 // move orders refused (source disk failed/quarantined)
 }
 
 // Hooks let tests and harnesses observe protocol events without
@@ -124,8 +134,16 @@ type Cub struct {
 	rng  *rand.Rand
 
 	disks       map[int]*disk.Disk
-	index       map[int]*diskIndex
 	failedDisks map[int]bool // this cub's own dead drives
+
+	// Striping generations (gen.go): one plane per installed generation,
+	// each holding that generation's Config and this cub's content index
+	// under its placement. nativeCubs is the cub count of the generation
+	// this cub was created under — the basis of its physical (native)
+	// disk numbering.
+	planes     map[int32]*genPlane
+	activeGen  int32
+	nativeCubs int
 
 	// Gray-failure monitor (health.go): per-local-disk detector state,
 	// and the subset of failedDisks that were retired by the health
@@ -139,8 +157,8 @@ type Cub struct {
 
 	desch map[descKey]*msg.Deschedule
 
-	queue          map[int][]*startReq // pending starts per target disk
-	scanning       map[int]bool        // ownership scan active per disk
+	queue          map[int32][]*startReq // pending starts per genDiskKey
+	scanning       map[int32]bool        // ownership scan active per genDiskKey
 	redundantStart map[msg.InstanceID]*startReq
 	cancelledStart map[msg.InstanceID]sim.Time // acks seen; GC'd lazily
 	enqueuedStart  map[msg.InstanceID]sim.Time // dedup of start enqueues; GC'd lazily
@@ -175,6 +193,10 @@ type Cub struct {
 
 	bufBytes int64 // block buffers currently held
 
+	// Live-restripe mover state (mover.go): per-disk copy queues and the
+	// idle-budget pacing bookkeeping. Volatile — wiped on Restart.
+	mover moverState
+
 	cpu   metrics.CPU
 	stats CubStats
 	loss  *metrics.LossLog
@@ -196,15 +218,16 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 		data:           data,
 		rng:            rng,
 		disks:          make(map[int]*disk.Disk, len(diskNums)),
-		index:          buildIndexes(cfg, diskNums),
+		nativeCubs:     cfg.Layout.Cubs,
+		planes:         make(map[int32]*genPlane, 2),
 		failedDisks:    make(map[int]bool),
 		health:         make(map[int]*diskHealth, len(diskNums)),
 		quarantined:    make(map[int]bool),
 		entries:        make(map[entryKey]*entry),
 		slotOcc:        make(map[int32]int),
 		desch:          make(map[descKey]*msg.Deschedule),
-		queue:          make(map[int][]*startReq),
-		scanning:       make(map[int]bool),
+		queue:          make(map[int32][]*startReq),
+		scanning:       make(map[int32]bool),
 		redundantStart: make(map[msg.InstanceID]*startReq),
 		cancelledStart: make(map[msg.InstanceID]sim.Time),
 		enqueuedStart:  make(map[msg.InstanceID]sim.Time),
@@ -220,24 +243,14 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 		c.disks[d] = disk.New(d, cfg.DiskParams, clk, rng)
 		c.health[d] = &diskHealth{}
 	}
+	c.resetMover()
+	// The birth configuration is generation 0 (Rebase relabels it for
+	// cubs joining an already-restriped system). Its disk numbering is
+	// the cub's native numbering, so the index keys pass through.
+	c.planes[0] = &genPlane{gen: 0, cfg: cfg, index: buildIndexes(cfg, diskNums)}
 	// Monitor liveness of the cubs we must make decisions about: up to
-	// max(2, decluster+1) hops in each ring direction.
-	k := cfg.Layout.Decluster + 1
-	if k < 2 {
-		k = 2
-	}
-	if k > cfg.Layout.Cubs-1 {
-		k = cfg.Layout.Cubs - 1
-	}
-	seen := map[msg.NodeID]bool{c.id: true}
-	for i := 1; i <= k; i++ {
-		for _, n := range []msg.NodeID{c.ringAdd(i), c.ringAdd(-i)} {
-			if !seen[n] {
-				seen[n] = true
-				c.monitored = append(c.monitored, n)
-			}
-		}
-	}
+	// max(2, decluster+1) hops in each ring direction, per generation.
+	c.refreshMonitored()
 	return c
 }
 
@@ -267,7 +280,7 @@ func (c *Cub) SetEpoch(e int32) {
 func (c *Cub) MirrorLoadFor(owner msg.NodeID) int {
 	n := 0
 	for k, e := range c.entries {
-		if k.part >= 0 && c.cfg.Layout.CubOfDisk(int(e.vs.OrigDisk)) == owner {
+		if k.part >= 0 && c.layoutOf(k.slot).CubOfDisk(int(e.vs.OrigDisk)) == owner {
 			n++
 		}
 	}
@@ -309,8 +322,18 @@ func (c *Cub) QueueLen() int {
 	return n
 }
 
-// Disks exposes the cub's drive models for metrics collection.
+// Disks exposes the cub's drive models for metrics collection, keyed by
+// native disk number (the numbering of the cub's birth generation).
 func (c *Cub) Disks() map[int]*disk.Disk { return c.disks }
+
+// NativeDiskKey converts a cub-local drive index — invariant across
+// striping generations — into the native disk number keying Disks().
+func (c *Cub) NativeDiskKey(idx int) int { return idx*c.nativeCubs + int(c.id) }
+
+// DiskByIndex returns the cub's idx-th local drive. Callers holding a
+// global disk number under any generation's layout can reach the drive
+// via (CubOfDisk, disk/cubs) without knowing the cub's native numbering.
+func (c *Cub) DiskByIndex(idx int) *disk.Disk { return c.disks[c.NativeDiskKey(idx)] }
 
 // SetLossLog directs server-side miss reports to a shared loss log.
 func (c *Cub) SetLossLog(l *metrics.LossLog) { c.loss = l }
@@ -367,6 +390,9 @@ func (c *Cub) retireDisk(d int) {
 		return
 	}
 	c.failedDisks[d] = true
+	// Any restripe copies pending on the drive cannot be produced any
+	// more; tell the coordinator so it re-routes them to a mirror.
+	c.moverDiskRetired(d)
 	// Convert pending entries on that disk to mirror service.
 	var keys []entryKey
 	for k, e := range c.entries {
@@ -379,8 +405,11 @@ func (c *Cub) retireDisk(d int) {
 		e := c.entries[k]
 		if e.vs.Due > int64(c.clk.Now()) && !e.hedged {
 			// Hedged entries already launched their mirror chain; starting
-			// another would only create duplicate gossip.
-			c.createMirrors(e.vs, d)
+			// another would only create duplicate gossip. The mirror route
+			// is resolved under the entry's own generation.
+			if cfg := c.cfgOf(k.slot); cfg != nil {
+				c.createMirrors(e.vs, c.genLocalDisk(cfg.Layout, d))
+			}
 		}
 		c.dropEntryRelease(k)
 	}
@@ -388,10 +417,14 @@ func (c *Cub) retireDisk(d int) {
 }
 
 // --- ring arithmetic ---
+//
+// Ring geometry is per generation: the cub ring widens and narrows with
+// the striping generation in play, so every helper takes the layout of
+// the generation whose traffic it is routing.
 
-func (c *Cub) ringAdd(i int) msg.NodeID {
-	n := c.cfg.Layout.Cubs
-	return msg.NodeID(((int(c.id)+i)%n + n) % n)
+func ringAddIn(lay layout.Config, id msg.NodeID, i int) msg.NodeID {
+	n := lay.Cubs
+	return msg.NodeID(((int(id)+i)%n + n) % n)
 }
 
 func ringDist(cfg *Config, from, to msg.NodeID) int {
@@ -399,12 +432,16 @@ func ringDist(cfg *Config, from, to msg.NodeID) int {
 	return ((int(to)-int(from))%n + n) % n
 }
 
-// nthLivingSuccessor returns the n-th (1-based) successor believed
-// alive, or ok=false if the whole ring seems dead.
-func (c *Cub) nthLivingSuccessor(n int) (msg.NodeID, bool) {
+// nthLivingSuccessorIn returns the n-th (1-based) successor believed
+// alive on lay's ring, or ok=false if the whole ring seems dead (or
+// this cub is not on it).
+func (c *Cub) nthLivingSuccessorIn(lay layout.Config, n int) (msg.NodeID, bool) {
+	if int(c.id) >= lay.Cubs {
+		return 0, false
+	}
 	found := 0
-	for i := 1; i < c.cfg.Layout.Cubs; i++ {
-		s := c.ringAdd(i)
+	for i := 1; i < lay.Cubs; i++ {
+		s := ringAddIn(lay, c.id, i)
 		if !c.believedDead[s] {
 			found++
 			if found == n {
@@ -415,11 +452,12 @@ func (c *Cub) nthLivingSuccessor(n int) (msg.NodeID, bool) {
 	return 0, false
 }
 
-// firstLivingSuccessorOf reports whether this cub is the first living
-// successor of z (the decision-maker for z's mirror takeover).
-func (c *Cub) firstLivingSuccessorOf(z msg.NodeID) bool {
-	for i := 1; i < c.cfg.Layout.Cubs; i++ {
-		s := msg.NodeID((int(z) + i) % c.cfg.Layout.Cubs)
+// firstLivingSuccessorOfIn reports whether this cub is the first living
+// successor of z on lay's ring (the decision-maker for z's mirror
+// takeover under that generation).
+func (c *Cub) firstLivingSuccessorOfIn(lay layout.Config, z msg.NodeID) bool {
+	for i := 1; i < lay.Cubs; i++ {
+		s := msg.NodeID((int(z) + i) % lay.Cubs)
 		if s == c.id {
 			return true
 		}
@@ -487,6 +525,18 @@ func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 		c.onRejoinReply(t)
 	case *msg.RejoinConfirm:
 		c.onRejoinConfirm(t)
+	case *msg.MoveOrder:
+		// Orders come from the controller, which the epoch fence skips.
+		c.onMoveOrder(*t)
+	case *msg.MoveData:
+		prior := c.peerEpoch[from]
+		if c.staleEpoch(from, t.Epoch) {
+			return
+		}
+		if c.believedDead[from] {
+			c.proofOfLife(from, t.Epoch, prior)
+		}
+		c.onMoveData(*t)
 	default:
 		// ReserveReq/Resp belong to the multiple-bitrate node (mbr.go).
 	}

@@ -36,7 +36,18 @@ func (c *Cub) markDead(z msg.NodeID) {
 	if o := c.obs; o != nil {
 		o.deadDeclared.Inc()
 	}
-	if !c.firstLivingSuccessorOf(z) {
+	// We may be the decision maker for z's schedule load on some
+	// installed generations' rings but not others (the rings differ
+	// during a restripe); compute the verdict per generation.
+	decider := make(map[int32]bool, len(c.planes))
+	any := false
+	for g, p := range c.planes {
+		if int(z) < p.cfg.Layout.Cubs && c.firstLivingSuccessorOfIn(p.cfg.Layout, z) {
+			decider[g] = true
+			any = true
+		}
+	}
+	if !any {
 		return
 	}
 	// We are the decision maker for z's schedule load (§4.1.1): create
@@ -44,7 +55,6 @@ func (c *Cub) markDead(z msg.NodeID) {
 	// that our view knows about, and adopt z's queued starts we hold
 	// redundant copies of.
 	now := c.clk.Now()
-	bp := int64(c.cfg.Sched.BlockPlay)
 	var keys []entryKey
 	for k := range c.entries {
 		if k.part == -1 {
@@ -54,14 +64,19 @@ func (c *Cub) markDead(z msg.NodeID) {
 	sortEntryKeys(keys)
 	for _, k := range keys {
 		e := c.entries[k]
+		cfg := c.cfgOf(k.slot)
+		if cfg == nil || !decider[GenOf(k.slot)] {
+			continue
+		}
+		bp := int64(cfg.Sched.BlockPlay)
 		// Walk back through the services that precede ours in the
 		// stream while they land on disks of cubs we believe dead.
 		vs := e.vs
-		d := e.disk
-		for j := 1; j < c.cfg.Layout.Cubs; j++ {
-			pd := (d - j + c.cfg.Sched.NumDisks) % c.cfg.Sched.NumDisks
-			pc := c.cfg.Layout.CubOfDisk(pd)
-			if !c.believedDead[pc] || !c.firstLivingSuccessorOf(pc) {
+		d := int(e.vs.OrigDisk) // generation-local target disk
+		for j := 1; j < cfg.Layout.Cubs; j++ {
+			pd := (d - j + cfg.Sched.NumDisks) % cfg.Sched.NumDisks
+			pc := cfg.Layout.CubOfDisk(pd)
+			if !c.believedDead[pc] || !c.firstLivingSuccessorOfIn(cfg.Layout, pc) {
 				break
 			}
 			pvs := vs
@@ -78,7 +93,12 @@ func (c *Cub) markDead(z msg.NodeID) {
 	// order for determinism.
 	var insts []msg.InstanceID
 	for inst, req := range c.redundantStart {
-		if c.cfg.Layout.CubOfDisk(req.disk) == z {
+		g := GenOf(req.dkey)
+		p := c.planes[g]
+		if p == nil || !decider[g] {
+			continue
+		}
+		if p.cfg.Layout.CubOfDisk(int(RawSlot(req.dkey))) == z {
 			insts = append(insts, inst)
 		}
 	}
@@ -143,7 +163,7 @@ func (c *Cub) refuteDeath(z msg.NodeID) {
 	now := int64(c.clk.Now())
 	var keys []entryKey
 	for k, e := range c.entries {
-		if k.part >= 0 && c.cfg.Layout.CubOfDisk(int(e.vs.OrigDisk)) == z {
+		if k.part >= 0 && c.layoutOf(k.slot).CubOfDisk(int(e.vs.OrigDisk)) == z {
 			keys = append(keys, k)
 		}
 	}

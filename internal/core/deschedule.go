@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"tiger/internal/msg"
-	"tiger/internal/sim"
 )
 
 // This file implements deschedule handling (§4.1.2): idempotent removal
@@ -74,12 +73,16 @@ func (c *Cub) onDeschedule(d msg.Deschedule) {
 	}
 
 	// Forward immediately — deschedules must outrun viewer states — to
-	// the first and second living successors, unless we are already more
-	// than MaxVStateLead in front of the slot, at which point the
-	// request has caught every state it could.
-	if c.myNextServiceOfSlot(d.Slot).Sub(now) <= c.cfg.MaxVStateLead+c.cfg.Sched.BlockPlay {
-		s1, ok1 := c.nthLivingSuccessor(1)
-		s2, ok2 := c.nthLivingSuccessor(2)
+	// the first and second living successors on the slot's generation's
+	// ring, unless we are already more than MaxVStateLead in front of the
+	// slot, at which point the request has caught every state it could.
+	cfg := c.cfgOf(d.Slot)
+	if cfg == nil {
+		return // generation dropped; nothing downstream to chase
+	}
+	if c.schedTimeOfSlot(d.Slot).Sub(now) <= c.cfg.MaxVStateLead+c.cfg.Sched.BlockPlay {
+		s1, ok1 := c.nthLivingSuccessorIn(cfg.Layout, 1)
+		s2, ok2 := c.nthLivingSuccessorIn(cfg.Layout, 2)
 		fwd := d
 		if ok1 {
 			c.net.Send(c.id, s1, &fwd)
@@ -88,23 +91,4 @@ func (c *Cub) onDeschedule(d msg.Deschedule) {
 			c.net.Send(c.id, s2, &fwd)
 		}
 	}
-}
-
-// myNextServiceOfSlot returns the earliest upcoming time any of this
-// cub's disks serves the given slot.
-func (c *Cub) myNextServiceOfSlot(slot int32) sim.Time {
-	now := c.clk.Now()
-	var best sim.Time
-	first := true
-	for d := range c.disks {
-		t := c.cfg.Sched.ServiceTime(d, slot, now)
-		if first || t < best {
-			best = t
-			first = false
-		}
-	}
-	if first {
-		return now
-	}
-	return best
 }

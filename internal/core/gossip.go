@@ -37,6 +37,18 @@ func (c *Cub) onViewerState(vs msg.ViewerState) {
 		return
 	}
 
+	// Resolve the striping generation the slot belongs to. A state for an
+	// uninstalled generation — dropped after its drain, or never seen —
+	// is fenced out exactly like a late state: it must not touch the view.
+	cfg := c.cfgOf(vs.Slot)
+	if cfg == nil {
+		c.stats.StatesLate++
+		if o := c.obs; o != nil {
+			o.statesLate.Inc()
+		}
+		return
+	}
+
 	if vs.Mirror {
 		c.acceptMirror(vs)
 		c.flushForwards()
@@ -44,16 +56,16 @@ func (c *Cub) onViewerState(vs msg.ViewerState) {
 	}
 
 	target := int(vs.OrigDisk) // primary states carry their target disk
-	hops := ringDist(c.cfg, c.cfg.Layout.CubOfDisk(target), c.id)
+	hops := ringDist(cfg, cfg.Layout.CubOfDisk(target), c.id)
 
 	// Create mirror states for any services on the way to us whose cub
 	// we believe dead and whose first living successor we are; this is
 	// both the adjacent-failure case and the bridged-gap case (§2.3).
-	bp := int64(c.cfg.Sched.BlockPlay)
+	bp := int64(cfg.Sched.BlockPlay)
 	for j := 0; j < hops; j++ {
-		d := (target + j) % c.cfg.Sched.NumDisks
-		cd := c.cfg.Layout.CubOfDisk(d)
-		if c.believedDead[cd] && c.firstLivingSuccessorOf(cd) {
+		d := (target + j) % cfg.Sched.NumDisks
+		cd := cfg.Layout.CubOfDisk(d)
+		if c.believedDead[cd] && c.firstLivingSuccessorOfIn(cfg.Layout, cd) {
 			mvs := vs
 			mvs.Block += int32(j)
 			mvs.PlaySeq += int32(j)
@@ -69,8 +81,8 @@ func (c *Cub) onViewerState(vs msg.ViewerState) {
 	mine.Block += int32(hops)
 	mine.PlaySeq += int32(hops)
 	mine.Due += int64(hops) * bp
-	myDisk := (target + hops) % c.cfg.Sched.NumDisks
-	if c.cfg.Layout.CubOfDisk(myDisk) != c.id {
+	myDisk := (target + hops) % cfg.Sched.NumDisks
+	if cfg.Layout.CubOfDisk(myDisk) != c.id {
 		panic(fmt.Sprintf("cub %v: disk arithmetic broken for target %d hops %d", c.id, target, hops))
 	}
 	mine.OrigDisk = int32(myDisk)
@@ -86,8 +98,19 @@ func (c *Cub) fileHasBlock(f msg.FileID, b int32) bool {
 	return ok && b >= 0 && int(b) < file.Blocks
 }
 
-// acceptPrimary installs a viewer state for one of this cub's own disks.
+// acceptPrimary installs a viewer state for one of this cub's own
+// disks. d is numbered in the slot's generation; the entry records the
+// native drive so reads and health tracking stay generation-blind.
 func (c *Cub) acceptPrimary(vs msg.ViewerState, d int) {
+	cfg := c.cfgOf(vs.Slot)
+	if cfg == nil {
+		c.stats.StatesLate++
+		if o := c.obs; o != nil {
+			o.statesLate.Inc()
+		}
+		return
+	}
+	nd := c.nativeDisk(cfg.Layout, d)
 	key := entryKey{vs.Slot, -1, vs.Due}
 	if old, ok := c.entries[key]; ok {
 		if old.vs.Instance == vs.Instance {
@@ -113,14 +136,14 @@ func (c *Cub) acceptPrimary(vs msg.ViewerState, d int) {
 		c.forwardEntryNow(vs)
 		return
 	}
-	if c.failedDisks[d] {
+	if c.failedDisks[nd] {
 		// Our own drive is dead: we are the deciding component; serve
 		// the block from its declustered mirrors instead.
 		c.createMirrors(vs, d)
 		c.forwardEntryNow(vs)
 		return
 	}
-	e := &entry{vs: vs, disk: d}
+	e := &entry{vs: vs, disk: nd}
 	c.entries[key] = e
 	c.slotOcc[vs.Slot]++
 	if o := c.obs; o != nil {
@@ -147,9 +170,13 @@ func (c *Cub) issueRead(key entryKey) {
 		return // descheduled meanwhile
 	}
 	c.cpu.ChargeDiskOp()
-	idx := c.index[e.disk]
+	p := c.planeOf(key.slot)
+	if p == nil || p.index == nil || p.index[e.disk] == nil {
+		c.stats.IndexMisses++
+		return
+	}
 	part := key.part
-	ie, err := idx.lookup(e.vs.File, e.vs.Block, part)
+	ie, err := p.index[e.disk].lookup(e.vs.File, e.vs.Block, part)
 	if err != nil {
 		c.stats.IndexMisses++
 		return
@@ -391,10 +418,14 @@ func (c *Cub) createMirrors(vs msg.ViewerState, d int) {
 // pre-derived copy goes to the following piece's cub — so the loss of a
 // single covering cub does not sever the piece chain.
 func (c *Cub) routeMirror(mvs msg.ViewerState) {
-	pace := int64(c.cfg.MirrorPace())
-	for int(mvs.Part) < c.cfg.Layout.Decluster {
-		pd := c.cfg.Layout.SecondaryDiskFor(int(mvs.OrigDisk), int(mvs.Part))
-		pc := c.cfg.Layout.CubOfDisk(pd)
+	cfg := c.cfgOf(mvs.Slot)
+	if cfg == nil {
+		return // generation gone; nothing left to cover
+	}
+	pace := int64(cfg.MirrorPace())
+	for int(mvs.Part) < cfg.Layout.Decluster {
+		pd := cfg.Layout.SecondaryDiskFor(int(mvs.OrigDisk), int(mvs.Part))
+		pc := cfg.Layout.CubOfDisk(pd)
 		if c.believedDead[pc] {
 			c.stats.PiecesLost++
 			if o := c.obs; o != nil {
@@ -418,9 +449,9 @@ func (c *Cub) routeMirror(mvs msg.ViewerState) {
 		next := mvs
 		next.Part++
 		next.Due += pace
-		if int(next.Part) < c.cfg.Layout.Decluster {
-			nd := c.cfg.Layout.SecondaryDiskFor(int(next.OrigDisk), int(next.Part))
-			nc := c.cfg.Layout.CubOfDisk(nd)
+		if int(next.Part) < cfg.Layout.Decluster {
+			nd := cfg.Layout.SecondaryDiskFor(int(next.OrigDisk), int(next.Part))
+			nc := cfg.Layout.CubOfDisk(nd)
 			if nc != pc && nc != c.id && !c.believedDead[nc] {
 				c.enqueueForward(nc, &next)
 			}
@@ -432,10 +463,19 @@ func (c *Cub) routeMirror(mvs msg.ViewerState) {
 // acceptMirror installs a mirror viewer state on the cub holding that
 // piece's disk and forwards the next piece's state onward.
 func (c *Cub) acceptMirror(vs msg.ViewerState) {
-	pd := c.cfg.Layout.SecondaryDiskFor(int(vs.OrigDisk), int(vs.Part))
-	if c.cfg.Layout.CubOfDisk(pd) != c.id {
+	cfg := c.cfgOf(vs.Slot)
+	if cfg == nil {
+		c.stats.StatesLate++
+		if o := c.obs; o != nil {
+			o.statesLate.Inc()
+		}
+		return
+	}
+	pd := cfg.Layout.SecondaryDiskFor(int(vs.OrigDisk), int(vs.Part))
+	if cfg.Layout.CubOfDisk(pd) != c.id {
 		return // mis-routed; the piece will be reported lost client-side
 	}
+	npd := c.nativeDisk(cfg.Layout, pd)
 	key := entryKey{vs.Slot, vs.Part, vs.Due}
 	if old, ok := c.entries[key]; ok {
 		if old.vs.Instance == vs.Instance {
@@ -452,7 +492,7 @@ func (c *Cub) acceptMirror(vs msg.ViewerState) {
 		return // the original acceptance already forwarded the chain
 	}
 	switch {
-	case c.failedDisks[pd]:
+	case c.failedDisks[npd]:
 		c.stats.PiecesLost++
 		if o := c.obs; o != nil {
 			o.piecesLost.Inc()
@@ -460,7 +500,7 @@ func (c *Cub) acceptMirror(vs msg.ViewerState) {
 	case vs.Due <= int64(c.clk.Now()):
 		c.recordMiss(vs)
 	default:
-		e := &entry{vs: vs, disk: pd}
+		e := &entry{vs: vs, disk: npd}
 		c.entries[key] = e
 		c.slotOcc[vs.Slot]++
 		if o := c.obs; o != nil {
@@ -474,8 +514,8 @@ func (c *Cub) acceptMirror(vs msg.ViewerState) {
 	// should miss as little as possible.
 	next := vs
 	next.Part++
-	next.Due += int64(c.cfg.MirrorPace())
-	if int(next.Part) < c.cfg.Layout.Decluster {
+	next.Due += int64(cfg.MirrorPace())
+	if int(next.Part) < cfg.Layout.Decluster {
 		c.routeMirror(next)
 	}
 }
@@ -529,34 +569,38 @@ func sortEntryKeys(ks []entryKey) {
 // forwardEntryNow queues the next-hop state derived from vs for delivery
 // to the first and second living successors.
 func (c *Cub) forwardEntryNow(vs msg.ViewerState) {
+	cfg := c.cfgOf(vs.Slot)
+	if cfg == nil {
+		return // generation dropped; its streams are all gone
+	}
 	next := vs
 	next.Block++
 	next.PlaySeq++
-	next.Due += int64(c.cfg.Sched.BlockPlay)
-	nextDisk := (int(vs.OrigDisk) + 1) % c.cfg.Sched.NumDisks
+	next.Due += int64(cfg.Sched.BlockPlay)
+	nextDisk := (int(vs.OrigDisk) + 1) % cfg.Sched.NumDisks
 	next.OrigDisk = int32(nextDisk)
 	if !c.fileHasBlock(next.File, next.Block) {
 		return // end of file: the viewer leaves the schedule (§4.1.2)
 	}
-	if c.cfg.Layout.CubOfDisk(nextDisk) == c.id {
+	if cfg.Layout.CubOfDisk(nextDisk) == c.id {
 		// The next service is on one of our own disks. This happens when
 		// we proxy-inserted for a dead predecessor's disk (the stream's
 		// next block is ours to send) and in single-cub systems.
-		if c.failedDisks[nextDisk] {
+		if c.failedDisks[c.nativeDisk(cfg.Layout, nextDisk)] {
 			c.createMirrors(next, nextDisk)
 			c.forwardEntryNow(next)
 		} else {
 			c.acceptPrimary(next, nextDisk)
 		}
 	}
-	s1, ok1 := c.nthLivingSuccessor(1)
+	s1, ok1 := c.nthLivingSuccessorIn(cfg.Layout, 1)
 	if ok1 {
 		c.enqueueForward(s1, &next)
 	}
 	if c.cfg.SingleForward {
 		return
 	}
-	s2, ok2 := c.nthLivingSuccessor(2)
+	s2, ok2 := c.nthLivingSuccessorIn(cfg.Layout, 2)
 	if ok2 && s2 != s1 {
 		cp := next
 		c.enqueueForward(s2, &cp)

@@ -229,7 +229,11 @@ func (c *Cub) hedgeEntry(e *entry) {
 	if o := c.obs; o != nil {
 		o.hedgesIssued.Inc()
 	}
-	c.createMirrors(e.vs, e.disk)
+	// The mirror route resolves under the entry's generation, which
+	// numbers the drive differently from the native key e.disk carries.
+	if cfg := c.cfgOf(e.vs.Slot); cfg != nil {
+		c.createMirrors(e.vs, c.genLocalDisk(cfg.Layout, e.disk))
+	}
 }
 
 // quarantineDisk retires a drive through the same conversion the

@@ -5,23 +5,30 @@ import (
 
 	"tiger/internal/msg"
 	"tiger/internal/obs"
+	"tiger/internal/schedule"
 	"tiger/internal/sim"
 )
 
 // This file implements slot insertion (§4.1.3): queued start requests,
 // the per-disk ownership scan, and the insertion itself, which is safe
 // without global coordination because a cub may insert only into an
-// empty slot it currently owns.
+// empty slot it currently owns. Queues and scans are keyed by
+// (generation, generation-local disk) — during an elastic restripe two
+// schedules coexist, and a disk owns slots on both rings.
 
 // --- start-play handling (§4.1.3) ---
 
 func (c *Cub) onStartPlay(sp msg.StartPlay) {
-	f, ok := c.cfg.Files[sp.File]
+	ap := c.activePlane()
+	if ap == nil || ap.index == nil {
+		return // not a participant of the admitting generation
+	}
+	f, ok := ap.cfg.Files[sp.File]
 	if !ok || !c.fileHasBlock(sp.File, sp.StartBlock) {
 		return // unknown content; the controller validated, so ignore
 	}
-	d := c.cfg.Layout.PrimaryDisk(f, int(sp.StartBlock))
-	req := &startReq{sp: sp, disk: d, enqueued: c.clk.Now()}
+	d := ap.cfg.Layout.PrimaryDisk(f, int(sp.StartBlock))
+	req := &startReq{sp: sp, dkey: genDiskKey(c.activeGen, d), enqueued: c.clk.Now()}
 	if !sp.Primary {
 		if _, done := c.cancelledStart[sp.Instance]; done {
 			return
@@ -29,8 +36,8 @@ func (c *Cub) onStartPlay(sp msg.StartPlay) {
 		// If the primary target is already known dead and we are its
 		// acting successor, take the request immediately; otherwise hold
 		// the redundant copy in case it dies before inserting (§4.1.3).
-		tc := c.cfg.Layout.CubOfDisk(d)
-		if c.believedDead[tc] && c.firstLivingSuccessorOf(tc) {
+		tc := ap.cfg.Layout.CubOfDisk(d)
+		if c.believedDead[tc] && c.firstLivingSuccessorOfIn(ap.cfg.Layout, tc) {
 			c.enqueueStart(req)
 			c.stats.RedundantRuns++
 			return
@@ -56,11 +63,11 @@ func (c *Cub) enqueueStart(req *startReq) {
 	}
 	c.enqueuedStart[inst] = c.clk.Now()
 	c.clk.After(time.Minute, func() { delete(c.enqueuedStart, inst) })
-	c.queue[req.disk] = append(c.queue[req.disk], req)
+	c.queue[req.dkey] = append(c.queue[req.dkey], req)
 	if o := c.obs; o != nil {
 		o.queueLen.Set(float64(c.QueueLen()))
 	}
-	c.ensureScan(req.disk)
+	c.ensureScan(req.dkey)
 }
 
 func (c *Cub) onStartAck(a msg.StartAck) {
@@ -70,37 +77,45 @@ func (c *Cub) onStartAck(a msg.StartAck) {
 	c.clk.After(time.Minute, func() { delete(c.cancelledStart, a.Instance) })
 }
 
-// ensureScan starts the ownership scan loop for a disk with queued
-// starts. The loop wakes at each ownership-window opening — the only
-// moments this cub may insert into a slot (§4.1.3) — and stops when the
-// queue drains.
-func (c *Cub) ensureScan(d int) {
-	if c.scanning[d] {
+// ensureScan starts the ownership scan loop for a (generation, disk)
+// with queued starts. The loop wakes at each ownership-window opening
+// on that generation's ring — the only moments this cub may insert into
+// a slot (§4.1.3) — and stops when the queue drains.
+func (c *Cub) ensureScan(k int32) {
+	if c.scanning[k] {
 		return
 	}
-	c.scanning[d] = true
-	c.scanTick(d)
+	c.scanning[k] = true
+	c.scanTick(k)
 }
 
-func (c *Cub) scanTick(d int) {
-	if len(c.queue[d]) == 0 {
-		c.scanning[d] = false
+func (c *Cub) scanTick(k int32) {
+	if len(c.queue[k]) == 0 {
+		c.scanning[k] = false
 		return
 	}
+	p := c.planes[GenOf(k)]
+	if p == nil {
+		// The generation was dropped with starts still queued (it drained
+		// under protest); they can never insert.
+		delete(c.queue, k)
+		c.scanning[k] = false
+		return
+	}
+	gd := int(RawSlot(k))
 	now := c.clk.Now()
-	slot, due, ok := c.cfg.Sched.SlotUnderOwnership(d, now)
+	slot, due, ok := p.cfg.Sched.SlotUnderOwnership(gd, now)
 	if ok {
-		c.tryInsert(d, slot, due)
+		c.tryInsert(k, genBase(p.gen)|slot, due)
 	}
 	// Wake at the next window opening.
-	next := c.nextWindowOpen(d, now)
-	c.clk.At(next, func() { c.scanTick(d) })
+	next := nextWindowOpen(p.cfg.Sched, gd, now)
+	c.clk.At(next, func() { c.scanTick(k) })
 }
 
 // nextWindowOpen returns the next time disk d's pointer enters a new
-// slot's ownership window.
-func (c *Cub) nextWindowOpen(d int, now sim.Time) sim.Time {
-	p := c.cfg.Sched
+// slot's ownership window under schedule p.
+func nextWindowOpen(p schedule.Params, d int, now sim.Time) sim.Time {
 	off := int64(p.PointerOffset(d, now))
 	target := (off + int64(p.SchedLead)) % int64(p.CycleLen())
 	bs := int64(p.BlockService)
@@ -111,12 +126,13 @@ func (c *Cub) nextWindowOpen(d int, now sim.Time) sim.Time {
 
 // tryInsert inserts the head queued viewer into slot if our view shows
 // it free. "A cub may insert into a slot if and only if it owns that
-// slot and the slot is empty" (§4.1.3).
-func (c *Cub) tryInsert(d int, slot int32, due sim.Time) {
+// slot and the slot is empty" (§4.1.3). slot carries the generation in
+// its high bits; k is the queue being drained.
+func (c *Cub) tryInsert(k, slot int32, due sim.Time) {
 	if c.slotOcc[slot] != 0 {
 		return
 	}
-	q := c.queue[d]
+	q := c.queue[k]
 	var req *startReq
 	for len(q) > 0 {
 		head := q[0]
@@ -127,10 +143,12 @@ func (c *Cub) tryInsert(d int, slot int32, due sim.Time) {
 		req = head
 		break
 	}
-	c.queue[d] = q
+	c.queue[k] = q
 	if req == nil {
 		return
 	}
+	cfg := c.planes[GenOf(k)].cfg
+	gd := int(RawSlot(k))
 
 	vs := msg.ViewerState{
 		Viewer:   req.sp.Viewer,
@@ -142,7 +160,7 @@ func (c *Cub) tryInsert(d int, slot int32, due sim.Time) {
 		PlaySeq:  0,
 		Due:      int64(due),
 		Bitrate:  req.sp.Bitrate,
-		OrigDisk: int32(d),
+		OrigDisk: int32(gd),
 	}
 	c.stats.Inserts++
 	if o := c.obs; o != nil {
@@ -156,12 +174,12 @@ func (c *Cub) tryInsert(d int, slot int32, due sim.Time) {
 		c.hooks.OnInsert(c.id, slot, vs.Instance, due)
 	}
 
-	if c.cfg.Layout.CubOfDisk(d) != c.id || c.failedDisks[d] {
+	if cfg.Layout.CubOfDisk(gd) != c.id || c.failedDisks[c.nativeDisk(cfg.Layout, gd)] {
 		// Proxy insertion for a dead predecessor's disk, or our own dead
 		// drive: the first block is served from its mirrors.
-		c.createMirrors(vs, d)
+		c.createMirrors(vs, gd)
 	} else {
-		c.acceptPrimary(vs, d)
+		c.acceptPrimary(vs, gd)
 		if e, ok := c.entries[entryKey{slot, -1, vs.Due}]; ok {
 			e.forwarded = true // forwarded inline below; avoid a duplicate
 		}
@@ -173,10 +191,10 @@ func (c *Cub) tryInsert(d int, slot int32, due sim.Time) {
 
 	ack := &msg.StartAck{Viewer: vs.Viewer, Instance: vs.Instance, Slot: slot, By: c.id}
 	c.net.Send(c.id, msg.Controller, ack)
-	if s1, ok := c.nthLivingSuccessor(1); ok {
+	if s1, ok := c.nthLivingSuccessorIn(cfg.Layout, 1); ok {
 		c.net.Send(c.id, s1, ack)
 	}
-	if len(c.queue[d]) > 0 {
-		c.ensureScan(d)
+	if len(c.queue[k]) > 0 {
+		c.ensureScan(k)
 	}
 }

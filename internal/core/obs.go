@@ -63,6 +63,14 @@ type cubObs struct {
 	diskProbes        *obs.Counter
 	diskHealth        map[int]*obs.Gauge // health state per local disk
 
+	// Live-restripe mover (mover.go).
+	movesOut     *obs.Counter
+	movesIn      *obs.Counter
+	moveBytesOut *obs.Counter
+	moveBytesIn  *obs.Counter
+	movesNacked  *obs.Counter
+	moverPending *obs.Gauge
+
 	viewSize *obs.Gauge
 	queueLen *obs.Gauge
 	bufBytes *obs.Gauge
@@ -119,6 +127,13 @@ func (c *Cub) AttachObs(reg *obs.Registry) {
 		diskUnquarantines: reg.Counter("tiger_cub_disk_unquarantines_total", "Quarantines cleared by passing probes.", ls),
 		diskProbes:        reg.Counter("tiger_cub_disk_probes_total", "Probe reads issued against quarantined drives.", ls),
 
+		movesOut:     reg.Counter("tiger_cub_moves_out_total", "Restripe copies read and shipped by this cub.", ls),
+		movesIn:      reg.Counter("tiger_cub_moves_in_total", "Restripe copies landed on this cub's drives.", ls),
+		moveBytesOut: reg.Counter("tiger_cub_move_bytes_out_total", "Bytes of restripe copies shipped.", ls),
+		moveBytesIn:  reg.Counter("tiger_cub_move_bytes_in_total", "Bytes of restripe copies landed.", ls),
+		movesNacked:  reg.Counter("tiger_cub_moves_nacked_total", "Move orders refused (source drive failed or quarantined).", ls),
+		moverPending: reg.Gauge("tiger_cub_moves_pending", "Restripe copy jobs queued on this cub's drives.", ls),
+
 		viewSize: reg.Gauge("tiger_cub_view_entries", "Schedule entries currently in the cub's view.", ls),
 		queueLen: reg.Gauge("tiger_cub_queued_starts", "Start requests waiting for a free slot.", ls),
 		bufBytes: reg.Gauge("tiger_cub_buffered_bytes", "Block buffer bytes currently held.", ls),
@@ -173,6 +188,10 @@ type ctlObs struct {
 	rejected *obs.Counter
 	active   *obs.Gauge
 	slotWait *obs.Histogram
+
+	// Live-restripe coordinator (restriper.go).
+	rsCommitted *obs.Counter
+	rsRerouted  *obs.Counter
 }
 
 // AttachObs registers the controller's instruments with the registry.
@@ -188,5 +207,8 @@ func (c *Controller) AttachObs(reg *obs.Registry) {
 		rejected: reg.Counter("tiger_ctrl_rejected_total", "Start requests refused by the admission limit.", nil),
 		active:   reg.Gauge("tiger_ctrl_active_streams", "Currently inserted streams.", nil),
 		slotWait: reg.Histogram("tiger_ctrl_slot_wait_seconds", "Request-to-insertion latency seen by the controller.", nil, startWaitBounds),
+
+		rsCommitted: reg.Counter("tiger_restripe_commits_total", "Restripe moves committed at their destinations.", nil),
+		rsRerouted:  reg.Counter("tiger_restripe_reroutes_total", "Restripe moves re-routed to a redundant copy.", nil),
 	}
 }

@@ -66,13 +66,18 @@ func (c *Cub) Restart() {
 		c.dropEntryRelease(k)
 	}
 	c.desch = make(map[descKey]*msg.Deschedule)
-	c.queue = make(map[int][]*startReq)
+	c.queue = make(map[int32][]*startReq)
 	c.redundantStart = make(map[msg.InstanceID]*startReq)
 	c.cancelledStart = make(map[msg.InstanceID]sim.Time)
 	c.enqueuedStart = make(map[msg.InstanceID]sim.Time)
 	c.believedDead = make(map[msg.NodeID]bool)
 	c.peerEpoch = make(map[msg.NodeID]int32)
 	c.fwdPending = make(map[msg.NodeID][]msg.Message)
+	// The mover's copy queues are volatile too: in-flight restripe copies
+	// die with the incarnation, and the coordinator's resend timer
+	// re-orders them. Installed generations survive — they are
+	// configuration, not view.
+	c.resetMover()
 	now := c.clk.Now()
 	for _, n := range c.monitored {
 		c.lastSeen[n] = now
@@ -151,11 +156,15 @@ func (c *Cub) onRejoinRequest(req msg.RejoinRequest) {
 	sortEntryKeys(keys)
 	for _, k := range keys {
 		e := c.entries[k]
+		cfg := c.cfgOf(k.slot)
+		if cfg == nil {
+			continue
+		}
 		if k.part >= 0 {
 			// A mirror piece covering one of the requester's disks:
 			// rebuild the primary state it derives from. Piece p is due
 			// p mirror paces after the primary service it replaces.
-			if c.cfg.Layout.CubOfDisk(int(e.vs.OrigDisk)) != req.From {
+			if cfg.Layout.CubOfDisk(int(e.vs.OrigDisk)) != req.From {
 				continue
 			}
 			pvs := e.vs
@@ -181,8 +190,8 @@ func (c *Cub) onRejoinRequest(req msg.RejoinRequest) {
 			if due > horizon {
 				break
 			}
-			d := (int(e.vs.OrigDisk) + j) % c.cfg.Sched.NumDisks
-			if c.cfg.Layout.CubOfDisk(d) != req.From {
+			d := (int(e.vs.OrigDisk) + j) % cfg.Sched.NumDisks
+			if cfg.Layout.CubOfDisk(d) != req.From {
 				continue
 			}
 			nvs := e.vs
@@ -218,8 +227,12 @@ func (c *Cub) onRejoinReply(rep *msg.RejoinReply) {
 	now := int64(c.clk.Now())
 	var owned []msg.ViewerState
 	for _, vs := range rep.States {
+		cfg := c.cfgOf(vs.Slot)
+		if cfg == nil {
+			continue
+		}
 		d := int(vs.OrigDisk)
-		if c.cfg.Layout.CubOfDisk(d) != c.id || !c.fileHasBlock(vs.File, vs.Block) {
+		if cfg.Layout.CubOfDisk(d) != c.id || !c.fileHasBlock(vs.File, vs.Block) {
 			continue
 		}
 		if _, killed := c.desch[descKey{vs.Slot, vs.Instance}]; killed {
@@ -234,7 +247,7 @@ func (c *Cub) onRejoinReply(rep *msg.RejoinReply) {
 			}
 			continue
 		}
-		if vs.Due <= now || c.failedDisks[d] {
+		if vs.Due <= now || c.failedDisks[c.nativeDisk(cfg.Layout, d)] {
 			// Too late to serve, or on one of our dead drives: leave the
 			// mirrors covering it.
 			continue
@@ -269,10 +282,11 @@ func (c *Cub) onRejoinConfirm(cf *msg.RejoinConfirm) {
 	c.noteEpoch(cf.From, cf.Epoch)
 	pace := int64(c.cfg.MirrorPace())
 	for _, vs := range cf.States {
-		if c.cfg.Layout.CubOfDisk(int(vs.OrigDisk)) != cf.From {
+		lay := c.layoutOf(vs.Slot)
+		if lay.CubOfDisk(int(vs.OrigDisk)) != cf.From {
 			continue
 		}
-		for p := 0; p < c.cfg.Layout.Decluster; p++ {
+		for p := 0; p < lay.Decluster; p++ {
 			key := entryKey{vs.Slot, int8(p), vs.Due + int64(p)*pace}
 			e, ok := c.entries[key]
 			if !ok || e.vs.Instance != vs.Instance || e.vs.OrigDisk != vs.OrigDisk {

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/layout"
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// This file is the coordinator side of the live restripe (DESIGN §13):
+// the controller drives an ElasticPlan's moves through the cubs' movers
+// with a bounded dispatch window per source cub, a resend timer for
+// orders lost to crashes or partitions, and a re-route path for sources
+// whose drive failed or was quarantined mid-run. The coordinator is
+// deliberately dumb — ordered moves, at-least-once resend, idempotent
+// commits — because every hard problem (fencing stale incarnations,
+// exactly-once landing, pacing under load) is solved at the cubs, where
+// the rejoin and gray-failure machinery already lives.
+
+const (
+	// rsWindow bounds orders in flight per source cub, so a single cub's
+	// mover queue never grows past a few copies per drive and a crashed
+	// cub strands only a window's worth of work.
+	rsWindow = 8
+	// rsTick is the dispatch cadence.
+	rsTick = time.Second
+	// rsResend is how long an uncommitted order waits before the
+	// coordinator re-sends it. Generous against pacing gaps (a saturated
+	// drive copies every ~2 s), cheap against real loss: duplicates are
+	// deduped at both cub ends.
+	rsResend = 10 * time.Second
+)
+
+// rsMove states.
+const (
+	rsPending   = 0 // not dispatched (or awaiting re-dispatch after a nack)
+	rsInflight  = 1 // order sent, commit not yet seen
+	rsCommitted = 2
+)
+
+// rsMove is the coordinator's record of one planned move.
+type rsMove struct {
+	order    msg.MoveOrder
+	src      msg.NodeID // current source cub (changes on re-route)
+	state    int
+	lastSent sim.Time
+}
+
+// restriperState is the controller's live-restripe bookkeeping.
+type restriperState struct {
+	active    bool
+	fence     int64
+	oldGen    int32
+	moves     []*rsMove
+	committed int
+	rerouted  int64
+	nacks     int64
+	// outstanding counts in-flight orders per source cub, enforcing
+	// rsWindow.
+	outstanding map[msg.NodeID]int
+	tick        clock.Timer
+}
+
+// RestripeStats is a snapshot of coordinator progress for the
+// observability surfaces and tigerctl.
+type RestripeStats struct {
+	Active    bool
+	Total     int
+	Committed int
+	Inflight  int
+	Pending   int
+	Rerouted  int64
+	Nacks     int64
+}
+
+// RestripeStats reports the coordinator's current progress.
+func (c *Controller) RestripeStats() RestripeStats {
+	s := RestripeStats{
+		Active:    c.rs.active,
+		Total:     len(c.rs.moves),
+		Committed: c.rs.committed,
+		Rerouted:  c.rs.rerouted,
+		Nacks:     c.rs.nacks,
+	}
+	for _, m := range c.rs.moves {
+		switch m.state {
+		case rsPending:
+			s.Pending++
+		case rsInflight:
+			s.Inflight++
+		}
+	}
+	return s
+}
+
+// StartRestripe begins coordinating an elastic plan's moves. oldGen
+// names the generation whose layout the plan's sources live under (the
+// re-route path reads its redundant copies); fence identifies the run
+// in every move message. The plan must already be installed as a new
+// generation at every cub (InstallGen) so destinations can land copies.
+func (c *Controller) StartRestripe(fence int64, oldGen int32, plan *layout.ElasticPlan) error {
+	if c.rs.active {
+		return fmt.Errorf("controller: restripe already active (fence %d)", c.rs.fence)
+	}
+	if _, ok := c.gens[oldGen]; !ok {
+		return fmt.Errorf("controller: restripe from uninstalled generation %d", oldGen)
+	}
+	moves := make([]*rsMove, len(plan.Moves))
+	for i, pm := range plan.Moves {
+		moves[i] = &rsMove{
+			order: msg.MoveOrder{
+				Fence:  fence,
+				Seq:    int32(i),
+				File:   pm.File,
+				Block:  pm.Block,
+				Part:   pm.Part,
+				SrcIdx: pm.FromIdx,
+				DstCub: pm.ToCub,
+				DstIdx: pm.ToIdx,
+			},
+			src: pm.FromCub,
+		}
+	}
+	c.rs = restriperState{
+		active:      true,
+		fence:       fence,
+		oldGen:      oldGen,
+		moves:       moves,
+		outstanding: make(map[msg.NodeID]int),
+	}
+	if len(moves) == 0 {
+		c.finishRestripe()
+		return nil
+	}
+	c.dispatchMoves()
+	return nil
+}
+
+// dispatchMoves is the coordinator's periodic pump: send pending orders
+// up to each source's window, re-send in-flight orders past the resend
+// timeout, and re-arm.
+func (c *Controller) dispatchMoves() {
+	if !c.rs.active {
+		return
+	}
+	now := c.clk.Now()
+	for _, m := range c.rs.moves {
+		switch m.state {
+		case rsPending:
+			if c.rs.outstanding[m.src] >= rsWindow {
+				continue
+			}
+			c.sendOrder(m, now)
+			c.rs.outstanding[m.src]++
+			m.state = rsInflight
+		case rsInflight:
+			if now.Sub(m.lastSent) >= rsResend {
+				c.sendOrder(m, now)
+			}
+		}
+	}
+	c.rs.tick = c.clk.After(rsTick, c.dispatchMoves)
+}
+
+func (c *Controller) sendOrder(m *rsMove, now sim.Time) {
+	m.lastSent = now
+	o := m.order
+	c.net.Send(msg.Controller, m.src, &o)
+}
+
+// onMoveCommit marks one move durable at its destination. From here on
+// the block's new-generation home is authoritative; duplicates (a
+// destination re-acking after a lost commit) are ignored.
+func (c *Controller) onMoveCommit(t *msg.MoveCommit) {
+	if !c.rs.active || t.Fence != c.rs.fence || int(t.Seq) >= len(c.rs.moves) {
+		return
+	}
+	m := c.rs.moves[t.Seq]
+	if m.state == rsCommitted {
+		return
+	}
+	if m.state == rsInflight {
+		if n := c.rs.outstanding[m.src]; n > 0 {
+			c.rs.outstanding[m.src] = n - 1
+		}
+	}
+	m.state = rsCommitted
+	c.rs.committed++
+	if o := c.obs; o != nil {
+		o.rsCommitted.Inc()
+	}
+	if c.rs.committed == len(c.rs.moves) {
+		c.finishRestripe()
+	}
+}
+
+// onMoveNack re-routes a move whose source cannot produce the copy: the
+// next redundant copy of the block under the old generation becomes the
+// source, and the move returns to the dispatch queue.
+func (c *Controller) onMoveNack(t *msg.MoveNack) {
+	if !c.rs.active || t.Fence != c.rs.fence || int(t.Seq) >= len(c.rs.moves) {
+		return
+	}
+	m := c.rs.moves[t.Seq]
+	if m.state == rsCommitted {
+		return
+	}
+	c.rs.nacks++
+	if m.state == rsInflight {
+		if n := c.rs.outstanding[m.src]; n > 0 {
+			c.rs.outstanding[m.src] = n - 1
+		}
+	}
+	m.order.Alt++
+	src, idx := c.moveSource(m.order)
+	m.src = src
+	m.order.SrcIdx = idx
+	m.state = rsPending
+	c.rs.rerouted++
+	if o := c.obs; o != nil {
+		o.rsRerouted.Inc()
+	}
+}
+
+// moveSource resolves the current source of a move under the old
+// generation's layout: Alt 0 is the planned copy, higher Alts cycle
+// through the block's other redundant copies (primary and declustered
+// pieces). A quarantined source heals and eventually serves, so the
+// cycle always terminates the run.
+func (c *Controller) moveSource(o msg.MoveOrder) (msg.NodeID, int8) {
+	ocfg := c.gens[c.rs.oldGen]
+	if ocfg == nil {
+		ocfg = c.cfg
+	}
+	lay := ocfg.Layout
+	f, ok := ocfg.Files[o.File]
+	if !ok {
+		// Cannot happen for a validated plan; fall back to the planned
+		// source so the resend path still drives the move.
+		return lay.CubOfDisk(int(o.SrcIdx)), o.SrcIdx
+	}
+	// All holders of this block's data under the old layout, planned copy
+	// first.
+	type holder struct {
+		cub msg.NodeID
+		idx int8
+	}
+	cands := make([]holder, 0, 1+lay.Decluster)
+	add := func(d int) {
+		cub := lay.CubOfDisk(d)
+		idx := int8(d / lay.Cubs)
+		for _, h := range cands {
+			if h.cub == cub && h.idx == idx {
+				return
+			}
+		}
+		cands = append(cands, holder{cub, idx})
+	}
+	b := int(o.Block)
+	if o.Part < 0 || int(o.Part) >= lay.Decluster {
+		// Planned source was the primary copy.
+		add(lay.PrimaryDisk(f, b))
+		for p := 0; p < lay.Decluster; p++ {
+			add(lay.SecondaryDisk(f, b, p))
+		}
+	} else {
+		add(lay.SecondaryDisk(f, b, int(o.Part)))
+		add(lay.PrimaryDisk(f, b))
+		for p := 0; p < lay.Decluster; p++ {
+			add(lay.SecondaryDisk(f, b, p))
+		}
+	}
+	h := cands[int(o.Alt)%len(cands)]
+	return h.cub, h.idx
+}
+
+// finishRestripe stops the pump and reports completion. The cluster
+// layer decides what happens next (cutover, drain, generation drop);
+// the coordinator only certifies that every block has landed.
+func (c *Controller) finishRestripe() {
+	c.rs.active = false
+	if c.rs.tick != nil {
+		c.rs.tick.Stop()
+		c.rs.tick = nil
+	}
+	if c.OnRestripeDone != nil {
+		c.OnRestripeDone()
+	}
+}

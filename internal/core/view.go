@@ -90,6 +90,9 @@ func (c *Cub) DumpView() string {
 	if hl := c.diskHealthLine(); hl != "" {
 		fmt.Fprintf(&b, "  disk health: %s\n", hl)
 	}
+	if ml := c.moverLine(); ml != "" {
+		fmt.Fprintf(&b, "  restripe mover: %s\n", ml)
+	}
 	for _, e := range c.ViewWindow() {
 		kind := "primary"
 		if e.Mirror {
@@ -104,6 +107,21 @@ func (c *Cub) DumpView() string {
 			e.Viewer, e.Block, ready)
 	}
 	return b.String()
+}
+
+// moverLine summarizes live-restripe move activity for DumpView and the
+// /debug/vars surface: copy jobs queued and in service on this cub's
+// drives, plus lifetime totals. Empty when the mover is idle and has
+// never moved anything.
+func (c *Cub) moverLine() string {
+	pend, inf := c.MoverPending(), c.MoverInflight()
+	st := c.stats
+	if pend == 0 && inf == 0 && st.MovesOut == 0 && st.MovesIn == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d queued, %d in flight; %d blocks out (%.1f MB), %d in (%.1f MB), %d nacked",
+		pend, inf, st.MovesOut, float64(st.MoveBytesOut)/1e6,
+		st.MovesIn, float64(st.MoveBytesIn)/1e6, st.MovesNacked)
 }
 
 // diskHealthLine summarizes the local drives that are not plain healthy

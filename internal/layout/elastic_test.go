@@ -1,0 +1,136 @@
+package layout
+
+import (
+	"fmt"
+	"testing"
+
+	"tiger/internal/msg"
+)
+
+func elasticFiles(n, blocks, numDisks int) []File {
+	files := make([]File, n)
+	for i := range files {
+		files[i] = File{ID: msg.FileID(i), StartDisk: (i * 7) % numDisks,
+			Blocks: blocks, Bitrate: 6 << 20, BlockSize: 262144}
+	}
+	return files
+}
+
+// Shrinking below the declustering width must surface as an error from
+// the planners, never a panic: decluster 4 needs at least 5 disks.
+func TestPlanShrinkBelowDeclusterErrors(t *testing.T) {
+	old := Config{Cubs: 6, DisksPerCub: 1, Decluster: 4}
+	bad := Config{Cubs: 4, DisksPerCub: 1, Decluster: 4}
+	files := elasticFiles(2, 10, old.NumDisks())
+	if _, err := PlanElastic(old, bad, files); err == nil {
+		t.Fatalf("PlanElastic accepted a %d-disk config with decluster %d",
+			bad.NumDisks(), bad.Decluster)
+	}
+	if _, err := PlanRestripe(old, bad, files); err == nil {
+		t.Fatalf("PlanRestripe accepted a %d-disk config with decluster %d",
+			bad.NumDisks(), bad.Decluster)
+	}
+}
+
+// A no-op reconfiguration (same config) must plan zero moves: every
+// block's physical home is unchanged.
+func TestPlanElasticNoop(t *testing.T) {
+	cfg := Config{Cubs: 14, DisksPerCub: 4, Decluster: 4}
+	files := elasticFiles(8, 100, cfg.NumDisks())
+	p, err := PlanElastic(cfg, cfg, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 0 || p.BytesTotal != 0 {
+		t.Fatalf("no-op plan has %d moves, %d bytes", len(p.Moves), p.BytesTotal)
+	}
+}
+
+// The plan must be byte-for-byte deterministic across runs: the live
+// restripe coordinator numbers moves by slice index, and the chaos
+// experiments replay fixed seeds against those numbers.
+func TestPlanElasticDeterministic(t *testing.T) {
+	old := Config{Cubs: 14, DisksPerCub: 4, Decluster: 4}
+	grow := Config{Cubs: 16, DisksPerCub: 4, Decluster: 4}
+	files := elasticFiles(12, 100, old.NumDisks())
+	render := func() string {
+		p, err := PlanElastic(old, grow, files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v|%d", p.Moves, p.BytesTotal)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("PlanElastic not deterministic across runs")
+	}
+}
+
+// Moves must never target a cub outside the new config or source one
+// outside the old, and a grow must route some blocks to the new cubs.
+func TestPlanElasticGrowTargets(t *testing.T) {
+	old := Config{Cubs: 14, DisksPerCub: 4, Decluster: 4}
+	grow := Config{Cubs: 16, DisksPerCub: 4, Decluster: 4}
+	files := elasticFiles(12, 100, old.NumDisks())
+	p, err := PlanElastic(old, grow, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toNew := 0
+	for _, m := range p.Moves {
+		if int(m.FromCub) >= old.Cubs || int(m.ToCub) >= grow.Cubs {
+			t.Fatalf("move %+v escapes the configs", m)
+		}
+		if int(m.FromIdx) >= old.DisksPerCub || int(m.ToIdx) >= grow.DisksPerCub {
+			t.Fatalf("move %+v names a bad disk index", m)
+		}
+		if int(m.ToCub) >= old.Cubs {
+			toNew++
+		}
+	}
+	if len(p.Moves) == 0 || toNew == 0 {
+		t.Fatalf("grow plan: %d moves, %d to new cubs", len(p.Moves), toNew)
+	}
+}
+
+// A shrink plan must evacuate the retiring cubs completely: after the
+// plan, no block or piece may still be homed on a cub >= new.Cubs.
+func TestPlanElasticShrinkEvacuates(t *testing.T) {
+	old := Config{Cubs: 14, DisksPerCub: 4, Decluster: 4}
+	shrink := Config{Cubs: 12, DisksPerCub: 4, Decluster: 4}
+	files := elasticFiles(12, 100, old.NumDisks())
+	p, err := PlanElastic(old, shrink, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range p.Moves {
+		if int(m.ToCub) >= shrink.Cubs {
+			t.Fatalf("shrink move %+v targets a retiring cub", m)
+		}
+	}
+	// Exhaustively check evacuation: every (file, block, part) homed on a
+	// retiring cub under old must appear as a move source or, when the
+	// new layout re-homes it, as the matching destination elsewhere.
+	moved := make(map[string]bool, len(p.Moves))
+	for _, m := range p.Moves {
+		moved[fmt.Sprintf("%d/%d/%d", m.File, m.Block, m.Part)] = true
+	}
+	for _, f := range files {
+		nf := f
+		nf.StartDisk = f.StartDisk % shrink.NumDisks()
+		for b := 0; b < f.Blocks; b++ {
+			if cub, _ := physical(old, old.PrimaryDisk(f, b)); int(cub) >= shrink.Cubs {
+				if !moved[fmt.Sprintf("%d/%d/-1", f.ID, b)] {
+					t.Fatalf("file %d block %d stranded on retiring cub %d", f.ID, b, cub)
+				}
+			}
+			for part := 0; part < old.Decluster; part++ {
+				if cub, _ := physical(old, old.SecondaryDisk(f, b, part)); int(cub) >= shrink.Cubs {
+					if !moved[fmt.Sprintf("%d/%d/%d", f.ID, b, part)] {
+						t.Fatalf("file %d block %d part %d stranded on retiring cub %d", f.ID, b, part, cub)
+					}
+				}
+			}
+		}
+	}
+}

@@ -56,6 +56,10 @@ const (
 	TRejoinRequest
 	TRejoinReply
 	TRejoinConfirm
+	TMoveOrder
+	TMoveData
+	TMoveCommit
+	TMoveNack
 )
 
 func (t Type) String() string {
@@ -88,6 +92,14 @@ func (t Type) String() string {
 		return "RejoinReply"
 	case TRejoinConfirm:
 		return "RejoinConfirm"
+	case TMoveOrder:
+		return "MoveOrder"
+	case TMoveData:
+		return "MoveData"
+	case TMoveCommit:
+		return "MoveCommit"
+	case TMoveNack:
+		return "MoveNack"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -577,6 +589,14 @@ func Consume(b []byte) (Message, []byte, error) {
 		m = &RejoinReply{}
 	case TRejoinConfirm:
 		m = &RejoinConfirm{}
+	case TMoveOrder:
+		m = &MoveOrder{}
+	case TMoveData:
+		m = &MoveData{}
+	case TMoveCommit:
+		m = &MoveCommit{}
+	case TMoveNack:
+		m = &MoveNack{}
 	default:
 		return nil, nil, fmt.Errorf("msg: unknown message type %d", t)
 	}

@@ -1,0 +1,217 @@
+package msg
+
+// The live-restripe move protocol transfers block ownership between cubs
+// while both keep serving. It reuses the epoch-fencing discipline of the
+// rejoin path: every cub→cub or cub→controller move message carries the
+// sender's liveness epoch, so a copy issued before a crash or partition
+// is refused by the stale-epoch gate at the receiver and the coordinator
+// simply re-orders the move. The exchange is:
+//
+//	MoveOrder   controller → source cub  (copy this block to DstCub)
+//	MoveData    source cub → dest cub    (fenced handoff; bulk modeled
+//	                                      at the disk layer, the wire
+//	                                      message is header-sized)
+//	MoveCommit  dest cub → controller    (block durable at destination;
+//	                                      ownership flips in the new view)
+//	MoveNack    source cub → controller  (source cannot serve the copy —
+//	                                      disk failed or quarantined —
+//	                                      re-route from a mirror)
+
+// MoveOrder directs a source cub to copy one block (or one mirror piece,
+// Part >= 0) from its local disk SrcIdx to disk DstIdx of cub DstCub.
+// Disks are addressed by cub-local index so the order is meaningful to
+// both sides regardless of which striping generation numbered them.
+// Alt counts re-route attempts: Alt > 0 reads the block's redundant copy
+// instead of the one a previous attempt failed on.
+type MoveOrder struct {
+	Fence  int64 // restripe run identifier
+	Seq    int32 // move index within the run
+	File   FileID
+	Block  int32
+	Part   int8 // -1 for the primary copy, else mirror piece index
+	SrcIdx int8 // cub-local source disk index
+	DstCub NodeID
+	DstIdx int8 // cub-local destination disk index
+	Alt    uint8
+}
+
+const moveOrderSize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 1 + 1
+
+func (*MoveOrder) Type() Type { return TMoveOrder }
+func (*MoveOrder) Size() int  { return 1 + moveOrderSize }
+
+func (m *MoveOrder) encode(b []byte) []byte {
+	b = putU64(b, uint64(m.Fence))
+	b = putU32(b, uint32(m.Seq))
+	b = putU32(b, uint32(m.File))
+	b = putU32(b, uint32(m.Block))
+	b = putU8(b, uint8(m.Part))
+	b = putU8(b, uint8(m.SrcIdx))
+	b = putU32(b, uint32(m.DstCub))
+	b = putU8(b, uint8(m.DstIdx))
+	b = putU8(b, m.Alt)
+	return b
+}
+
+func (m *MoveOrder) decode(b []byte) ([]byte, error) {
+	if len(b) < moveOrderSize {
+		return nil, errShort
+	}
+	u64, b, _ := getU64(b)
+	m.Fence = int64(u64)
+	u32, b, _ := getU32(b)
+	m.Seq = int32(u32)
+	u32, b, _ = getU32(b)
+	m.File = FileID(int32(u32))
+	u32, b, _ = getU32(b)
+	m.Block = int32(u32)
+	u8, b, _ := getU8(b)
+	m.Part = int8(u8)
+	u8, b, _ = getU8(b)
+	m.SrcIdx = int8(u8)
+	u32, b, _ = getU32(b)
+	m.DstCub = NodeID(int32(u32))
+	u8, b, _ = getU8(b)
+	m.DstIdx = int8(u8)
+	u8, b, _ = getU8(b)
+	m.Alt = u8
+	return b, nil
+}
+
+// MoveData is the fenced block handoff from source to destination cub.
+// Size covers the header only: the block payload itself is modeled as
+// disk time at both ends (a copy consumes a read at the source and a
+// write at the destination), keeping the control-traffic accounting of
+// §3.3 honest — data bytes never rode the control network in Tiger.
+type MoveData struct {
+	Fence  int64
+	Seq    int32
+	File   FileID
+	Block  int32
+	Part   int8
+	DstIdx int8 // cub-local destination disk index
+	From   NodeID
+	Epoch  int32 // source cub's liveness epoch (fencing)
+}
+
+const moveDataSize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 4
+
+func (*MoveData) Type() Type { return TMoveData }
+func (*MoveData) Size() int  { return 1 + moveDataSize }
+
+func (m *MoveData) encode(b []byte) []byte {
+	b = putU64(b, uint64(m.Fence))
+	b = putU32(b, uint32(m.Seq))
+	b = putU32(b, uint32(m.File))
+	b = putU32(b, uint32(m.Block))
+	b = putU8(b, uint8(m.Part))
+	b = putU8(b, uint8(m.DstIdx))
+	b = putU32(b, uint32(m.From))
+	b = putU32(b, uint32(m.Epoch))
+	return b
+}
+
+func (m *MoveData) decode(b []byte) ([]byte, error) {
+	if len(b) < moveDataSize {
+		return nil, errShort
+	}
+	u64, b, _ := getU64(b)
+	m.Fence = int64(u64)
+	u32, b, _ := getU32(b)
+	m.Seq = int32(u32)
+	u32, b, _ = getU32(b)
+	m.File = FileID(int32(u32))
+	u32, b, _ = getU32(b)
+	m.Block = int32(u32)
+	u8, b, _ := getU8(b)
+	m.Part = int8(u8)
+	u8, b, _ = getU8(b)
+	m.DstIdx = int8(u8)
+	u32, b, _ = getU32(b)
+	m.From = NodeID(int32(u32))
+	u32, b, _ = getU32(b)
+	m.Epoch = int32(u32)
+	return b, nil
+}
+
+// MoveCommit tells the coordinator the destination has the block on
+// disk. Ownership of the block in the new striping generation flips on
+// receipt; until then the source keeps serving it under the old one.
+type MoveCommit struct {
+	Fence int64
+	Seq   int32
+	From  NodeID
+	Epoch int32
+}
+
+const moveCommitSize = 8 + 4 + 4 + 4
+
+func (*MoveCommit) Type() Type { return TMoveCommit }
+func (*MoveCommit) Size() int  { return 1 + moveCommitSize }
+
+func (m *MoveCommit) encode(b []byte) []byte {
+	b = putU64(b, uint64(m.Fence))
+	b = putU32(b, uint32(m.Seq))
+	b = putU32(b, uint32(m.From))
+	b = putU32(b, uint32(m.Epoch))
+	return b
+}
+
+func (m *MoveCommit) decode(b []byte) ([]byte, error) {
+	if len(b) < moveCommitSize {
+		return nil, errShort
+	}
+	u64, b, _ := getU64(b)
+	m.Fence = int64(u64)
+	u32, b, _ := getU32(b)
+	m.Seq = int32(u32)
+	u32, b, _ = getU32(b)
+	m.From = NodeID(int32(u32))
+	u32, b, _ = getU32(b)
+	m.Epoch = int32(u32)
+	return b, nil
+}
+
+// Reason codes for MoveNack.
+const (
+	NackDiskFailed      uint8 = 1 // source disk failed or was retired
+	NackDiskQuarantined uint8 = 2 // source disk quarantined by gray-failure monitor
+	NackReadError       uint8 = 3 // the copy read itself errored
+)
+
+// MoveNack reports that the source cub cannot produce the copy; the
+// coordinator re-routes the move to the block's redundant copy.
+type MoveNack struct {
+	Fence  int64
+	Seq    int32
+	From   NodeID
+	Reason uint8
+}
+
+const moveNackSize = 8 + 4 + 4 + 1
+
+func (*MoveNack) Type() Type { return TMoveNack }
+func (*MoveNack) Size() int  { return 1 + moveNackSize }
+
+func (m *MoveNack) encode(b []byte) []byte {
+	b = putU64(b, uint64(m.Fence))
+	b = putU32(b, uint32(m.Seq))
+	b = putU32(b, uint32(m.From))
+	b = putU8(b, m.Reason)
+	return b
+}
+
+func (m *MoveNack) decode(b []byte) ([]byte, error) {
+	if len(b) < moveNackSize {
+		return nil, errShort
+	}
+	u64, b, _ := getU64(b)
+	m.Fence = int64(u64)
+	u32, b, _ := getU32(b)
+	m.Seq = int32(u32)
+	u32, b, _ = getU32(b)
+	m.From = NodeID(int32(u32))
+	u8, b, _ := getU8(b)
+	m.Reason = u8
+	return b, nil
+}

@@ -80,6 +80,7 @@ type Viewer struct {
 
 	nextCheck int32
 	received  map[int32]partState
+	maxSeq    int32 // highest play sequence with any delivery (-1: none)
 
 	stats Stats
 
@@ -148,6 +149,7 @@ func (v *Viewer) Begin(inst msg.InstanceID, file msg.FileID, startBlock, totalBl
 	v.requested = v.clk.Now()
 	v.gotFirst = false
 	v.totalBlocks = totalBlocks
+	v.maxSeq = -1
 	v.nextCheck = 0
 	v.consecLost = 0
 	v.received = make(map[int32]partState)
@@ -164,10 +166,23 @@ func (v *Viewer) End() {
 	v.instance = 0
 }
 
+// InFinalWindow reports whether every block this play has left to
+// receive is already within lead sequences of the end of file. Once the
+// final viewer state is that close, cubs stop forwarding next-hop
+// states (end of file, §4.1.2), so the stream's slot is free for
+// re-insertion even though its last services and play-out are still
+// running.
+func (v *Viewer) InFinalWindow(lead int32) bool {
+	return v.totalBlocks > 0 && v.maxSeq >= v.totalBlocks-1-lead
+}
+
 // DeliverBlock implements netsim.DataSink.
 func (v *Viewer) DeliverBlock(d netsim.BlockDelivery) {
 	if d.Instance != v.instance {
 		return // stale delivery from a previous play
+	}
+	if d.PlaySeq > v.maxSeq {
+		v.maxSeq = d.PlaySeq
 	}
 	if v.machine != nil && v.machine.drops() {
 		return // client overload: the block is gone (client-side loss)

@@ -39,6 +39,21 @@ go run ./cmd/tigerbench -exp grayfail -grayfactors 3 -grayhold 20s -out "$graydi
 [ -s "$graydir/BENCH_grayfail.json" ]
 rm -rf "$graydir"
 
+# Elastic gate: the restripe interplay regressions (crash-rejoin mid-copy,
+# split-brain against the lingering retiring cub, quarantine re-route)
+# under the race detector, then the crash-during-restripe chaos arm at
+# full scale — grow and shrink legs — which must emit BENCH_elastic.json
+# with the zero columns (lost / double serves / violations) intact.
+go test -race -run 'TestElasticInterplay' .
+eldir=$(mktemp -d)
+go run ./cmd/tigerbench -exp elastic -elasticarms crash -out "$eldir" >/dev/null
+[ -s "$eldir/BENCH_elastic.json" ]
+if grep -E '"(BlocksLost|DoubleServes|Violations)": [^0]' "$eldir/BENCH_elastic.json"; then
+    echo "elastic sweep violated the zero columns" >&2
+    exit 1
+fi
+rm -rf "$eldir"
+
 # Bench smoke: compile and single-shot every benchmark so the alloc
 # regression tests and hot-path benches can't silently rot.
 go test -bench=. -benchtime=1x -run='^$' ./...

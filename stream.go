@@ -147,8 +147,25 @@ func (c *Cluster) RampTo(target int) error {
 }
 
 func (c *Cluster) replay(old *Stream) {
+	if c.rsPauseReplay {
+		// Restripe cutover quiesce: hold the replay and re-issue it the
+		// moment the generation flip completes (elastic.go).
+		c.rsDeferred++
+		c.rsDeferredTotal++
+		return
+	}
 	s, err := c.PlayRandom()
 	if err != nil {
+		if c.restripeActive() {
+			// The joint admission limit refuses new plays while streams
+			// admitted under the old generation still hold slot budget.
+			// That budget frees continuously as they reach EOF, so keep
+			// the offered load pressed against the limit by retrying
+			// instead of giving up; jitter avoids retry convoys.
+			d := replayRetry/2 + time.Duration(c.rng.Int63n(int64(replayRetry)))
+			clockOf(c).After(d, func() { c.replay(nil) })
+			return
+		}
 		return // admission refused; the viewer gives up
 	}
 	s.OnEOF = c.replay

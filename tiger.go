@@ -90,6 +90,11 @@ type Options struct {
 	// does not cover (e.g. partitions).
 	RestartStalled int
 
+	// RestripeLinger overrides the grace window an elastic restripe
+	// holds the drained old generation before dropping it (elastic.go);
+	// zero takes the direction-dependent default.
+	RestripeLinger time.Duration
+
 	Seed int64
 }
 
@@ -142,6 +147,29 @@ type Cluster struct {
 	streams    map[msg.InstanceID]*Stream
 	nextViewer msg.ViewerID
 	oracle     *slotOracle
+
+	// cubHooks is the hook set every cub runs with (the oracle's insert
+	// hook, plus whatever a chaos harness layered on); cubs created
+	// mid-run by an elastic restripe get the same set.
+	cubHooks core.Hooks
+
+	// Elastic-restripe phase machine (elastic.go).
+	rsPhase         string
+	rsGauge         *obs.Gauge
+	rsTarget        int
+	rsOldGen        int32
+	rsNewGen        int32
+	rsCfg1          *core.Config
+	rsCap1          disk.Capacity
+	rsMoves         int
+	rsBytes         int64
+	rsCopyStart     sim.Time
+	rsCopyDone      sim.Time
+	rsDrainDone     sim.Time
+	rsFinished      sim.Time
+	rsPauseReplay   bool
+	rsDeferred      int
+	rsDeferredTotal int
 
 	// cumulative viewer tallies, folded in as streams finish
 	tallyOK, tallyLost, tallyMirror int64
@@ -236,14 +264,16 @@ func New(o Options) (*Cluster, error) {
 	}
 
 	c.reg = obs.NewRegistry()
+	c.rsGauge = c.reg.Gauge("tiger_restripe_phase", "Elastic restripe phase: 0 idle, 1 copy, 2 cutover, 3 drain, 4 linger, 5 done.", nil)
 	c.Controller = core.NewController(cfg, clk, net)
 	c.Controller.AttachObs(c.reg)
 	net.Register(msg.Controller, c.Controller)
 	net.AttachObs(c.reg)
+	c.cubHooks = core.Hooks{OnInsert: c.onInsertOracle}
 	for i := 0; i < o.Cubs; i++ {
 		cub := core.NewCub(msg.NodeID(i), cfg, clk, net, net, eng.Rand())
 		cub.SetLossLog(c.Loss)
-		cub.SetHooks(core.Hooks{OnInsert: c.onInsertOracle})
+		cub.SetHooks(c.cubHooks)
 		cub.AttachObs(c.reg)
 		net.Register(msg.NodeID(i), cub)
 		c.Cubs = append(c.Cubs, cub)
@@ -304,9 +334,13 @@ func (c *Cluster) RestartCub(i int) {
 	c.Cubs[i].Restart()
 }
 
-// diskModel returns the simulated drive behind global disk number d.
+// diskModel returns the simulated drive behind global disk number d
+// under the current layout. The cub-local drive index is invariant
+// across striping generations, so the translation survives restripes
+// that renumbered every disk.
 func (c *Cluster) diskModel(d int) *disk.Disk {
-	return c.Cubs[int(c.Cfg.Layout.CubOfDisk(d))].Disks()[d]
+	lay := c.Cfg.Layout
+	return c.Cubs[int(lay.CubOfDisk(d))].DiskByIndex(d / lay.Cubs)
 }
 
 // FailDiskSlow makes global disk d a fail-slow drive: every read takes
@@ -349,9 +383,11 @@ func (c *Cluster) HealDisk(d int) {
 }
 
 // DiskHealth reports the owning cub's health-monitor state for global
-// disk d.
+// disk d under the current layout.
 func (c *Cluster) DiskHealth(d int) core.DiskHealthState {
-	return c.Cubs[int(c.Cfg.Layout.CubOfDisk(d))].DiskHealth(d)
+	lay := c.Cfg.Layout
+	cub := c.Cubs[int(lay.CubOfDisk(d))]
+	return cub.DiskHealth(cub.NativeDiskKey(d / lay.Cubs))
 }
 
 // MirrorLoadFor returns the number of mirror-piece schedule entries the
@@ -451,6 +487,11 @@ func (c *Cluster) TotalCubStats() core.CubStats {
 		t.DiskRecoveries += s.DiskRecoveries
 		t.DiskQuarantines += s.DiskQuarantines
 		t.DiskUnquarantines += s.DiskUnquarantines
+		t.MovesOut += s.MovesOut
+		t.MovesIn += s.MovesIn
+		t.MoveBytesOut += s.MoveBytesOut
+		t.MoveBytesIn += s.MoveBytesIn
+		t.MovesNacked += s.MovesNacked
 	}
 	return t
 }
@@ -462,6 +503,20 @@ func (c *Cluster) TotalCubStats() core.CubStats {
 func (c *Cluster) onInsertOracle(cub msg.NodeID, slot int32, inst msg.InstanceID, due sim.Time) {
 	if _, live := c.streams[inst]; !live {
 		return
+	}
+	// A slot frees for re-insertion before its stream finishes: cubs
+	// stop forwarding next-hop states at end of file, so once the final
+	// viewer state is within the forwarding lead the successors see the
+	// slot empty while the last services and the client's play-out are
+	// still running. EOF-replay churn at full load re-inserts inside
+	// that gap constantly; release the previous occupant eagerly once
+	// it is provably in that tail, so the oracle only flags genuine
+	// double occupancy.
+	if prev, busy := c.oracle.occupant(slot); busy && prev != inst {
+		lead := int32(c.Cfg.MaxVStateLead/c.Cfg.Sched.BlockPlay) + 2
+		if s, live := c.streams[prev]; live && s.Viewer.InFinalWindow(lead) {
+			c.oracle.release(prev)
+		}
 	}
 	c.oracle.onInsert(cub, slot, inst, due)
 }
@@ -486,6 +541,12 @@ func (o *slotOracle) onInsert(cub msg.NodeID, slot int32, inst msg.InstanceID, d
 	}
 	o.slots[slot] = inst
 	o.ends[inst] = slot
+}
+
+// occupant reports which instance currently holds slot, if any.
+func (o *slotOracle) occupant(slot int32) (msg.InstanceID, bool) {
+	inst, ok := o.slots[slot]
+	return inst, ok
 }
 
 func (o *slotOracle) release(inst msg.InstanceID) {
