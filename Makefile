@@ -1,4 +1,4 @@
-.PHONY: check test bench elastic
+.PHONY: check test bench elastic attr
 
 # Full verification gate: vet, build, short tests, race detector on the
 # concurrent packages. CI and pre-commit both run this.
@@ -15,3 +15,9 @@ bench:
 # refresh the committed BENCH_elastic.json artifact.
 elastic:
 	go run ./cmd/tigerbench -exp elastic -out .
+
+# Run the traced grayfail sweep with causal tracing on: prints the
+# per-component "where the slack went" tables and embeds attribution +
+# flight-recorder dumps in BENCH_grayfail.json.
+attr:
+	go run ./cmd/tigerbench -exp grayfail -attr -out .

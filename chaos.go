@@ -85,14 +85,12 @@ type serveRec struct {
 // a violation any more.
 const servePruneAfter = 10 * time.Second
 
-// ChaosHarness attaches the chaos invariant set to a cluster. It rewires
-// the cubs' hooks (keeping the built-in slot-conflict oracle) to add a
-// double-service oracle, and derives the runner's Invariants from the
-// cluster's counters, baselined at harness creation so earlier history
-// is not re-reported. Close restores the original hooks.
-//
-// EnableTrace and NewChaosHarness both replace the cub hooks wholesale;
-// use one at a time.
+// ChaosHarness attaches the chaos invariant set to a cluster. It layers
+// a double-service oracle onto the cubs' hooks (the built-in
+// slot-conflict oracle, the trace ring and the flight recorder keep
+// firing), and derives the runner's Invariants from the cluster's
+// counters, baselined at harness creation so earlier history is not
+// re-reported. Close removes the layer.
 type ChaosHarness struct {
 	c *Cluster
 
@@ -113,21 +111,17 @@ func NewChaosHarness(c *Cluster) *ChaosHarness {
 		baseSlot:  c.InvariantViolations(),
 		baseState: c.TotalCubStats().Conflicts,
 	}
-	// Publish through cubHooks so cubs created mid-run (an elastic
+	// Publish through the hook layers so cubs created mid-run (an elastic
 	// restripe growing the array) observe the serve oracle too.
-	c.cubHooks = core.Hooks{OnInsert: c.onInsertOracle, OnServe: h.onServe}
-	for _, cub := range c.Cubs {
-		cub.SetHooks(c.cubHooks)
-	}
+	c.harnessHooks = core.Hooks{OnServe: h.onServe}
+	c.publishHooks()
 	return h
 }
 
-// Close detaches the serve oracle, restoring the cluster's default hooks.
+// Close detaches the serve oracle layer; the other layers stay.
 func (h *ChaosHarness) Close() {
-	h.c.cubHooks = core.Hooks{OnInsert: h.c.onInsertOracle}
-	for _, cub := range h.c.Cubs {
-		cub.SetHooks(h.c.cubHooks)
-	}
+	h.c.harnessHooks = core.Hooks{}
+	h.c.publishHooks()
 }
 
 func (h *ChaosHarness) onServe(cub msg.NodeID, vs msg.ViewerState) {
@@ -136,6 +130,9 @@ func (h *ChaosHarness) onServe(cub msg.NodeID, vs msg.ViewerState) {
 		h.doubles++
 		h.lastDouble = fmt.Sprintf("instance %d playseq %d (mirror=%v part %d) served by cub %v and cub %v",
 			vs.Instance, vs.PlaySeq, vs.Mirror, vs.Part, prev.by, cub)
+		if fr := h.c.flight; fr != nil {
+			fr.doubleServe(cub, vs, h.lastDouble)
+		}
 		return
 	}
 	h.serves[k] = serveRec{by: cub, at: h.c.Now()}
@@ -253,6 +250,11 @@ type ChaosOutcome struct {
 	// granularity.
 	Converged bool
 	Recovery  time.Duration
+
+	// Flight holds the failure flight recorder's dumps captured during
+	// the run — one causal chain plus event window per oracle trigger.
+	// Empty unless EnableFlightRecorder was called before the run.
+	Flight []FlightDump
 }
 
 // RunChaos drives this cluster through one scenario under the standard
@@ -277,6 +279,11 @@ func (c *Cluster) RunChaos(sc chaos.Scenario) (*ChaosOutcome, error) {
 	r, err := chaos.NewRunner(chaosSystem{c}, sc, h.Invariants())
 	if err != nil {
 		return nil, err
+	}
+	if fr := c.flight; fr != nil {
+		// Dump causal context the moment an invariant fires, while the
+		// implicated chains are still in the bounded buffers.
+		r.OnViolation = func(v chaos.Violation) { fr.violation(v.Invariant, v.Err) }
 	}
 
 	var lastStep time.Duration
@@ -316,6 +323,9 @@ func (c *Cluster) RunChaos(sc chaos.Scenario) (*ChaosOutcome, error) {
 	}
 	if out.Converged {
 		out.Recovery = conv.Sub(healAt)
+	}
+	if fr := c.flight; fr != nil {
+		out.Flight = fr.Dumps()
 	}
 	return out, nil
 }

@@ -40,6 +40,7 @@ var (
 
 	grayFactorsFlag = flag.String("grayfactors", "1.5,2,3", "comma-separated disk slowdown factors for the grayfail sweep")
 	grayHold        = flag.Duration("grayhold", 45*time.Second, "post-injection hold per grayfail point")
+	attrFlag        = flag.Bool("attr", false, "enable causal tracing and print per-component deadline-slack attribution (grayfail, loss, elastic)")
 
 	elasticArmsFlag = flag.String("elasticarms", strings.Join(tiger.ElasticArms, ","),
 		"comma-separated chaos arms for the elastic sweep (clean|crash|partition|disk-slow)")
@@ -284,7 +285,7 @@ func grayfail(o tiger.Options) error {
 		}
 		factors = append(factors, f)
 	}
-	pts, err := tiger.RunGrayFailSweep(o, 0, factors, *grayHold)
+	pts, err := tiger.RunGrayFailSweepAttr(o, 0, factors, *grayHold, *attrFlag)
 	if err != nil {
 		return err
 	}
@@ -305,6 +306,22 @@ func grayfail(o tiger.Options) error {
 		fmt.Printf("%7.2f %8s %8d %6.3f%% %9d %8d %8d %10s %10s %8d\n",
 			p.Factor, arm, p.BlocksLost, p.LossPct, p.HedgesIssued,
 			p.MirrorBlocks, p.ServerMisses, sus, quar, p.DoubleServes)
+	}
+	if *attrFlag {
+		for _, p := range pts {
+			if p.Attribution == nil {
+				continue
+			}
+			arm := "monitor off"
+			if p.Hedge {
+				arm = "monitor on"
+			}
+			fmt.Printf("\nfactor %.2f, %s — where the slack went:\n", p.Factor, arm)
+			p.Attribution.Render(os.Stdout)
+			if n := len(p.Flight); n > 0 {
+				fmt.Printf("flight recorder: %d failure dumps captured (see BENCH_grayfail.json)\n", n)
+			}
+		}
 	}
 	var rows [][]string
 	for _, p := range pts {
@@ -336,7 +353,7 @@ func elastic(o tiger.Options) error {
 			arms = append(arms, a)
 		}
 	}
-	pts, err := tiger.RunElasticSweep(o, arms)
+	pts, err := tiger.RunElasticSweepAttr(o, arms, *attrFlag)
 	if err != nil {
 		return err
 	}
@@ -347,6 +364,18 @@ func elastic(o tiger.Options) error {
 			p.Dir, p.Arm, p.FromCubs, p.TargetCubs, p.Moves, p.Rerouted,
 			p.CopySec, p.DrainSec, p.TotalSec, p.MoveMBps,
 			p.BlocksLost, p.DoubleServes, p.Violations, p.ActiveAfter, p.CapacityAfter)
+	}
+	if *attrFlag {
+		for _, p := range pts {
+			if p.Attribution == nil {
+				continue
+			}
+			fmt.Printf("\n%s %s — where the slack went:\n", p.Dir, p.Arm)
+			p.Attribution.Render(os.Stdout)
+			if n := len(p.Flight); n > 0 {
+				fmt.Printf("flight recorder: %d failure dumps captured (see BENCH_elastic.json)\n", n)
+			}
+		}
 	}
 	var rows [][]string
 	for _, p := range pts {
@@ -556,7 +585,7 @@ func fig10(o tiger.Options, ramp tiger.RampSpec) error {
 func loss(o tiger.Options, hold time.Duration) error {
 	header(fmt.Sprintf("Loss rates at full load (%v steady state)", hold),
 		"unfailed ~1 in 180,000; failed-mode hour ~1 in 40,000")
-	rs, err := tiger.RunLossRates(o, hold)
+	rs, err := tiger.RunLossRatesAttr(o, hold, *attrFlag)
 	if err != nil {
 		return err
 	}
@@ -569,6 +598,18 @@ func loss(o tiger.Options, hold time.Duration) error {
 		}
 		fmt.Printf("%-28s %8d %10d %7d %10d %12s\n",
 			r.Name, r.Streams, r.BlocksOK+r.BlocksLost, r.BlocksLost, r.ServerMisses, rate)
+	}
+	if *attrFlag {
+		for _, r := range rs {
+			if r.Attribution == nil {
+				continue
+			}
+			fmt.Printf("\n%s — where the slack went:\n", r.Name)
+			r.Attribution.Render(os.Stdout)
+			if n := len(r.Flight); n > 0 {
+				fmt.Printf("flight recorder: %d failure dumps captured (see BENCH_loss.json)\n", n)
+			}
+		}
 	}
 	return writeJSON("loss", rs)
 }

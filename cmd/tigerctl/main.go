@@ -15,6 +15,13 @@
 // same endpoint: phase, committed/rerouted moves, and mover totals:
 //
 //	tigerctl restripe -debug 127.0.0.1:9000
+//
+// The why subcommand answers "why was this block late": it fetches the
+// causal hop chain of a traced block from the debug endpoint and prints
+// where the deadline slack went, hop by hop:
+//
+//	tigerctl why -debug 127.0.0.1:9000 12          # all chains of instance 12
+//	tigerctl why -debug 127.0.0.1:9000 12 340      # just block 340
 package main
 
 import (
@@ -84,6 +91,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "restripe" {
 		runRestripe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "why" {
+		runWhy(os.Args[2:])
 		return
 	}
 	flag.Parse()
@@ -273,6 +284,111 @@ func runRestripe(args []string) {
 	fmt.Printf("moved in   : %.0f blocks (%.1f MB)\n",
 		sums["tiger_cub_moves_in_total"], sums["tiger_cub_move_bytes_in_total"]/1e6)
 	fmt.Printf("nacked     : %.0f move orders\n", sums["tiger_cub_moves_nacked_total"])
+}
+
+// whyChain is one line of the /debug/trace/{instance} ndjson body.
+type whyChain struct {
+	Instance uint64 `json:"instance"`
+	Block    int32  `json:"block"`
+	Hops     []struct {
+		AtNs    int64  `json:"at_ns"`
+		Node    int32  `json:"node"`
+		Kind    string `json:"kind"`
+		SlackNs int64  `json:"slack_ns"`
+		Slot    int32  `json:"slot"`
+		Disk    int32  `json:"disk"`
+		Mirror  bool   `json:"mirror"`
+	} `json:"hops"`
+}
+
+// runWhy fetches a traced block's causal hop chain from a tigerd debug
+// endpoint and prints it with per-hop slack deltas, so a late or missed
+// block can be attributed to the component that consumed its deadline.
+func runWhy(args []string) {
+	fs := flag.NewFlagSet("why", flag.ExitOnError)
+	addr := fs.String("debug", "127.0.0.1:9000", "tigerd debug address (control port + 2000 by default)")
+	jsonRaw := fs.Bool("json", false, "dump the raw chain JSONL instead of the table")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tigerctl why [-debug addr] <instance> [block]")
+		os.Exit(2)
+	}
+	url := "http://" + *addr + "/debug/trace/" + fs.Arg(0)
+	if fs.NArg() > 1 {
+		url += "/" + fs.Arg(1)
+	}
+
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("fetch %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("fetch %s: %s (%s)", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if *jsonRaw {
+		io.Copy(os.Stdout, resp.Body)
+		return
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ch whyChain
+		if err := json.Unmarshal([]byte(line), &ch); err != nil {
+			log.Fatalf("bad chain line: %v (%q)", err, line)
+		}
+		if n > 0 {
+			fmt.Println()
+		}
+		n++
+		printWhyChain(ch)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading chains: %v", err)
+	}
+	if n == 0 {
+		log.Fatalf("no chains returned for %s", url)
+	}
+}
+
+func printWhyChain(ch whyChain) {
+	fmt.Printf("instance %d block %d — %d hops\n", ch.Instance, ch.Block, len(ch.Hops))
+	fmt.Printf("  %-12s %-6s %-12s %12s %12s  %s\n",
+		"t", "node", "hop", "slack", "delta", "detail")
+	var prevAt, prevSlack int64
+	for i, h := range ch.Hops {
+		delta := "-"
+		if i > 0 {
+			// Slack bases differ across admit/receipt boundaries; fall
+			// back to elapsed time there (mirrors internal/obs/attr).
+			d := prevSlack - h.SlackNs
+			if ch.Hops[i-1].Kind == "admit" || h.Kind == "receipt" {
+				d = h.AtNs - prevAt
+			}
+			delta = time.Duration(d).String()
+		}
+		detail := ""
+		if h.Disk >= 0 && h.Kind != "admit" {
+			detail = fmt.Sprintf("disk %d", h.Disk)
+		}
+		if h.Mirror {
+			detail += " mirror"
+		}
+		if h.Slot >= 0 {
+			detail += fmt.Sprintf(" slot %d", h.Slot)
+		}
+		fmt.Printf("  %-12s %-6d %-12s %12s %12s  %s\n",
+			time.Duration(h.AtNs).String(), h.Node, h.Kind,
+			time.Duration(h.SlackNs).String(), delta, strings.TrimSpace(detail))
+		prevAt, prevSlack = h.AtNs, h.SlackNs
+	}
 }
 
 // runStats scrapes a tigerd debug endpoint's /metrics and prints a

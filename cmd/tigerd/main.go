@@ -56,7 +56,32 @@ var (
 
 	debugFlag = flag.String("debug", "", `debug HTTP address serving /metrics, /healthz, /debug/vars, /debug/trace, /debug/pprof (default: control port + 2000; "off" disables)`)
 	traceCap  = flag.Int("trace", 65536, "protocol trace ring capacity (events kept for /debug/trace)")
+	chainCap  = flag.Int("chains", 4096, "causal block chains retained for /debug/trace/{stream} (0 disables causal tracing)")
 )
+
+// newChainLog builds the process's causal chain store, or nil when
+// causal tracing is disabled.
+func newChainLog() *trace.ChainLog {
+	if *chainCap <= 0 {
+		return nil
+	}
+	return trace.NewChainLog(*chainCap, 64)
+}
+
+// chainEndpoints adapts a process-wide chain log to the debug server's
+// chain lookups. All of this process's nodes share one log, so a lookup
+// is a read plus a deterministic time sort.
+func chainEndpoints(l *trace.ChainLog) (func(msg.InstanceID, int32) []trace.Hop, func() []trace.ChainKey) {
+	if l == nil {
+		return nil, nil
+	}
+	chains := func(inst msg.InstanceID, block int32) []trace.Hop {
+		hops := l.Chain(inst, block)
+		trace.SortHops(hops)
+		return hops
+	}
+	return chains, l.Keys
+}
 
 func main() {
 	flag.Parse()
@@ -261,17 +286,23 @@ func runAll(cfg *core.Config) {
 	}
 	reg, ring := newObs()
 	ctl.AttachObs(reg)
+	chain := newChainLog()
+	ctl.AttachChainLog(chain)
 	views := make(map[string]func(time.Duration) (string, error), len(hosts))
 	for _, h := range hosts {
 		h.AttachObs(reg)
 		h.AttachTrace(ring)
+		h.AttachChainLog(chain)
 		views[h.Cub.ID().String()] = h.DumpView
 	}
+	chains, chainKeys := chainEndpoints(chain)
 	if d := startDebug(debugAddr(*listen), rt.DebugConfig{
-		Registry: reg,
-		Trace:    ring,
-		Views:    views,
-		Info:     map[string]string{"node": "all", "controller": addrs[msg.Controller]},
+		Registry:  reg,
+		Trace:     ring,
+		Chains:    chains,
+		ChainKeys: chainKeys,
+		Views:     views,
+		Info:      map[string]string{"node": "all", "controller": addrs[msg.Controller]},
 	}); d != nil {
 		defer d.Close()
 	}
@@ -310,10 +341,15 @@ func runController(cfg *core.Config, listenAddr string, addrs map[msg.NodeID]str
 	}
 	reg, ring := newObs()
 	ctl.AttachObs(reg)
+	chain := newChainLog()
+	ctl.AttachChainLog(chain)
+	chains, chainKeys := chainEndpoints(chain)
 	if d := startDebug(debugAddr(listenAddr), rt.DebugConfig{
-		Registry: reg,
-		Trace:    ring,
-		Info:     map[string]string{"node": "controller", "listen": listenAddr},
+		Registry:  reg,
+		Trace:     ring,
+		Chains:    chains,
+		ChainKeys: chainKeys,
+		Info:      map[string]string{"node": "controller", "listen": listenAddr},
 	}); d != nil {
 		defer d.Close()
 	}
@@ -347,11 +383,16 @@ func runCub(cfg *core.Config, id msg.NodeID, addrs map[msg.NodeID]string) {
 	reg, ring := newObs()
 	h.AttachObs(reg)
 	h.AttachTrace(ring)
+	chain := newChainLog()
+	h.AttachChainLog(chain)
+	chains, chainKeys := chainEndpoints(chain)
 	if d := startDebug(debugAddr(listenAddr), rt.DebugConfig{
-		Registry: reg,
-		Trace:    ring,
-		Views:    map[string]func(time.Duration) (string, error){id.String(): h.DumpView},
-		Info:     map[string]string{"node": id.String(), "listen": listenAddr},
+		Registry:  reg,
+		Trace:     ring,
+		Chains:    chains,
+		ChainKeys: chainKeys,
+		Views:     map[string]func(time.Duration) (string, error){id.String(): h.DumpView},
+		Info:      map[string]string{"node": id.String(), "listen": listenAddr},
 	}); d != nil {
 		defer d.Close()
 	}

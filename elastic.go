@@ -11,6 +11,7 @@ import (
 	"tiger/internal/msg"
 	"tiger/internal/schedule"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 )
 
 // This file drives an online elastic restripe (DESIGN §13): growing or
@@ -154,6 +155,12 @@ func (c *Cluster) setRestripePhase(phase string) {
 	if c.rsGauge != nil {
 		c.rsGauge.Set(restripePhaseVal(phase))
 	}
+	if c.ring != nil {
+		c.ring.Add(trace.Event{
+			At: c.Now(), Node: msg.Controller, Kind: trace.RestripePhase,
+			Slot: int32(restripePhaseVal(phase)),
+		})
+	}
 }
 
 // StartRestripe begins an online elastic restripe to targetCubs cubs,
@@ -233,6 +240,7 @@ func (c *Cluster) StartRestripe(targetCubs int) error {
 		cub.Rebase(newGen)
 		cub.SetLossLog(c.Loss)
 		cub.SetHooks(c.cubHooks)
+		c.attachChainLog(cub)
 		cub.AttachObs(c.reg)
 		c.Net.Register(msg.NodeID(i), cub)
 		c.Cubs = append(c.Cubs, cub)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tiger/internal/chaos"
+	"tiger/internal/obs/attr"
 	"tiger/internal/sim"
 )
 
@@ -66,6 +67,13 @@ type ElasticPoint struct {
 	FinalPhase   string
 
 	Ramp []ElasticSample
+
+	// Attribution and Flight are filled by RunElasticSweepAttr: the
+	// per-component slack table for the arm's traced blocks (mover
+	// interference shows up in the disk rows), and the flight-recorder
+	// dumps of any misses or oracle violations.
+	Attribution *attr.Table  `json:"attribution,omitempty"`
+	Flight      []FlightDump `json:"flight,omitempty"`
 }
 
 // elasticScenario builds the fault schedule for one arm. The restripe
@@ -140,6 +148,14 @@ func elasticScenario(dir, arm string, fromCubs, target int, seed int64) (chaos.S
 // scenario around a live restripe, drives the restripe to completion,
 // and then ramps into the new shape's capacity.
 func RunElasticSweep(o Options, arms []string) ([]ElasticPoint, error) {
+	return RunElasticSweepAttr(o, arms, false)
+}
+
+// RunElasticSweepAttr is RunElasticSweep with optional slack
+// attribution: when enableAttr is set, each arm runs with causal
+// tracing and the flight recorder on, and its point carries the
+// per-component slack table plus flight dumps.
+func RunElasticSweepAttr(o Options, arms []string, enableAttr bool) ([]ElasticPoint, error) {
 	if len(arms) == 0 {
 		arms = ElasticArms
 	}
@@ -174,6 +190,11 @@ func RunElasticSweep(o Options, arms []string) ([]ElasticPoint, error) {
 		c, err := New(opt)
 		if err != nil {
 			return err
+		}
+		if enableAttr {
+			c.EnableTrace(4096)
+			c.EnableCausalTrace(0, 0)
+			c.EnableFlightRecorder(0)
 		}
 		if err := c.RampTo(c.Capacity()); err != nil {
 			return err
@@ -274,6 +295,12 @@ func RunElasticSweep(o Options, arms []string) ([]ElasticPoint, error) {
 		pt.DoubleServes = h.DoubleServes()
 		pt.Violations = len(rep.Violations)
 		pt.FinalPhase = c.RestripePhase()
+		if enableAttr {
+			pt.Attribution = attr.Build(c.CausalChains())
+			if fr := c.FlightRecorder(); fr != nil {
+				pt.Flight = fr.Dumps()
+			}
+		}
 		out[i] = pt
 		return nil
 	})

@@ -9,6 +9,7 @@ import (
 	"tiger/internal/metrics"
 	"tiger/internal/msg"
 	"tiger/internal/netsched"
+	"tiger/internal/obs/attr"
 )
 
 // This file regenerates the paper's evaluation (§5): Figures 8-10, the
@@ -194,6 +195,12 @@ type LossRateResult struct {
 	BlocksLost   int64
 	ServerMisses int64
 	LossRate     float64 // "1 in N"
+
+	// Attribution and Flight are filled by RunLossRatesAttr: the
+	// per-component slack-consumption table for the run's traced blocks,
+	// and the flight-recorder dumps of any that missed.
+	Attribution *attr.Table  `json:"attribution,omitempty"`
+	Flight      []FlightDump `json:"flight,omitempty"`
 }
 
 // RunLossRates measures end-to-end loss at full load over the given
@@ -201,6 +208,14 @@ type LossRateResult struct {
 // two experiments: ~1 in 180,000 unfailed; ~1 in 40,000 during the
 // failed-mode hour).
 func RunLossRates(o Options, hold time.Duration) ([]LossRateResult, error) {
+	return RunLossRatesAttr(o, hold, false)
+}
+
+// RunLossRatesAttr is RunLossRates with optional slack attribution:
+// when enableAttr is set, each mode runs with causal tracing and the
+// flight recorder on, and its result carries the per-component
+// slack-consumption table plus flight dumps for any missed blocks.
+func RunLossRatesAttr(o Options, hold time.Duration, enableAttr bool) ([]LossRateResult, error) {
 	modes := []bool{false, true}
 	out := make([]LossRateResult, len(modes))
 	err := forEachPoint(len(modes), func(i int) error {
@@ -208,6 +223,11 @@ func RunLossRates(o Options, hold time.Duration) ([]LossRateResult, error) {
 		c, err := New(o)
 		if err != nil {
 			return err
+		}
+		if enableAttr {
+			c.EnableTrace(4096)
+			c.EnableCausalTrace(0, 0)
+			c.EnableFlightRecorder(0)
 		}
 		if failed {
 			c.FailCub(5)
@@ -237,6 +257,12 @@ func RunLossRates(o Options, hold time.Duration) ([]LossRateResult, error) {
 		}
 		if r.BlocksLost > 0 {
 			r.LossRate = float64(r.BlocksOK+r.BlocksLost) / float64(r.BlocksLost)
+		}
+		if enableAttr {
+			r.Attribution = attr.Build(c.CausalChains())
+			if fr := c.FlightRecorder(); fr != nil {
+				r.Flight = fr.Dumps()
+			}
 		}
 		out[i] = r
 		return nil

@@ -5,6 +5,7 @@ import (
 
 	"tiger/internal/core"
 	"tiger/internal/msg"
+	"tiger/internal/obs/attr"
 )
 
 // This file implements the gray-failure experiment behind `tigerbench
@@ -46,6 +47,16 @@ type GrayFailPoint struct {
 	// block's service, and the oracle proves the two never collide on
 	// the same service key.
 	DoubleServes int
+
+	// Attribution is the per-component "where the slack went" table over
+	// the fault window, folded from the causal chains of every traced
+	// block. Nil unless the sweep ran with attribution enabled.
+	Attribution *attr.Table `json:"Attribution,omitempty"`
+
+	// Flight holds the failure flight recorder's dumps: the causal
+	// chains of blocks that missed their deadline during the fault.
+	// Empty unless attribution was enabled.
+	Flight []FlightDump `json:"Flight,omitempty"`
 }
 
 // RunGrayFailSweep measures gray-failure tolerance: for each slowdown
@@ -58,6 +69,16 @@ type GrayFailPoint struct {
 // activity over that window. Client-overload drops are disabled so
 // every lost block is the slow disk's fault.
 func RunGrayFailSweep(o Options, streams int, factors []float64, hold time.Duration) ([]GrayFailPoint, error) {
+	return RunGrayFailSweepAttr(o, streams, factors, hold, false)
+}
+
+// RunGrayFailSweepAttr is RunGrayFailSweep with optional slack
+// attribution: when enableAttr is set, each arm runs with causal
+// tracing and the flight recorder on, and its point carries the
+// per-component attribution table plus the flight dumps of blocks that
+// missed deadlines — the slow disk's queue and read rows absorb the
+// slack that healthy arms leave to the send stage.
+func RunGrayFailSweepAttr(o Options, streams int, factors []float64, hold time.Duration, enableAttr bool) ([]GrayFailPoint, error) {
 	o.ClientDropProb = 0
 	n := 2 * len(factors)
 	out := make([]GrayFailPoint, n)
@@ -68,6 +89,11 @@ func RunGrayFailSweep(o Options, streams int, factors []float64, hold time.Durat
 		c, err := New(opt)
 		if err != nil {
 			return err
+		}
+		if enableAttr {
+			c.EnableTrace(4096)
+			c.EnableCausalTrace(0, 0)
+			c.EnableFlightRecorder(0)
 		}
 		target := streams
 		if target <= 0 || target > c.Capacity() {
@@ -131,6 +157,12 @@ func RunGrayFailSweep(o Options, streams int, factors []float64, hold time.Durat
 		}
 		if p.Quarantined {
 			p.TimeToQuarantineSec = ttq.Seconds()
+		}
+		if enableAttr {
+			p.Attribution = attr.Build(c.CausalChains())
+			if fr := c.FlightRecorder(); fr != nil {
+				p.Flight = fr.Dumps()
+			}
 		}
 		out[i] = p
 		return nil

@@ -1,0 +1,86 @@
+package tiger
+
+import (
+	"tiger/internal/core"
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// Hook layering. The cluster's cub hooks come from independent layers —
+// the built-in slot oracle, the protocol trace ring (EnableTrace), a
+// chaos harness's serve oracle, and the failure flight recorder — and
+// historically each feature replaced the hook set wholesale, so only one
+// could be active at a time. composeHooks chains the layers instead:
+// every non-nil callback of every layer fires, in layer order, and
+// publishHooks pushes the composed set to every cub (including cubs an
+// elastic restripe creates mid-run, which copy c.cubHooks at birth).
+
+// composeHooks chains hook sets; for each event, every layer's non-nil
+// callback fires in argument order.
+func composeHooks(layers ...core.Hooks) core.Hooks {
+	var out core.Hooks
+	for _, l := range layers {
+		if f := l.OnInsert; f != nil {
+			if prev := out.OnInsert; prev != nil {
+				out.OnInsert = func(cub msg.NodeID, slot int32, inst msg.InstanceID, due sim.Time) {
+					prev(cub, slot, inst, due)
+					f(cub, slot, inst, due)
+				}
+			} else {
+				out.OnInsert = f
+			}
+		}
+		if f := l.OnServe; f != nil {
+			if prev := out.OnServe; prev != nil {
+				out.OnServe = func(cub msg.NodeID, vs msg.ViewerState) { prev(cub, vs); f(cub, vs) }
+			} else {
+				out.OnServe = f
+			}
+		}
+		if f := l.OnMiss; f != nil {
+			if prev := out.OnMiss; prev != nil {
+				out.OnMiss = func(cub msg.NodeID, vs msg.ViewerState) { prev(cub, vs); f(cub, vs) }
+			} else {
+				out.OnMiss = f
+			}
+		}
+		if f := l.OnHedge; f != nil {
+			if prev := out.OnHedge; prev != nil {
+				out.OnHedge = func(cub msg.NodeID, vs msg.ViewerState) { prev(cub, vs); f(cub, vs) }
+			} else {
+				out.OnHedge = f
+			}
+		}
+		if f := l.OnQuarantine; f != nil {
+			if prev := out.OnQuarantine; prev != nil {
+				out.OnQuarantine = func(cub msg.NodeID, disk int32) { prev(cub, disk); f(cub, disk) }
+			} else {
+				out.OnQuarantine = f
+			}
+		}
+		if f := l.OnMoveCommit; f != nil {
+			if prev := out.OnMoveCommit; prev != nil {
+				out.OnMoveCommit = func(cub msg.NodeID, seq int64) { prev(cub, seq); f(cub, seq) }
+			} else {
+				out.OnMoveCommit = f
+			}
+		}
+		if f := l.OnMoveNack; f != nil {
+			if prev := out.OnMoveNack; prev != nil {
+				out.OnMoveNack = func(cub msg.NodeID, seq int64, reason uint8) { prev(cub, seq, reason); f(cub, seq, reason) }
+			} else {
+				out.OnMoveNack = f
+			}
+		}
+	}
+	return out
+}
+
+// publishHooks recomposes the hook layers and installs the result on
+// every cub.
+func (c *Cluster) publishHooks() {
+	c.cubHooks = composeHooks(c.baseHooks, c.ringHooks, c.harnessHooks, c.flightHooks)
+	for _, cub := range c.Cubs {
+		cub.SetHooks(c.cubHooks)
+	}
+}

@@ -94,6 +94,10 @@ type Runner struct {
 	// OnTick, if set, fires after each invariant sweep; sweeps and
 	// experiments use it to probe recovery progress.
 	OnTick func(now sim.Time, quiet bool)
+	// OnViolation, if set, fires the moment any violation is recorded —
+	// before the run finishes — so a flight recorder can capture the
+	// causal context while it is still in the bounded buffers.
+	OnViolation func(v Violation)
 
 	rng       *rand.Rand      // scenario-seeded; data-drop coin flips only
 	dropProb  map[int]float64 // cub index (or All) → drop probability
@@ -147,6 +151,14 @@ func (r *Runner) setDropProb(cub int, p float64) {
 	}
 }
 
+// addViolation appends to the report and notifies OnViolation.
+func (r *Runner) addViolation(rep *Report, v Violation) {
+	rep.Violations = append(rep.Violations, v)
+	if r.OnViolation != nil {
+		r.OnViolation(v)
+	}
+}
+
 // requireRestripe records a restripe-precondition violation when the
 // system is not mid-restripe at apply time: the step still acts (the
 // fault is generic), but the run is flagged because its timing no longer
@@ -154,14 +166,14 @@ func (r *Runner) setDropProb(cub int, p float64) {
 func (r *Runner) requireRestripe(rep *Report, st Step) {
 	es, ok := r.Sys.(ElasticSystem)
 	if !ok {
-		rep.Violations = append(rep.Violations, Violation{
+		r.addViolation(rep, Violation{
 			At: r.Sys.Now(), Invariant: "restripe-precondition",
 			Err: fmt.Sprintf("step %s requires an elastic system", st.Kind),
 		})
 		return
 	}
 	if p := es.RestripePhase(); !restripeInProgress(p) {
-		rep.Violations = append(rep.Violations, Violation{
+		r.addViolation(rep, Violation{
 			At: r.Sys.Now(), Invariant: "restripe-precondition",
 			Err: fmt.Sprintf("step %s at %v fired with restripe phase %q", st.Kind, st.At, p),
 		})
@@ -240,14 +252,14 @@ func (r *Runner) apply(rep *Report, st Step) {
 	case RestripeStart:
 		es, ok := r.Sys.(ElasticSystem)
 		if !ok {
-			rep.Violations = append(rep.Violations, Violation{
+			r.addViolation(rep, Violation{
 				At: r.Sys.Now(), Invariant: "restripe-precondition",
 				Err: fmt.Sprintf("step %s requires an elastic system", st.Kind),
 			})
 			break
 		}
 		if err := es.StartRestripe(st.A); err != nil {
-			rep.Violations = append(rep.Violations, Violation{
+			r.addViolation(rep, Violation{
 				At: r.Sys.Now(), Invariant: "restripe-precondition",
 				Err: fmt.Sprintf("restripe to %d cubs refused: %v", st.A, err),
 			})
@@ -306,7 +318,7 @@ func (r *Runner) sweep(rep *Report, now sim.Time) {
 	}
 	for _, inv := range r.Invariants {
 		if err := inv.Check(q); err != nil {
-			rep.Violations = append(rep.Violations, Violation{At: now, Invariant: inv.Name, Err: err.Error()})
+			r.addViolation(rep, Violation{At: now, Invariant: inv.Name, Err: err.Error()})
 		}
 	}
 	if r.OnTick != nil {

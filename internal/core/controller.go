@@ -8,6 +8,7 @@ import (
 	"tiger/internal/metrics"
 	"tiger/internal/msg"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 )
 
 // PlayState tracks one start request at the controller.
@@ -66,8 +67,9 @@ type Controller struct {
 	// Live-restripe coordinator state (restriper.go).
 	rs restriperState
 
-	stats ControllerStats
-	obs   *ctlObs // nil until AttachObs
+	stats  ControllerStats
+	obs    *ctlObs         // nil until AttachObs
+	ctrace *trace.ChainLog // nil until SetChainLog; causal hop recorder
 
 	// OnAck, if set, is called when an insertion is confirmed; harnesses
 	// use it to measure slot-assignment latency.
@@ -125,6 +127,14 @@ func (c *Controller) DropGen(gen int32) {
 // one generation; the restripe drain monitor polls the old generation's
 // count toward zero.
 func (c *Controller) GenLoad(gen int32) int { return c.genLoad[gen] }
+
+// SetChainLog attaches a causal-trace chain recorder. While attached,
+// every admitted play is stamped traced (StartPlay.Trace = 1), so the
+// cubs it touches record hop chains for its blocks.
+func (c *Controller) SetChainLog(l *trace.ChainLog) { c.ctrace = l }
+
+// ChainLog returns the attached chain recorder, or nil.
+func (c *Controller) ChainLog() *trace.ChainLog { return c.ctrace }
 
 // CPUBusy returns the controller's cumulative modelled CPU time.
 func (c *Controller) CPUBusy() time.Duration { return c.cpu.Busy() }
@@ -212,6 +222,20 @@ func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.
 		StartBlock: startBlock,
 		Bitrate:    bitrate,
 		Issued:     int64(now),
+	}
+	if c.ctrace != nil {
+		sp.Trace = 1
+		// The admit hop predates the deadline — no slot, no due time yet —
+		// so its slack is recorded as zero and the attribution engine
+		// charges admit→insert by elapsed wait instead of slack delta.
+		c.ctrace.Record(inst, startBlock, trace.Hop{
+			At:    now,
+			Node:  msg.Controller,
+			Kind:  trace.HopAdmit,
+			Slack: 0,
+			Slot:  -1,
+			Disk:  int32(d0),
+		})
 	}
 	p := sp
 	p.Primary = true

@@ -12,6 +12,7 @@ import (
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 )
 
 // DataPath carries paced block payloads from a cub to viewers. The
@@ -119,6 +120,16 @@ type Hooks struct {
 	OnServe func(cub msg.NodeID, vs msg.ViewerState)
 	// OnMiss fires when a scheduled send could not be made.
 	OnMiss func(cub msg.NodeID, vs msg.ViewerState)
+	// OnHedge fires when a hedged mirror chain is launched to cover a
+	// suspected disk (health.go).
+	OnHedge func(cub msg.NodeID, vs msg.ViewerState)
+	// OnQuarantine fires when the health monitor quarantines a disk.
+	OnQuarantine func(cub msg.NodeID, disk int32)
+	// OnMoveCommit fires when a restripe move copy is committed.
+	OnMoveCommit func(cub msg.NodeID, seq int64)
+	// OnMoveNack fires when a move order is refused; reason is the
+	// MoveNack wire reason code.
+	OnMoveNack func(cub msg.NodeID, seq int64, reason uint8)
 }
 
 // Cub is one content-holding machine of a Tiger system, implementing the
@@ -197,11 +208,12 @@ type Cub struct {
 	// idle-budget pacing bookkeeping. Volatile — wiped on Restart.
 	mover moverState
 
-	cpu   metrics.CPU
-	stats CubStats
-	loss  *metrics.LossLog
-	hooks Hooks
-	obs   *cubObs // nil until AttachObs
+	cpu    metrics.CPU
+	stats  CubStats
+	loss   *metrics.LossLog
+	hooks  Hooks
+	obs    *cubObs         // nil until AttachObs
+	ctrace *trace.ChainLog // nil until SetChainLog; causal hop recorder
 
 	started bool
 }
@@ -340,6 +352,27 @@ func (c *Cub) SetLossLog(l *metrics.LossLog) { c.loss = l }
 
 // SetHooks installs observation hooks (tests only).
 func (c *Cub) SetHooks(h Hooks) { c.hooks = h }
+
+// SetChainLog installs a causal-trace chain log. Hops are recorded only
+// for viewer states carrying the trace flag; with a nil log (the
+// default) the recording paths reduce to one pointer test.
+func (c *Cub) SetChainLog(l *trace.ChainLog) { c.ctrace = l }
+
+// ChainLog returns the cub's causal-trace log (nil when tracing is off).
+func (c *Cub) ChainLog() *trace.ChainLog { return c.ctrace }
+
+// traceHop records one causal hop for a traced viewer state. The guard
+// makes the tracing-off path free: no time lookup, no hop construction.
+func (c *Cub) traceHop(vs *msg.ViewerState, kind trace.HopKind, disk int32) {
+	if c.ctrace == nil || vs.Trace == 0 {
+		return
+	}
+	now := c.clk.Now()
+	c.ctrace.Record(vs.Instance, vs.Block, trace.Hop{
+		At: now, Node: c.id, Kind: kind,
+		Slack: vs.Due - int64(now), Slot: vs.Slot, Disk: disk, Mirror: vs.Mirror,
+	})
+}
 
 // Start begins the cub's periodic activities: heartbeats and the
 // viewer-state forwarding batcher.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tiger/internal/msg"
+	"tiger/internal/trace"
 )
 
 // This file implements deschedule handling (§4.1.2): idempotent removal
@@ -69,6 +70,9 @@ func (c *Cub) onDeschedule(d msg.Deschedule) {
 	}
 	sortEntryKeys(doomed)
 	for _, k := range doomed {
+		if e := c.entries[k]; e != nil {
+			c.traceHop(&e.vs, trace.HopDeschedule, int32(e.disk))
+		}
 		c.dropEntryRelease(k)
 	}
 

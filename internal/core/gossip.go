@@ -8,6 +8,7 @@ import (
 	"tiger/internal/netsim"
 	"tiger/internal/obs"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 )
 
 // This file implements the viewer-state gossip of §4.1.1: accepting and
@@ -150,6 +151,7 @@ func (c *Cub) acceptPrimary(vs msg.ViewerState, d int) {
 		o.spans.Observe(obs.StageState, sim.Time(vs.Due), now)
 		o.viewSize.Set(float64(len(c.entries)))
 	}
+	c.traceHop(&vs, trace.HopState, int32(nd))
 	c.scheduleEntry(e, key)
 }
 
@@ -196,6 +198,7 @@ func (c *Cub) issueRead(key entryKey) {
 		c.hedgeEntry(e)
 		c.flushForwards()
 	}
+	c.traceHop(&e.vs, trace.HopDiskQueue, int32(d))
 	issued := c.clk.Now()
 	e.readID = c.disks[d].Read(ie.bytes, ie.zone, due, func(done sim.Time, ok bool) {
 		c.noteRead(d, issued, due, done, ie.bytes, ie.zone, ok)
@@ -227,6 +230,7 @@ func (c *Cub) issueRead(key entryKey) {
 		if o := c.obs; o != nil {
 			o.spans.Observe(obs.StageRead, sim.Time(cur.vs.Due), done)
 		}
+		c.traceHop(&cur.vs, trace.HopDiskRead, int32(d))
 	})
 }
 
@@ -308,6 +312,7 @@ func (c *Cub) service(key entryKey) {
 	// The buffer frees once the paced send finishes.
 	held := e.buffered
 	c.clk.After(pace, func() { c.bufAdjust(-held) })
+	c.traceHop(&e.vs, trace.HopSend, int32(e.disk))
 	if c.hooks.OnServe != nil {
 		c.hooks.OnServe(c.id, e.vs)
 	}
@@ -345,6 +350,7 @@ func (c *Cub) recordMiss(vs msg.ViewerState) {
 	if c.loss != nil {
 		c.loss.RecordServerMiss(c.clk.Now())
 	}
+	c.traceHop(&vs, trace.HopMiss, -1)
 	if c.hooks.OnMiss != nil {
 		c.hooks.OnMiss(c.id, vs)
 	}
@@ -507,6 +513,7 @@ func (c *Cub) acceptMirror(vs msg.ViewerState) {
 			o.spans.Observe(obs.StageState, sim.Time(vs.Due), c.clk.Now())
 			o.viewSize.Set(float64(len(c.entries)))
 		}
+		c.traceHop(&vs, trace.HopState, int32(npd))
 		c.scheduleEntry(e, key)
 	}
 	// Pass the mirror state to the next piece's cub, due one mirror pace

@@ -6,6 +6,7 @@ import (
 	"tiger/internal/clock"
 	"tiger/internal/disk"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 )
 
 // This file implements the per-disk gray-failure monitor (DESIGN §12).
@@ -229,6 +230,10 @@ func (c *Cub) hedgeEntry(e *entry) {
 	if o := c.obs; o != nil {
 		o.hedgesIssued.Inc()
 	}
+	c.traceHop(&e.vs, trace.HopHedge, int32(e.disk))
+	if c.hooks.OnHedge != nil {
+		c.hooks.OnHedge(c.id, e.vs)
+	}
 	// The mirror route resolves under the entry's generation, which
 	// numbers the drive differently from the native key e.disk carries.
 	if cfg := c.cfgOf(e.vs.Slot); cfg != nil {
@@ -246,6 +251,9 @@ func (c *Cub) quarantineDisk(d int, h *diskHealth) {
 	c.stats.DiskQuarantines++
 	if o := c.obs; o != nil {
 		o.diskQuarantines.Inc()
+	}
+	if c.hooks.OnQuarantine != nil {
+		c.hooks.OnQuarantine(c.id, int32(d))
 	}
 	c.setHealthGauge(d, h)
 	c.quarantined[d] = true

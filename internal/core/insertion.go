@@ -7,6 +7,7 @@ import (
 	"tiger/internal/obs"
 	"tiger/internal/schedule"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 )
 
 // This file implements slot insertion (§4.1.3): queued start requests,
@@ -161,6 +162,7 @@ func (c *Cub) tryInsert(k, slot int32, due sim.Time) {
 		Due:      int64(due),
 		Bitrate:  req.sp.Bitrate,
 		OrigDisk: int32(gd),
+		Trace:    req.sp.Trace,
 	}
 	c.stats.Inserts++
 	if o := c.obs; o != nil {
@@ -170,6 +172,7 @@ func (c *Cub) tryInsert(k, slot int32, due sim.Time) {
 		o.spans.Observe(obs.StageInsert, due, now)
 		o.queueLen.Set(float64(c.QueueLen()))
 	}
+	c.traceHop(&vs, trace.HopInsert, int32(gd))
 	if c.hooks.OnInsert != nil {
 		c.hooks.OnInsert(c.id, slot, vs.Instance, due)
 	}

@@ -10,6 +10,7 @@ import (
 	"tiger/internal/netsched"
 	"tiger/internal/netsim"
 	"tiger/internal/sim"
+	"tiger/internal/trace"
 )
 
 // This file implements the multiple-bitrate Tiger's network schedule
@@ -97,6 +98,7 @@ type MBRCub struct {
 	pending map[int32]*mbrPending // tentative insertions by sequence
 	nextSeq int32
 	stats   MBRStats
+	ctrace  *trace.ChainLog // nil ⇒ causal tracing off
 
 	// Data, if set, carries each block service onto the network data
 	// path (paced at the stream's bitrate over one block play time), so
@@ -138,6 +140,33 @@ func (m *MBRCub) Stats() MBRStats { return m.stats }
 // Schedule exposes this cub's view of the network schedule.
 func (m *MBRCub) Schedule() *netsched.Schedule { return m.sched }
 
+// SetChainLog attaches a causal chain log; new insertions on this cub
+// are then traced. nil detaches (tracing off, the default).
+func (m *MBRCub) SetChainLog(l *trace.ChainLog) { m.ctrace = l }
+
+// ChainLog returns the attached chain log (possibly nil).
+func (m *MBRCub) ChainLog() *trace.ChainLog { return m.ctrace }
+
+// mbrHop records one causal hop for a traced entry. MBR chains are keyed
+// by (instance, block 0): the interesting latency here is the two-phase
+// insertion of §4.2, which all happens before the first block's service.
+// Slack is measured against the entry's next service instant.
+func (m *MBRCub) mbrHop(e *netsched.Entry, kind trace.HopKind) {
+	if m.ctrace == nil || e.Trace == 0 {
+		return
+	}
+	now := m.clk.Now()
+	due := m.serviceTime(e.Start, now)
+	m.ctrace.Record(e.Instance, 0, trace.Hop{
+		At:    now,
+		Node:  m.id,
+		Kind:  kind,
+		Slack: int64(due) - int64(now),
+		Slot:  -1,
+		Disk:  -1,
+	})
+}
+
 func (m *MBRCub) successor() msg.NodeID {
 	return msg.NodeID((int(m.id) + 1) % m.cfg.Cubs)
 }
@@ -174,10 +203,14 @@ func (m *MBRCub) StartPlay(viewer msg.ViewerID, inst msg.InstanceID, bitrate int
 		Bitrate:  bitrate,
 		State:    netsched.Tentative,
 	}
+	if m.ctrace != nil {
+		e.Trace = 1
+	}
 	if err := m.sched.Insert(e); err != nil {
 		m.stats.LocalRejects++
 		return false
 	}
+	m.mbrHop(&e, trace.HopAdmit)
 	m.nextSeq++
 	seq := m.nextSeq
 	p := &mbrPending{entry: e, seq: seq, sendAt: m.serviceTime(start, now)}
@@ -203,6 +236,7 @@ func (m *MBRCub) StartPlay(viewer msg.ViewerID, inst msg.InstanceID, bitrate int
 		Start:    int64(start),
 		Bitrate:  int32(bitrate),
 		Seq:      seq,
+		Trace:    e.Trace,
 	})
 	// Abort if no confirmation arrives early enough to start sending
 	// the initial block on time.
@@ -267,8 +301,12 @@ func (m *MBRCub) onReserveReq(from msg.NodeID, r *msg.ReserveReq) {
 		Start:    time.Duration(r.Start),
 		Bitrate:  int64(r.Bitrate),
 		State:    netsched.Reserved,
+		Trace:    r.Trace,
 	}
 	ok := m.sched.Insert(e) == nil
+	if ok {
+		m.mbrHop(&e, trace.HopState) // reservation installed in the successor's view
+	}
 	m.net.Send(m.id, from, &msg.ReserveResp{Instance: r.Instance, Seq: r.Seq, OK: ok})
 }
 
@@ -294,6 +332,7 @@ func (m *MBRCub) onReserveResp(r *msg.ReserveResp) {
 	if err := m.sched.SetState(p.entry.Instance, netsched.Committed); err == nil {
 		m.stats.Inserts++
 		p.entry.State = netsched.Committed
+		m.mbrHop(&p.entry, trace.HopInsert)
 		if m.OnCommit != nil {
 			m.OnCommit(p.entry)
 		}
@@ -327,6 +366,7 @@ func (m *MBRCub) service(inst msg.InstanceID, at sim.Time) {
 		return // descheduled meanwhile
 	}
 	m.stats.Sends++
+	m.mbrHop(&e, trace.HopSend)
 	if m.Data != nil {
 		m.Data.SendBlock(m.id, netsim.BlockDelivery{
 			Viewer:   e.Viewer,

@@ -335,6 +335,9 @@ func (c *Cub) sendMoveCommit(t msg.MoveData) {
 		From:  c.id,
 		Epoch: c.epoch,
 	})
+	if c.hooks.OnMoveCommit != nil {
+		c.hooks.OnMoveCommit(c.id, int64(t.Seq))
+	}
 }
 
 // nackMove refuses an order because the source drive is out of service,
@@ -358,6 +361,9 @@ func (c *Cub) nackMoveReason(t msg.MoveOrder, reason uint8) {
 		From:   c.id,
 		Reason: reason,
 	})
+	if c.hooks.OnMoveNack != nil {
+		c.hooks.OnMoveNack(c.id, int64(t.Seq), reason)
+	}
 }
 
 // moverDiskRetired is the retireDisk hook: pending source reads on the

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"tiger/internal/msg"
+	"tiger/internal/trace"
+)
+
+// TestTraceHopOffPathAllocs pins the tentpole's cost claim: with causal
+// tracing off the hot path pays a single nil test — zero allocations,
+// no clock read — whether tracing is globally detached (nil chain log)
+// or the block simply isn't traced (flag clear).
+func TestTraceHopOffPathAllocs(t *testing.T) {
+	// Globally off: no chain log attached. clk is nil, so any clock
+	// read past the guard would panic, not just allocate.
+	detached := &Cub{}
+	traced := msg.ViewerState{Instance: 1, Block: 2, Trace: 1}
+	if a := testing.AllocsPerRun(1000, func() {
+		detached.traceHop(&traced, trace.HopSend, -1)
+	}); a != 0 {
+		t.Fatalf("detached traceHop allocates %.1f/op, want 0", a)
+	}
+
+	// Globally on, block untraced: the common case in a traced run,
+	// since only flagged streams record.
+	attached := &Cub{ctrace: trace.NewChainLog(8, 8)}
+	untraced := msg.ViewerState{Instance: 1, Block: 2}
+	if a := testing.AllocsPerRun(1000, func() {
+		attached.traceHop(&untraced, trace.HopSend, -1)
+	}); a != 0 {
+		t.Fatalf("untraced-block traceHop allocates %.1f/op, want 0", a)
+	}
+	if attached.ctrace.Len() != 0 {
+		t.Fatalf("untraced block was recorded: %d chains", attached.ctrace.Len())
+	}
+}

@@ -131,9 +131,10 @@ type ViewerState struct {
 	Part     int8  // mirror piece index, 0..decluster-1
 	OrigDisk int32 // for mirror states: the failed disk holding the primary
 	Epoch    int32 // liveness epoch under which this state was produced
+	Trace    uint8 // causal-trace flags; non-zero marks the block traced
 }
 
-const viewerStateSize = 8 + 8 + 16 + 4 + 4 + 4 + 4 + 8 + 4 + 1 + 1 + 4 + 4
+const viewerStateSize = 8 + 8 + 16 + 4 + 4 + 4 + 4 + 8 + 4 + 1 + 1 + 4 + 4 + 1
 
 func (*ViewerState) Type() Type { return TViewerState }
 func (*ViewerState) Size() int  { return 1 + viewerStateSize }
@@ -164,9 +165,10 @@ type StartPlay struct {
 	Bitrate    int32
 	Primary    bool  // true at the cub expected to do the insertion
 	Issued     int64 // ns: when the controller received the request
+	Trace      uint8 // causal-trace flags inherited by every viewer state
 }
 
-const startPlaySize = 8 + 8 + 16 + 4 + 4 + 4 + 1 + 8
+const startPlaySize = 8 + 8 + 16 + 4 + 4 + 4 + 1 + 8 + 1
 
 func (*StartPlay) Type() Type { return TStartPlay }
 func (*StartPlay) Size() int  { return 1 + startPlaySize }
@@ -206,9 +208,10 @@ type ReserveReq struct {
 	Start    int64 // ns: proposed schedule position of the entry
 	Bitrate  int32
 	Seq      int32
+	Trace    uint8 // causal-trace flag; rides the reservation so the successor's hops are traced too
 }
 
-const reserveReqSize = 8 + 8 + 8 + 4 + 4
+const reserveReqSize = 8 + 8 + 8 + 4 + 4 + 1
 
 func (*ReserveReq) Type() Type { return TReserveReq }
 func (*ReserveReq) Size() int  { return 1 + reserveReqSize }
@@ -289,6 +292,7 @@ func (v *ViewerState) encode(b []byte) []byte {
 	b = putU8(b, uint8(v.Part))
 	b = putU32(b, uint32(v.OrigDisk))
 	b = putU32(b, uint32(v.Epoch))
+	b = putU8(b, v.Trace)
 	return b
 }
 
@@ -350,6 +354,10 @@ func (v *ViewerState) decode(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	v.Epoch = int32(u32)
+	if u8, b, err = getU8(b); err != nil {
+		return nil, err
+	}
+	v.Trace = u8
 	return b, nil
 }
 
@@ -385,6 +393,7 @@ func (s *StartPlay) encode(b []byte) []byte {
 	b = putU32(b, uint32(s.Bitrate))
 	b = putBool(b, s.Primary)
 	b = putU64(b, uint64(s.Issued))
+	b = putU8(b, s.Trace)
 	return b
 }
 
@@ -408,6 +417,8 @@ func (s *StartPlay) decode(b []byte) ([]byte, error) {
 	s.Primary = u8 != 0
 	u64, b, _ = getU64(b)
 	s.Issued = int64(u64)
+	u8, b, _ = getU8(b)
+	s.Trace = u8
 	return b, nil
 }
 
@@ -460,6 +471,7 @@ func (r *ReserveReq) encode(b []byte) []byte {
 	b = putU64(b, uint64(r.Start))
 	b = putU32(b, uint32(r.Bitrate))
 	b = putU32(b, uint32(r.Seq))
+	b = append(b, r.Trace)
 	return b
 }
 
@@ -477,6 +489,8 @@ func (r *ReserveReq) decode(b []byte) ([]byte, error) {
 	r.Bitrate = int32(u32)
 	u32, b, _ = getU32(b)
 	r.Seq = int32(u32)
+	r.Trace = b[0]
+	b = b[1:]
 	return b, nil
 }
 

@@ -46,6 +46,11 @@ type Entry struct {
 	Start    time.Duration // offset of the entry within the cycle
 	Bitrate  int64         // bits per second (the entry's height)
 	State    State
+	// Trace marks the entry as causally traced: cubs carrying it record
+	// insertion and service hops into their chain logs. The flag travels
+	// with the reservation protocol, so the successor's side of the
+	// two-phase insertion is traced under the same chain.
+	Trace uint8
 }
 
 // Schedule is one cub's view of the network schedule. As with the disk

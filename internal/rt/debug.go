@@ -7,8 +7,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"tiger/internal/msg"
 	"tiger/internal/obs"
 	"tiger/internal/trace"
 )
@@ -20,6 +23,13 @@ type DebugConfig struct {
 	Registry *obs.Registry
 	// Trace backs /debug/trace (protocol events as JSONL).
 	Trace *trace.Ring
+	// Chains backs /debug/trace/{instance} and
+	// /debug/trace/{instance}/{block}: the causal hop chain of a traced
+	// block, merged and time-ordered. Returns nil for untraced blocks.
+	Chains func(inst msg.InstanceID, block int32) []trace.Hop
+	// ChainKeys lists the retained (instance, block) chain keys; the
+	// instance-level endpoint iterates it.
+	ChainKeys func() []trace.ChainKey
 	// Views backs /debug/vars: named schedule-view dumps, typically
 	// CubHost.DumpView. Each is called with a timeout so a wedged
 	// executor cannot hang the handler.
@@ -91,6 +101,57 @@ func StartDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		cfg.Trace.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Chains == nil {
+			http.Error(w, "no causal chain log attached", http.StatusNotFound)
+			return
+		}
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/trace/"), "/")
+		parts := strings.Split(rest, "/")
+		inst, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			http.Error(w, "want /debug/trace/{instance} or /debug/trace/{instance}/{block}", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		writeChain := func(block int32) bool {
+			hops := cfg.Chains(msg.InstanceID(inst), block)
+			if len(hops) == 0 {
+				return false
+			}
+			jh := make([]trace.JSONHop, len(hops))
+			for i, h := range hops {
+				jh[i] = h.JSON()
+			}
+			enc.Encode(map[string]any{"instance": inst, "block": block, "hops": jh})
+			return true
+		}
+		if len(parts) > 1 {
+			block, err := strconv.ParseInt(parts[1], 10, 32)
+			if err != nil {
+				http.Error(w, "bad block number", http.StatusBadRequest)
+				return
+			}
+			if !writeChain(int32(block)) {
+				http.Error(w, "block not traced (or chain evicted)", http.StatusNotFound)
+			}
+			return
+		}
+		if cfg.ChainKeys == nil {
+			http.Error(w, "no chain key listing attached", http.StatusNotFound)
+			return
+		}
+		found := false
+		for _, k := range cfg.ChainKeys() {
+			if uint64(k.Instance) == inst {
+				found = writeChain(k.Block) || found
+			}
+		}
+		if !found {
+			http.Error(w, "instance not traced (or chains evicted)", http.StatusNotFound)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -72,8 +72,19 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/debug/trace = %d", code)
 	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("/debug/trace: want header + 1 event, got %d lines (%q)", len(lines), body)
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("/debug/trace header not JSON: %v (%q)", err, lines[0])
+	}
+	if hdr["header"] != true || hdr["retained"] != float64(1) {
+		t.Fatalf("/debug/trace header = %v", hdr)
+	}
 	var ev map[string]any
-	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &ev); err != nil {
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
 		t.Fatalf("/debug/trace not JSONL: %v (%q)", err, body)
 	}
 	if ev["kind"] != "insert" {

@@ -88,7 +88,43 @@ func (h *CubHost) AttachTrace(ring *trace.Ring) {
 					Mirror: vs.Mirror,
 				})
 			},
+			OnHedge: func(cubID msg.NodeID, vs msg.ViewerState) {
+				ring.Add(trace.Event{
+					At: h.Node.Now(), Node: cubID, Kind: trace.Hedge,
+					Slot: vs.Slot, Instance: vs.Instance, Block: vs.Block,
+				})
+			},
+			OnQuarantine: func(cubID msg.NodeID, disk int32) {
+				ring.Add(trace.Event{
+					At: h.Node.Now(), Node: cubID, Kind: trace.Quarantine,
+					Slot: disk,
+				})
+			},
+			OnMoveCommit: func(cubID msg.NodeID, seq int64) {
+				ring.Add(trace.Event{
+					At: h.Node.Now(), Node: cubID, Kind: trace.MoveCommit,
+					Slot: int32(seq),
+				})
+			},
+			OnMoveNack: func(cubID msg.NodeID, seq int64, reason uint8) {
+				ring.Add(trace.Event{
+					At: h.Node.Now(), Node: cubID, Kind: trace.MoveNack,
+					Slot: int32(seq), Block: int32(reason),
+				})
+			},
 		})
+		close(done)
+	})
+	<-done
+}
+
+// AttachChainLog installs a causal chain recorder on the cub; hops for
+// traced blocks (states whose Trace flag is set) land in l. The
+// attachment is executor-marshalled and blocks until installed.
+func (h *CubHost) AttachChainLog(l *trace.ChainLog) {
+	done := make(chan struct{})
+	h.Node.Do(func() {
+		h.Cub.SetChainLog(l)
 		close(done)
 	})
 	<-done
@@ -184,6 +220,18 @@ func (h *ControllerHost) AttachObs(reg *obs.Registry) {
 	})
 	<-done
 	h.Mesh.AttachObs(reg)
+}
+
+// AttachChainLog installs a causal chain recorder on the controller.
+// While attached, every admitted play is stamped traced, so the cubs it
+// touches record causal hops (given their own attached logs).
+func (h *ControllerHost) AttachChainLog(l *trace.ChainLog) {
+	done := make(chan struct{})
+	h.Node.Do(func() {
+		h.Ctl.SetChainLog(l)
+		close(done)
+	})
+	<-done
 }
 
 func (h *ControllerHost) handle(from msg.NodeID, m msg.Message) {

@@ -31,6 +31,18 @@ const (
 	Deschedule
 	// Dead is a deadman declaration.
 	Dead
+	// Hedge is a hedged mirror read issued against a suspected disk.
+	Hedge
+	// Quarantine is a disk quarantined by the health monitor; Slot
+	// carries the disk ID.
+	Quarantine
+	// MoveCommit is an elastic-restripe block copy committed by a cub.
+	MoveCommit
+	// MoveNack is a refused move order (Slot carries the nack reason).
+	MoveNack
+	// RestripePhase is a restripe phase transition; Slot carries the
+	// numeric phase (idle=0 … done=5).
+	RestripePhase
 )
 
 func (k Kind) String() string {
@@ -45,6 +57,16 @@ func (k Kind) String() string {
 		return "desched"
 	case Dead:
 		return "dead"
+	case Hedge:
+		return "hedge"
+	case Quarantine:
+		return "quarantine"
+	case MoveCommit:
+		return "move-commit"
+	case MoveNack:
+		return "move-nack"
+	case RestripePhase:
+		return "restripe-phase"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -163,13 +185,30 @@ type jsonEvent struct {
 	Mirror   bool   `json:"mirror,omitempty"`
 }
 
+// jsonHeader is the first line of a JSONL export: it tells the reader
+// how many events ever happened and how many were evicted, so a
+// truncated window is visible instead of silently passing for a
+// complete record.
+type jsonHeader struct {
+	Header   bool   `json:"header"`
+	Total    uint64 `json:"total"`
+	Dropped  uint64 `json:"dropped"`
+	Retained int    `json:"retained"`
+}
+
 // WriteJSONL streams the retained events as one JSON object per line,
-// oldest first — the machine-readable export behind
+// oldest first, preceded by a header line carrying the ring's total and
+// drop counters — the machine-readable export behind
 // Cluster.ExportEvents and tigerbench's BENCH_* artifacts.
 func (r *Ring) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, e := range r.Events() {
+	events := r.Events()
+	hdr := jsonHeader{Header: true, Total: r.Total(), Dropped: r.Dropped(), Retained: len(events)}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, e := range events {
 		je := jsonEvent{
 			AtNs:     int64(e.At),
 			Node:     int32(e.Node),

@@ -65,7 +65,8 @@ func TestDumpAndStrings(t *testing.T) {
 			t.Errorf("dump lacks %q:\n%s", want, d)
 		}
 	}
-	for _, k := range []Kind{Insert, Serve, Miss, Deschedule, Dead, Kind(99)} {
+	for _, k := range []Kind{Insert, Serve, Miss, Deschedule, Dead,
+		Hedge, Quarantine, MoveCommit, MoveNack, RestripePhase, Kind(99)} {
 		if k.String() == "" {
 			t.Error("empty kind name")
 		}
@@ -122,9 +123,22 @@ func TestRingWriteJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if len(lines) != 2 {
+	if len(lines) != 3 {
 		t.Fatalf("got %d lines: %q", len(lines), b.String())
 	}
+	var hdr struct {
+		Header   bool   `json:"header"`
+		Total    uint64 `json:"total"`
+		Dropped  uint64 `json:"dropped"`
+		Retained int    `json:"retained"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.Header || hdr.Total != 2 || hdr.Dropped != 0 || hdr.Retained != 2 {
+		t.Fatalf("bad header: %+v", hdr)
+	}
+	lines = lines[1:]
 	var e struct {
 		AtNs   int64  `json:"at_ns"`
 		Node   int32  `json:"node"`

@@ -32,11 +32,21 @@ go test -race -run 'TestChaos|TestRandomOperationsInvariants' .
 go test -race -run 'TestGrayFail|TestQuarantine' .
 go test -race -run 'TestFailSlow|TestStuckDisk|TestProbes|TestCancel' ./internal/core ./internal/disk
 
-# Grayfail bench artifact: the sweep must run end to end and emit
-# BENCH_grayfail.json.
+# Causal-tracing gate: tracing must be observation-only (a run with the
+# ring, chains, and flight recorder enabled stays byte-identical to the
+# untraced run, at any -parallel width) and free when off (zero
+# allocations on the hot path, pinned by AllocsPerRun budgets).
+go test -race -run 'TestCausalChainLifecycle|TestCausalTraceObservationOnly|TestAttrSweepParallelEquivalence|TestFlightRecorderCapturesMisses' .
+go test -run 'TestTraceHopOffPathAllocs' ./internal/core
+go test -run 'TestChainRecordAllocBudget' ./internal/trace
+
+# Grayfail bench artifact: the sweep must run end to end with causal
+# tracing on and emit BENCH_grayfail.json carrying the slack
+# attribution and any flight dumps.
 graydir=$(mktemp -d)
-go run ./cmd/tigerbench -exp grayfail -grayfactors 3 -grayhold 20s -out "$graydir" >/dev/null
+go run ./cmd/tigerbench -exp grayfail -grayfactors 3 -grayhold 20s -attr -out "$graydir" >/dev/null
 [ -s "$graydir/BENCH_grayfail.json" ]
+grep -q '"attribution"' "$graydir/BENCH_grayfail.json"
 rm -rf "$graydir"
 
 # Elastic gate: the restripe interplay regressions (crash-rejoin mid-copy,
@@ -81,6 +91,7 @@ echo "$metrics" | grep '^tiger_cub_inserts_total' >/dev/null
 echo "$metrics" | grep '^tiger_block_deadline_slack_seconds_bucket' >/dev/null
 curl -fsS http://127.0.0.1:9400/debug/pprof/cmdline >/dev/null
 curl -fsS http://127.0.0.1:9400/debug/vars | grep '"cub0"' >/dev/null
+curl -fsS http://127.0.0.1:9400/debug/trace | head -1 | grep '"header":true' >/dev/null
 
 kill $TIGERD_PID
 trap - EXIT

@@ -7,6 +7,7 @@ import (
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
 	"tiger/internal/obs"
+	"tiger/internal/trace"
 	"tiger/internal/viewer"
 )
 
@@ -64,7 +65,22 @@ func (c *Cluster) Play(file msg.FileID, startBlock int32) (*Stream, error) {
 	// its insert/state/read/send stages.
 	v.OnTimedDelivery = func(d netsim.BlockDelivery, slack time.Duration) {
 		if i := int(d.From); i >= 0 && i < len(c.Cubs) {
-			c.Cubs[i].Spans().ObserveSlack(obs.StageReceipt, slack.Seconds())
+			cub := c.Cubs[i]
+			cub.Spans().ObserveSlack(obs.StageReceipt, slack.Seconds())
+			// Close the causal chain at the viewer: a receipt hop lands in
+			// the serving cub's log, but only for blocks already being
+			// traced there — untraced blocks must not allocate chains.
+			if cl := cub.ChainLog(); cl.Has(d.Instance, d.Block) {
+				cl.Record(d.Instance, d.Block, trace.Hop{
+					At:     d.LastByte,
+					Node:   d.From,
+					Kind:   trace.HopReceipt,
+					Slack:  int64(slack),
+					Slot:   -1,
+					Disk:   -1,
+					Mirror: d.Mirror,
+				})
+			}
 		}
 	}
 	v.OnDone = func() {

@@ -148,10 +148,23 @@ type Cluster struct {
 	nextViewer msg.ViewerID
 	oracle     *slotOracle
 
-	// cubHooks is the hook set every cub runs with (the oracle's insert
-	// hook, plus whatever a chaos harness layered on); cubs created
-	// mid-run by an elastic restripe get the same set.
-	cubHooks core.Hooks
+	// cubHooks is the composed hook set every cub runs with; cubs created
+	// mid-run by an elastic restripe get the same set. It is rebuilt by
+	// publishHooks from the independent layers below, so the trace ring, a
+	// chaos harness, and the flight recorder stack instead of replacing
+	// each other.
+	cubHooks     core.Hooks
+	baseHooks    core.Hooks // built-in slot-conflict oracle
+	ringHooks    core.Hooks // EnableTrace protocol event ring
+	harnessHooks core.Hooks // chaos harness serve oracle
+	flightHooks  core.Hooks // failure flight recorder
+
+	// Causal tracing state (causal.go); nil until EnableCausalTrace.
+	chains         []*trace.ChainLog // per cub, indexed like Cubs
+	ctlChain       *trace.ChainLog
+	chainMaxChains int
+	chainMaxHops   int
+	flight         *FlightRecorder // nil until EnableFlightRecorder
 
 	// Elastic-restripe phase machine (elastic.go).
 	rsPhase         string
@@ -269,7 +282,8 @@ func New(o Options) (*Cluster, error) {
 	c.Controller.AttachObs(c.reg)
 	net.Register(msg.Controller, c.Controller)
 	net.AttachObs(c.reg)
-	c.cubHooks = core.Hooks{OnInsert: c.onInsertOracle}
+	c.baseHooks = core.Hooks{OnInsert: c.onInsertOracle}
+	c.cubHooks = composeHooks(c.baseHooks)
 	for i := 0; i < o.Cubs; i++ {
 		cub := core.NewCub(msg.NodeID(i), cfg, clk, net, net, eng.Rand())
 		cub.SetLossLog(c.Loss)
