@@ -1,4 +1,4 @@
-.PHONY: check test bench elastic attr
+.PHONY: check test bench elastic attr scale
 
 # Full verification gate: vet, build, short tests, race detector on the
 # concurrent packages. CI and pre-commit both run this.
@@ -15,6 +15,13 @@ bench:
 # refresh the committed BENCH_elastic.json artifact.
 elastic:
 	go run ./cmd/tigerbench -exp elastic -out .
+
+# Regenerate the warehouse-scale capacity sweep (14 -> 1000 cubs, each
+# size at its full rated load on a sharded engine) and refresh the
+# committed BENCH_scale.json artifact. Takes ~half an hour: the 1000-cub
+# point alone simulates ~43,000 concurrent streams.
+scale:
+	go run ./cmd/tigerbench -exp scalability -out .
 
 # Run the traced grayfail sweep with causal tracing on: prints the
 # per-component "where the slack went" tables and embeds attribution +

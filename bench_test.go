@@ -107,6 +107,28 @@ func BenchmarkScalability(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleCapacity runs one scaled-down warehouse-scale point —
+// 100 cubs at rated load on a sharded engine — and reports the
+// simulator-cost budgets the full sweep pins at 1000 cubs: wall ns and
+// heap allocations per simulation event, live heap per cub, and the
+// view size that certifies O(window) bookkeeping.
+func BenchmarkScaleCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := RunScaleCapacity(benchOptions(), []int{100}, 5*time.Second, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := pts[0]
+		if p.BlocksLost != 0 || p.ServerMisses != 0 {
+			b.Fatalf("lost %d blocks, %d server misses at rated load", p.BlocksLost, p.ServerMisses)
+		}
+		b.ReportMetric(p.NsPerEvent, "ns/event")
+		b.ReportMetric(p.AllocsPerEvent, "allocs/event")
+		b.ReportMetric(float64(p.HeapBytesPerCub)/1024, "KiB/cub")
+		b.ReportMetric(float64(p.MaxViewEntries), "viewEntries")
+	}
+}
+
 // BenchmarkAblationForwarding regenerates ablation A1 (double versus
 // single forwarding).
 func BenchmarkAblationForwarding(b *testing.B) {

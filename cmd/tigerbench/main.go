@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|flash|chaos|grayfail|elastic|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|scalability|flash|chaos|grayfail|elastic|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
 	parallel = flag.Int("parallel", 1, "worker-pool width for multi-point sweeps (0 = GOMAXPROCS); results are identical at any width")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
@@ -41,6 +41,15 @@ var (
 	grayFactorsFlag = flag.String("grayfactors", "1.5,2,3", "comma-separated disk slowdown factors for the grayfail sweep")
 	grayHold        = flag.Duration("grayhold", 45*time.Second, "post-injection hold per grayfail point")
 	attrFlag        = flag.Bool("attr", false, "enable causal tracing and print per-component deadline-slack attribution (grayfail, loss, elastic)")
+
+	scaleCubsFlag = flag.String("scalecubs", "14,28,56,112,250,500,1000",
+		"comma-separated cub counts for the scalability sweep")
+	scaleSettle = flag.Duration("scalesettle", 30*time.Second, "post-ramp settle per scalability point")
+	scaleHold   = flag.Duration("scalehold", 60*time.Second, "measured hold per scalability point")
+	nsEvBudget  = flag.Float64("nsevent-budget", 0,
+		"fail if any scalability point exceeds this many wall ns per simulation event (0 = report only)")
+	allocsBudget = flag.Float64("allocs-budget", 0,
+		"fail if any scalability point exceeds this many heap allocations per simulation event (0 = report only)")
 
 	elasticArmsFlag = flag.String("elasticarms", strings.Join(tiger.ElasticArms, ","),
 		"comma-separated chaos arms for the elastic sweep (clean|crash|partition|disk-slow)")
@@ -143,6 +152,12 @@ func main() {
 	// only available explicitly, never as part of -exp all.
 	if *expFlag == "baseline" {
 		run("baseline", func() error { return baseline(o, ramp, lossHold) })
+		return
+	}
+	// scalability sweeps up to 1000-cub clusters — minutes of wall time —
+	// so it too runs only when asked for by name.
+	if *expFlag == "scalability" {
+		run("scalability", func() error { return scalability(o) })
 		return
 	}
 
@@ -653,8 +668,75 @@ func scale(o tiger.Options) error {
 			f1(p.PerCubCtlBps), f1(p.CentralizedBps), strconv.Itoa(p.MaxViewEntries),
 		})
 	}
-	if err := writeCSV("scale",
+	if err := writeCSV("scale_ctl",
 		[]string{"cubs", "streams", "per_cub_ctl_bps", "centralized_bps", "view_entries"}, rows); err != nil {
+		return err
+	}
+	return writeJSON("scale_ctl", pts)
+}
+
+// scalability is the warehouse-scale sweep: each cluster size runs at
+// its full rated capacity on a sharded simulation, and the table
+// compares that rated capacity against the resource bounds (Viennot et
+// al.: no scheme can beat raw disk or NIC bandwidth) while pinning the
+// simulator's per-event cost and per-cub memory footprint.
+func scalability(o tiger.Options) error {
+	header("Warehouse scale: rated capacity vs resource bounds (Viennot et al.)",
+		"capacity tracks d/(d+1) of the disk bound; ns/event and heap/cub stay flat to 1000 cubs")
+	var cubCounts []int
+	for _, s := range strings.Split(*scaleCubsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -scalecubs entry %q", s)
+		}
+		cubCounts = append(cubCounts, n)
+	}
+	pts, err := tiger.RunScaleCapacity(o, cubCounts, *scaleSettle, *scaleHold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %6s %7s %8s %9s %6s %9s %6s %7s %9s %9s %6s\n",
+		"cubs", "disks", "shards", "rated", "bound", "frac", "streams", "lost", "misses",
+		"ns/event", "allocs/ev", "KiB/cub")
+	for _, p := range pts {
+		fmt.Printf("%6d %6d %7d %8d %9d %6.3f %9d %6d %7d %9.1f %9.3f %6d\n",
+			p.Cubs, p.Disks, p.Shards, p.Rated, p.Bound, p.CapacityFrac,
+			p.Achieved, p.BlocksLost, p.ServerMisses,
+			p.NsPerEvent, p.AllocsPerEvent, p.HeapBytesPerCub/1024)
+	}
+	last := pts[len(pts)-1]
+	fmt.Printf("memory footprint at %d cubs: %d KiB live heap per cub, max view %d entries (O(window), not O(slots)=%d)\n",
+		last.Cubs, last.HeapBytesPerCub/1024, last.MaxViewEntries, last.Rated)
+
+	// The sweep is also the acceptance gate: rated load must be lossless,
+	// and the per-event budgets (when set) must hold at every size.
+	for _, p := range pts {
+		if p.BlocksLost != 0 || p.ServerMisses != 0 {
+			return fmt.Errorf("%d cubs: %d blocks lost, %d server misses at rated load",
+				p.Cubs, p.BlocksLost, p.ServerMisses)
+		}
+		if *nsEvBudget > 0 && p.NsPerEvent > *nsEvBudget {
+			return fmt.Errorf("%d cubs: %.1f ns/event exceeds budget %.1f", p.Cubs, p.NsPerEvent, *nsEvBudget)
+		}
+		if *allocsBudget > 0 && p.AllocsPerEvent > *allocsBudget {
+			return fmt.Errorf("%d cubs: %.3f allocs/event exceeds budget %.3f", p.Cubs, p.AllocsPerEvent, *allocsBudget)
+		}
+	}
+
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			strconv.Itoa(p.Cubs), strconv.Itoa(p.Disks), strconv.Itoa(p.Shards),
+			strconv.Itoa(p.Rated), strconv.Itoa(p.Bound), f1(p.CapacityFrac),
+			strconv.Itoa(p.Achieved), strconv.FormatInt(p.BlocksLost, 10),
+			f1(p.NsPerEvent), f1(p.AllocsPerEvent),
+			strconv.FormatUint(p.HeapBytesPerCub, 10), strconv.Itoa(p.MaxViewEntries),
+		})
+	}
+	if err := writeCSV("scalability",
+		[]string{"cubs", "disks", "shards", "rated", "bound", "capacity_frac",
+			"streams", "blocks_lost", "ns_per_event", "allocs_per_event",
+			"heap_bytes_per_cub", "view_entries"}, rows); err != nil {
 		return err
 	}
 	return writeJSON("scale", pts)

@@ -289,11 +289,13 @@ func runAll(cfg *core.Config) {
 	chain := newChainLog()
 	ctl.AttachChainLog(chain)
 	views := make(map[string]func(time.Duration) (string, error), len(hosts))
+	events := make(map[string]func() uint64, len(hosts))
 	for _, h := range hosts {
 		h.AttachObs(reg)
 		h.AttachTrace(ring)
 		h.AttachChainLog(chain)
 		views[h.Cub.ID().String()] = h.DumpView
+		events[h.Cub.ID().String()] = h.Node.Processed
 	}
 	chains, chainKeys := chainEndpoints(chain)
 	if d := startDebug(debugAddr(*listen), rt.DebugConfig{
@@ -302,6 +304,7 @@ func runAll(cfg *core.Config) {
 		Chains:    chains,
 		ChainKeys: chainKeys,
 		Views:     views,
+		Events:    events,
 		Info:      map[string]string{"node": "all", "controller": addrs[msg.Controller]},
 	}); d != nil {
 		defer d.Close()
@@ -392,6 +395,7 @@ func runCub(cfg *core.Config, id msg.NodeID, addrs map[msg.NodeID]string) {
 		Chains:    chains,
 		ChainKeys: chainKeys,
 		Views:     map[string]func(time.Duration) (string, error){id.String(): h.DumpView},
+		Events:    map[string]func() uint64{id.String(): h.Node.Processed},
 		Info:      map[string]string{"node": id.String(), "listen": listenAddr},
 	}); d != nil {
 		defer d.Close()

@@ -284,7 +284,7 @@ func (c *Controller) StopPlay(inst msg.InstanceID) {
 	c.net.Send(msg.Controller, target, &d1)
 	d2 := d
 	c.net.Send(msg.Controller, rcfg.Layout.Successor(target), &d2)
-	c.finish(rec)
+	c.finish(inst, rec)
 }
 
 // NotifyEOF records that a viewer reached end of file; the stream left
@@ -299,10 +299,10 @@ func (c *Controller) NotifyEOF(inst msg.InstanceID) {
 	if o := c.obs; o != nil {
 		o.eofs.Inc()
 	}
-	c.finish(rec)
+	c.finish(inst, rec)
 }
 
-func (c *Controller) finish(rec *playRecord) {
+func (c *Controller) finish(inst msg.InstanceID, rec *playRecord) {
 	if rec.state == PlayActive {
 		c.active--
 		if o := c.obs; o != nil {
@@ -315,10 +315,26 @@ func (c *Controller) finish(rec *playRecord) {
 		}
 	}
 	rec.state = PlayDone
+	// Keep the tombstone briefly — a late or redundant StartAck still in
+	// flight needs the record so its slot can be killed (onStartAck's
+	// PlayDone path) — then forget it. A minute dwarfs any transport
+	// delay, and bounds the map at O(active + recently finished) instead
+	// of every play ever admitted.
+	c.clk.After(time.Minute, func() {
+		if r, ok := c.plays[inst]; ok && r == rec {
+			delete(c.plays, inst)
+		}
+	})
 }
 
 // servingDisk returns the generation-local disk about to serve the
 // given slot, under the slot's own generation.
+//
+// Closed form of "the disk whose next service of this slot comes
+// soonest": disk d serves the slot at now + mod(d·blockPlay + raw·svc −
+// now, cycle), and those N candidate offsets are y0 mod blockPlay plus a
+// distinct multiple of blockPlay each, so the minimum is taken by the
+// disk that cancels y0's whole-blockPlay part — no scan over NumDisks.
 func (c *Controller) servingDisk(slot int32) int {
 	cfg := c.gens[GenOf(slot)]
 	if cfg == nil {
@@ -326,22 +342,22 @@ func (c *Controller) servingDisk(slot int32) int {
 	}
 	raw := RawSlot(slot)
 	now := c.clk.Now()
-	best, bestT := 0, sim.Time(0)
-	for d := 0; d < cfg.Sched.NumDisks; d++ {
-		t := cfg.Sched.ServiceTime(d, raw, now)
-		if d == 0 || t < bestT {
-			best, bestT = d, t
-		}
-	}
-	return best
+	p := cfg.Sched
+	cycle := int64(p.CycleLen())
+	y0 := (int64(raw)*int64(p.BlockService)-int64(now))%cycle + cycle
+	y0 %= cycle
+	n := p.NumDisks
+	return (n - int(y0/int64(p.BlockPlay))) % n
 }
 
+// pendingAndActive counts plays admitted but not yet finished. The
+// per-generation admission loads sum to exactly that — genLoad increments
+// at admission and decrements once at finish — so no sweep over the
+// play records is needed.
 func (c *Controller) pendingAndActive() int {
 	n := 0
-	for _, r := range c.plays {
-		if r.state != PlayDone {
-			n++
-		}
+	for _, g := range c.genLoad {
+		n += g
 	}
 	return n
 }

@@ -169,6 +169,7 @@ type Cub struct {
 	desch map[descKey]*msg.Deschedule
 
 	queue          map[int32][]*startReq // pending starts per genDiskKey
+	queueLen       int                   // total queued starts, all genDiskKeys
 	scanning       map[int32]bool        // ownership scan active per genDiskKey
 	redundantStart map[msg.InstanceID]*startReq
 	cancelledStart map[msg.InstanceID]sim.Time // acks seen; GC'd lazily
@@ -193,6 +194,13 @@ type Cub struct {
 	recovery      *metrics.Histogram
 
 	fwdPending map[msg.NodeID][]msg.Message // batch under assembly
+	// fwdHeap is a min-heap of primary entry keys not yet forwarded,
+	// ordered (due, slot, part) — the same order the old full-view scan
+	// produced — so forwardTick pops only the entries inside the forward
+	// horizon instead of sweeping the whole view. Entries dropped or
+	// forwarded out of band are deleted lazily: a popped key whose entry
+	// is gone or already forwarded is skipped.
+	fwdHeap []entryKey
 	// Scratch slices recycled across the periodic forwarding path, so
 	// the per-tick collect/sort and per-flush target ordering allocate
 	// nothing in steady state. The queued message slices themselves are
@@ -326,13 +334,9 @@ func (c *Cub) CPUBusy() time.Duration { return c.cpu.Busy() }
 func (c *Cub) ViewSize() int { return len(c.entries) }
 
 // QueueLen returns the number of start requests waiting for a free slot.
-func (c *Cub) QueueLen() int {
-	n := 0
-	for _, q := range c.queue {
-		n += len(q)
-	}
-	return n
-}
+// Maintained as a counter so the per-insert gauge update is O(1) instead
+// of a sweep over every per-disk queue.
+func (c *Cub) QueueLen() int { return c.queueLen }
 
 // Disks exposes the cub's drive models for metrics collection, keyed by
 // native disk number (the numbering of the cub's birth generation).

@@ -30,12 +30,13 @@ func (c *Cub) onDeschedule(d msg.Deschedule) {
 			for i, req := range q {
 				if req.sp.Instance == d.Instance {
 					c.queue[disk] = append(q[:i:i], q[i+1:]...)
+					c.queueLen--
 					break
 				}
 			}
 		}
 		if o := c.obs; o != nil {
-			o.queueLen.Set(float64(c.QueueLen()))
+			o.queueLen.Set(float64(c.queueLen))
 		}
 		return
 	}

@@ -148,8 +148,9 @@ func (c *Cub) DropGen(gen int32) {
 	}
 	delete(c.planes, gen)
 	// Scrub any stale queued starts for the dropped generation.
-	for k := range c.queue {
+	for k, q := range c.queue {
 		if GenOf(k) == gen {
+			c.queueLen -= len(q)
 			delete(c.queue, k)
 		}
 	}

@@ -147,6 +147,7 @@ func (c *Cub) acceptPrimary(vs msg.ViewerState, d int) {
 	e := &entry{vs: vs, disk: nd}
 	c.entries[key] = e
 	c.slotOcc[vs.Slot]++
+	c.fwdPush(key)
 	if o := c.obs; o != nil {
 		o.spans.Observe(obs.StageState, sim.Time(vs.Due), now)
 		o.viewSize.Set(float64(len(c.entries)))
@@ -532,31 +533,88 @@ func (c *Cub) acceptMirror(vs msg.ViewerState) {
 // forwardTick is the periodic batcher: it forwards, to the successor and
 // second successor, the next-hop viewer state of every entry whose
 // successor service has come within MaxVStateLead.
+//
+// The candidates come off fwdHeap, which pops in exactly the (due, slot,
+// part) order the old sort-the-whole-view scan produced, so batch
+// composition is unchanged — but the tick now costs O(popped), the
+// number of entries crossing the forward horizon, instead of O(view).
+// Eligible keys are drained to a scratch slice before any forwarding so
+// next-hop entries a forward installs on this same cub (proxy insertion,
+// single-cub rings) wait for the next tick, as they always have.
 func (c *Cub) forwardTick() {
 	now := c.clk.Now()
 	horizon := int64(now) + int64(c.cfg.MaxVStateLead)
 	bp := int64(c.cfg.Sched.BlockPlay)
-	// Collect then sort so runs are deterministic: Go map iteration
-	// order would otherwise make batch composition vary between runs.
 	due := c.fwdDueScratch[:0]
-	for k, e := range c.entries {
-		if e.forwarded || e.vs.Mirror {
-			continue
-		}
-		if e.vs.Due+bp > horizon {
-			continue // too far ahead; wait (§4.1.1's max lead rule)
-		}
-		due = append(due, k)
+	for len(c.fwdHeap) > 0 && c.fwdHeap[0].due+bp <= horizon {
+		due = append(due, c.fwdPop())
 	}
-	sortEntryKeys(due)
 	for _, k := range due {
-		e := c.entries[k]
+		e, ok := c.entries[k]
+		if !ok || e.forwarded || e.vs.Mirror {
+			continue // lazily deleted: dropped or forwarded out of band
+		}
 		e.forwarded = true
 		c.forwardEntryNow(e.vs)
 	}
 	c.fwdDueScratch = due // keep the grown backing array for the next tick
 	c.flushForwards()
 	c.clk.After(c.cfg.ForwardInterval, c.forwardTick)
+}
+
+// fwdKeyLess orders forward-heap keys (due, slot, part), matching
+// sortEntryKeys.
+func fwdKeyLess(a, b entryKey) bool {
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	if a.slot != b.slot {
+		return a.slot < b.slot
+	}
+	return a.part < b.part
+}
+
+// fwdPush adds a not-yet-forwarded primary entry key to the forward
+// heap.
+func (c *Cub) fwdPush(k entryKey) {
+	h := append(c.fwdHeap, k)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !fwdKeyLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	c.fwdHeap = h
+}
+
+// fwdPop removes and returns the least key on the forward heap.
+func (c *Cub) fwdPop() entryKey {
+	h := c.fwdHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && fwdKeyLess(h[l], h[s]) {
+			s = l
+		}
+		if r < n && fwdKeyLess(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	c.fwdHeap = h
+	return top
 }
 
 // sortEntryKeys orders keys by (due, slot, part) for deterministic

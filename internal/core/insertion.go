@@ -65,8 +65,9 @@ func (c *Cub) enqueueStart(req *startReq) {
 	c.enqueuedStart[inst] = c.clk.Now()
 	c.clk.After(time.Minute, func() { delete(c.enqueuedStart, inst) })
 	c.queue[req.dkey] = append(c.queue[req.dkey], req)
+	c.queueLen++
 	if o := c.obs; o != nil {
-		o.queueLen.Set(float64(c.QueueLen()))
+		o.queueLen.Set(float64(c.queueLen))
 	}
 	c.ensureScan(req.dkey)
 }
@@ -99,6 +100,7 @@ func (c *Cub) scanTick(k int32) {
 	if p == nil {
 		// The generation was dropped with starts still queued (it drained
 		// under protest); they can never insert.
+		c.queueLen -= len(c.queue[k])
 		delete(c.queue, k)
 		c.scanning[k] = false
 		return
@@ -138,6 +140,7 @@ func (c *Cub) tryInsert(k, slot int32, due sim.Time) {
 	for len(q) > 0 {
 		head := q[0]
 		q = q[1:]
+		c.queueLen--
 		if _, cancelled := c.cancelledStart[head.sp.Instance]; cancelled {
 			continue
 		}

@@ -67,6 +67,8 @@ func (c *Cub) Restart() {
 	}
 	c.desch = make(map[descKey]*msg.Deschedule)
 	c.queue = make(map[int32][]*startReq)
+	c.queueLen = 0
+	c.fwdHeap = c.fwdHeap[:0]
 	c.redundantStart = make(map[msg.InstanceID]*startReq)
 	c.cancelledStart = make(map[msg.InstanceID]sim.Time)
 	c.enqueuedStart = make(map[msg.InstanceID]sim.Time)

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tiger/internal/clock"
+	"tiger/internal/schedule"
+	"tiger/internal/sim"
+)
+
+// TestServingDiskClosedForm cross-checks the O(1) servingDisk against
+// the definitional argmin over every disk's next service time, across
+// geometries from the paper's 56 disks up to warehouse scale.
+func TestServingDiskClosedForm(t *testing.T) {
+	geoms := []struct {
+		disks, slots int
+	}{
+		{4, 43}, {14, 150}, {56, 602}, {56, 601}, {4000, 43000},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range geoms {
+		sp, err := schedule.NewParams(time.Second, g.disks, g.slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New(1)
+		ctl := NewController(&Config{Sched: sp}, clock.Sim{Eng: eng}, nil)
+		oracle := func(slot int32) int {
+			now := clock.Sim{Eng: eng}.Now()
+			best, bestT := 0, sim.Time(0)
+			for d := 0; d < sp.NumDisks; d++ {
+				st := sp.ServiceTime(d, slot, now)
+				if d == 0 || st < bestT {
+					best, bestT = d, st
+				}
+			}
+			return best
+		}
+		for i := 0; i < 200; i++ {
+			eng.RunUntil(sim.Time(rng.Int63n(int64(30 * 24 * time.Hour))))
+			slot := int32(rng.Intn(g.slots))
+			if got, want := ctl.servingDisk(slot), oracle(slot); got != want {
+				t.Fatalf("disks=%d slots=%d slot=%d now=%v: servingDisk=%d oracle=%d",
+					g.disks, g.slots, slot, eng.Now(), got, want)
+			}
+		}
+	}
+}
+
+// TestGenSlotEncodingAtScale checks the gen-tagged slot encoding at its
+// boundaries: the largest raw slot a warehouse-scale schedule produces
+// (1000 cubs x 4 disks x ~10.75 streams/disk ~ 43k, far under the 24-bit
+// field) and the largest generation the 7-bit field carries must round-
+// trip without sign trouble or cross-field bleed.
+func TestGenSlotEncodingAtScale(t *testing.T) {
+	cases := []struct {
+		gen int32
+		raw int32
+	}{
+		{0, 0}, {0, 43000}, {1, 43000}, {63, rawSlotMask}, {127, 0}, {127, rawSlotMask},
+	}
+	for _, c := range cases {
+		slot := genBase(c.gen) | c.raw
+		if slot < 0 {
+			t.Fatalf("gen=%d raw=%d: encoded slot %d is negative", c.gen, c.raw, slot)
+		}
+		if got := GenOf(slot); got != c.gen {
+			t.Errorf("gen=%d raw=%d: GenOf=%d", c.gen, c.raw, got)
+		}
+		if got := RawSlot(slot); got != c.raw {
+			t.Errorf("gen=%d raw=%d: RawSlot=%d", c.gen, c.raw, got)
+		}
+	}
+	// The sentinel stays a sentinel.
+	if GenOf(-1) != -1 || RawSlot(-1) != -1 {
+		t.Errorf("negative slot sentinel broken: GenOf=%d RawSlot=%d", GenOf(-1), RawSlot(-1))
+	}
+}

@@ -8,6 +8,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"tiger/internal/sim"
@@ -239,7 +240,14 @@ func (h *Histogram) Buckets() []HistogramBucket {
 // server-side (the disk read missed its send deadline) versus
 // client-side (the block never arrived or arrived late), matching the
 // paper's two loss-reporting paths (§5).
+//
+// One log is shared by every cub and viewer in a cluster, so under a
+// sharded simulation it is the one piece of state written from several
+// shards at once. The recording operations are commutative (counter
+// increments and min/max stamps), so a mutex keeps them exact without
+// ordering them; readers sample between simulation windows.
 type LossLog struct {
+	mu           sync.Mutex
 	ServerMissed int64 // server failed to place the block on the network
 	ClientMissed int64 // client did not see an expected block in time
 	FirstLoss    sim.Time
@@ -249,14 +257,18 @@ type LossLog struct {
 
 // RecordServerMiss notes a block the server could not send on time.
 func (l *LossLog) RecordServerMiss(at sim.Time) {
+	l.mu.Lock()
 	l.ServerMissed++
 	l.stamp(at)
+	l.mu.Unlock()
 }
 
 // RecordClientMiss notes a block a client never received in time.
 func (l *LossLog) RecordClientMiss(at sim.Time) {
+	l.mu.Lock()
 	l.ClientMissed++
 	l.stamp(at)
+	l.mu.Unlock()
 }
 
 func (l *LossLog) stamp(at sim.Time) {

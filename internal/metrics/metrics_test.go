@@ -139,7 +139,7 @@ func TestLossLog(t *testing.T) {
 	l.RecordClientMiss(sim.Time(2 * time.Second))
 	l.RecordServerMiss(sim.Time(9 * time.Second))
 	if l.ServerMissed != 2 || l.ClientMissed != 1 || l.Total() != 3 {
-		t.Fatalf("counts %+v", l)
+		t.Fatalf("counts server=%d client=%d", l.ServerMissed, l.ClientMissed)
 	}
 	// §5's reconfiguration metric: earliest to latest lost block.
 	if l.LossSpan() != 7*time.Second {

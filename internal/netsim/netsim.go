@@ -107,6 +107,10 @@ type FaultStats struct {
 
 // nodeStats tracks per-node traffic. Control and data are separated
 // because the paper reports control traffic alone (Figures 8-9).
+//
+// Under a sharded simulation each record is owned by its node's shard:
+// every field here is written only from the owning node's execution
+// context, which is what lets the send path run without locks.
 type nodeStats struct {
 	ctlBytes  int64
 	ctlMsgs   int64
@@ -116,6 +120,17 @@ type nodeStats struct {
 	obsCtlBytes  *obs.Counter
 	obsCtlMsgs   *obs.Counter
 	obsDataBytes *obs.Counter
+
+	// lastArr is the FIFO high-water mark per destination: the latest
+	// arrival this node has scheduled toward each peer. Keeping it here
+	// rather than in a network-wide pair map makes the send path touch
+	// only sender-owned state (and drops a map hash per message).
+	lastArr map[msg.NodeID]sim.Time
+
+	// jitter is the sender-local latency-jitter stream (splitmix64),
+	// used instead of the network-wide rng when the simulation is
+	// sharded so concurrent senders never share a random source.
+	jitter uint64
 
 	// NIC occupancy accounting: integrate active send rate over time.
 	activeRate float64 // bytes/s currently being sent
@@ -135,11 +150,11 @@ type Network struct {
 	viewers map[msg.ViewerID]DataSink
 	failed  map[msg.NodeID]bool
 	incarn  map[msg.NodeID]int // bumped by Crash; dooms in-flight messages
-	lastArr map[pairKey]sim.Time
 	stats   map[msg.NodeID]*nodeStats
 	links   map[pairKey]*linkFault // directed link faults; absent = healthy
 	faults  FaultStats
 	reg     *obs.Registry // nil without AttachObs
+	shard   *ShardMap     // nil for a single-engine simulation
 
 	// DropControl, if non-nil, is consulted for each control message;
 	// returning true drops it. Used by fault-injection tests only — the
@@ -164,10 +179,91 @@ func New(params Params, clk clock.Clock, rng *rand.Rand) *Network {
 		viewers: make(map[msg.ViewerID]DataSink),
 		failed:  make(map[msg.NodeID]bool),
 		incarn:  make(map[msg.NodeID]int),
-		lastArr: make(map[pairKey]sim.Time),
 		stats:   make(map[msg.NodeID]*nodeStats),
 		links:   make(map[pairKey]*linkFault),
 	}
+}
+
+// ShardMap wires the network into a sharded simulation (sim.Sharded).
+// The network's minimum link latency (Params.LatencyBase) is the
+// conservative lookahead: every cross-node interaction — control
+// delivery or a block's last byte — happens at least LatencyBase after
+// its send, so a message posted across shards can never land inside the
+// window that produced it.
+//
+// Contract for sharded runs: all nodes are Registered before the run,
+// fault injection (Fail/Crash/Cut/SetFlaky/DropControl/DropData) and
+// NodeStats reads happen only between RunUntil calls from the driver,
+// and every viewer lives on ViewerShard. Under those rules the shared
+// maps (nodes, failed, incarn, links) are read-only during windows and
+// all mutable state is shard-owned.
+type ShardMap struct {
+	// ShardOf maps a node to its shard; it must be a pure function and
+	// must cover msg.Controller.
+	ShardOf func(msg.NodeID) int
+	// Clocks are the per-shard clocks; Clocks[ShardOf(id)] is the only
+	// clock node id's sends and timers may use.
+	Clocks []clock.Clock
+	// Post schedules fn at instant at on shard dst, called from shard
+	// src's execution context (sim.Sharded.Post).
+	Post func(src, dst int, at sim.Time, fn func())
+	// ViewerShard hosts every viewer endpoint (and the harness code
+	// that registers them); block deliveries are posted to it.
+	ViewerShard int
+	// Seed perturbs the per-sender jitter streams so different run
+	// seeds see different network noise.
+	Seed int64
+}
+
+// SetSharded switches the network to sharded operation. Call it after
+// New and before registering traffic sources begin to run; it seeds the
+// per-sender jitter streams of already-registered nodes.
+func (n *Network) SetSharded(sm *ShardMap) {
+	n.shard = sm
+	for id, st := range n.stats {
+		st.jitter = jitterSeed(sm.Seed, id)
+	}
+}
+
+// jitterSeed derives a node's splitmix64 state from the run seed.
+func jitterSeed(seed int64, id msg.NodeID) uint64 {
+	return (uint64(seed)+1)*0x9e3779b97f4a7c15 ^ uint64(uint32(id))
+}
+
+// splitmix advances a splitmix64 state and returns the next value.
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// clockFor returns the clock a node's activity must run on.
+func (n *Network) clockFor(id msg.NodeID) clock.Clock {
+	if n.shard != nil {
+		return n.shard.Clocks[n.shard.ShardOf(id)]
+	}
+	return n.clk
+}
+
+// scheduleAt schedules fn at instant at in node to's execution context,
+// on behalf of node from. Cross-shard it goes through the coordinator's
+// mailboxes; same-shard (or unsharded) it is a plain timer.
+func (n *Network) scheduleAt(from, to msg.NodeID, at sim.Time, fn func()) {
+	if n.shard != nil {
+		src, dst := n.shard.ShardOf(from), n.shard.ShardOf(to)
+		if src != dst {
+			n.shard.Post(src, dst, at, fn)
+			return
+		}
+		n.shard.Clocks[src].At(at, fn)
+		return
+	}
+	n.clk.At(at, fn)
 }
 
 // Register attaches a node to the switch.
@@ -203,7 +299,10 @@ func (n *Network) attachNodeObs(id msg.NodeID, st *nodeStats) {
 func (n *Network) statsFor(id msg.NodeID) *nodeStats {
 	st := n.stats[id]
 	if st == nil {
-		st = &nodeStats{lastChange: n.clk.Now()}
+		st = &nodeStats{lastChange: n.clockFor(id).Now()}
+		if n.shard != nil {
+			st.jitter = jitterSeed(n.shard.Seed, id)
+		}
 		n.stats[id] = st
 		if n.reg != nil {
 			n.attachNodeObs(id, st)
@@ -329,10 +428,18 @@ func (n *Network) FaultedLinks() int { return len(n.links) }
 // FaultStats returns cumulative counts of fault-layer interventions.
 func (n *Network) FaultStats() FaultStats { return n.faults }
 
-func (n *Network) latency() time.Duration {
+// latency draws one message's one-way latency. The jitter comes from
+// the network-wide rng in a single-engine run and from the sender's
+// private splitmix64 stream in a sharded run, where concurrent senders
+// must not share a random source.
+func (n *Network) latency(st *nodeStats) time.Duration {
 	l := n.params.LatencyBase
 	if n.params.LatencyJitter > 0 {
-		l += time.Duration(n.rng.Int63n(int64(n.params.LatencyJitter)))
+		if n.shard != nil {
+			l += time.Duration(splitmix(&st.jitter) % uint64(n.params.LatencyJitter))
+		} else {
+			l += time.Duration(n.rng.Int63n(int64(n.params.LatencyJitter)))
+		}
 	}
 	return l
 }
@@ -376,27 +483,29 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 			dup = true
 		}
 	}
-	n.deliverCtl(from, to, m, extra)
+	n.deliverCtl(from, to, st, m, extra)
 	if dup {
 		// The duplicate trails the original through the same FIFO link,
 		// like a retransmission whose first copy also arrived.
 		n.faults.LinkDups++
-		n.deliverCtl(from, to, m, extra)
+		n.deliverCtl(from, to, st, m, extra)
 	}
 }
 
 // deliverCtl schedules one control-message arrival, preserving FIFO per
 // (from, to) pair and dooming the delivery if either endpoint fails or
 // crashes while it is in flight.
-func (n *Network) deliverCtl(from, to msg.NodeID, m msg.Message, extra time.Duration) {
-	arrive := n.clk.Now().Add(n.latency() + extra)
-	key := pairKey{from, to}
-	if last := n.lastArr[key]; arrive <= last {
+func (n *Network) deliverCtl(from, to msg.NodeID, st *nodeStats, m msg.Message, extra time.Duration) {
+	arrive := n.clockFor(from).Now().Add(n.latency(st) + extra)
+	if st.lastArr == nil {
+		st.lastArr = make(map[msg.NodeID]sim.Time)
+	}
+	if last := st.lastArr[to]; arrive <= last {
 		arrive = last + 1 // preserve FIFO per pair
 	}
-	n.lastArr[key] = arrive
+	st.lastArr[to] = arrive
 	fromInc, toInc := n.incarn[from], n.incarn[to]
-	n.clk.At(arrive, func() {
+	n.scheduleAt(from, to, arrive, func() {
 		if n.failed[to] || n.failed[from] {
 			return // failed while in flight
 		}
@@ -429,22 +538,32 @@ func (n *Network) SendBlock(from msg.NodeID, d BlockDelivery, pace time.Duration
 		st.obsDataBytes.Add(float64(d.Bytes))
 	}
 
+	clk := n.clockFor(from)
+	now := clk.Now()
 	rate := float64(d.Bytes) / pace.Seconds()
-	n.nicAdjust(st, +rate)
-	n.clk.After(pace, func() { n.nicAdjust(st, -rate) })
+	n.nicAdjust(st, +rate, now)
+	clk.After(pace, func() { n.nicAdjust(st, -rate, clk.Now()) })
 
 	d.From = from
-	d.Start = n.clk.Now()
-	d.LastByte = n.clk.Now().Add(pace + n.latency())
-	n.clk.At(d.LastByte, func() {
+	d.Start = now
+	// LastByte >= now + LatencyBase even for a zero pace, which is what
+	// lets a sharded run post the delivery to the viewer shard.
+	d.LastByte = now.Add(pace + n.latency(st))
+	deliver := func() {
 		if s := n.viewers[d.Viewer]; s != nil {
 			s.DeliverBlock(d)
 		}
-	})
+	}
+	if n.shard != nil {
+		if src := n.shard.ShardOf(from); src != n.shard.ViewerShard {
+			n.shard.Post(src, n.shard.ViewerShard, d.LastByte, deliver)
+			return
+		}
+	}
+	clk.At(d.LastByte, deliver)
 }
 
-func (n *Network) nicAdjust(st *nodeStats, delta float64) {
-	now := n.clk.Now()
+func (n *Network) nicAdjust(st *nodeStats, delta float64, now sim.Time) {
 	dt := now.Sub(st.lastChange).Seconds()
 	if dt > 0 {
 		st.byteSecs += st.activeRate * dt
@@ -480,7 +599,7 @@ func (n *Network) NodeStats(id msg.NodeID) Stats {
 		return Stats{}
 	}
 	// Fold in occupancy up to now so ByteSecs is current.
-	n.nicAdjust(st, 0)
+	n.nicAdjust(st, 0, n.clockFor(id).Now())
 	return Stats{
 		CtlBytes:   st.ctlBytes,
 		CtlMsgs:    st.ctlMsgs,

@@ -34,6 +34,10 @@ type DebugConfig struct {
 	// CubHost.DumpView. Each is called with a timeout so a wedged
 	// executor cannot hang the handler.
 	Views map[string]func(timeout time.Duration) (string, error)
+	// Events lists named executor event counters (Node.Processed) for
+	// /debug/vars; with uptime it gives per-node events/sec, the same
+	// per-event cost denominator the simulator's budgets use.
+	Events map[string]func() uint64
 	// Info is echoed verbatim in /healthz (node identity, addresses).
 	Info map[string]string
 }
@@ -89,10 +93,19 @@ func StartDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 			}
 			views[n] = s
 		}
+		events := make(map[string]uint64, len(cfg.Events))
+		for n, f := range cfg.Events {
+			events[n] = f()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{"info": cfg.Info, "views": views})
+		out := map[string]any{"info": cfg.Info, "views": views}
+		if len(events) > 0 {
+			out["events_processed"] = events
+			out["uptime_seconds"] = time.Since(d.started).Seconds()
+		}
+		enc.Encode(out)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		if cfg.Trace == nil {

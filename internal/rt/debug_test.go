@@ -38,6 +38,9 @@ func TestDebugServerEndpoints(t *testing.T) {
 		Views: map[string]func(time.Duration) (string, error){
 			"cub0": func(time.Duration) (string, error) { return "view of cub0", nil },
 		},
+		Events: map[string]func() uint64{
+			"cub0": func() uint64 { return 42 },
+		},
 		Info: map[string]string{"node": "cub0"},
 	})
 	if err != nil {
@@ -64,7 +67,9 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 
 	if code, body := getBody(t, base+"/debug/vars"); code != http.StatusOK ||
-		!strings.Contains(body, "view of cub0") {
+		!strings.Contains(body, "view of cub0") ||
+		!strings.Contains(body, `"events_processed"`) ||
+		!strings.Contains(body, `"cub0": 42`) {
 		t.Fatalf("/debug/vars = %d %q", code, body)
 	}
 

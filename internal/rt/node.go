@@ -7,6 +7,7 @@ package rt
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tiger/internal/clock"
@@ -18,11 +19,12 @@ import (
 // protocol code the same single-threaded discipline it has under the
 // simulator.
 type Node struct {
-	epoch time.Time
-	exec  chan func()
-	quit  chan struct{}
-	once  sync.Once
-	wg    sync.WaitGroup
+	epoch     time.Time
+	exec      chan func()
+	quit      chan struct{}
+	once      sync.Once
+	wg        sync.WaitGroup
+	processed atomic.Uint64
 }
 
 // NewNode creates and starts a node executor. All nodes of one system
@@ -43,12 +45,14 @@ func (n *Node) loop() {
 	for {
 		select {
 		case fn := <-n.exec:
+			n.processed.Add(1)
 			fn()
 		case <-n.quit:
 			// Drain whatever is already queued, then stop.
 			for {
 				select {
 				case fn := <-n.exec:
+					n.processed.Add(1)
 					fn()
 				default:
 					return
@@ -57,6 +61,11 @@ func (n *Node) loop() {
 		}
 	}
 }
+
+// Processed reports the number of events the executor has run — the
+// real-time counterpart of sim.Engine.Processed, and the denominator
+// for per-event cost when profiling a live node.
+func (n *Node) Processed() uint64 { return n.processed.Load() }
 
 // Do schedules fn on the node's executor. It never blocks the caller
 // indefinitely: if the node has stopped, the call is dropped.

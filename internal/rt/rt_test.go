@@ -36,6 +36,9 @@ func TestNodeExecutorSerializes(t *testing.T) {
 	if maxInside != 1 {
 		t.Fatalf("executor ran %d callbacks concurrently", maxInside)
 	}
+	if p := n.Processed(); p < 200 {
+		t.Fatalf("Processed() = %d after 200 callbacks", p)
+	}
 }
 
 func TestNodeClock(t *testing.T) {

@@ -1,0 +1,62 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tiger/internal/sim"
+)
+
+// TestWarehouseScaleArithmetic exercises the schedule arithmetic at the
+// 1000-cub scale the scalability experiment runs: 4000 disks, ~43k
+// slots, times out to 30 simulated days. Every product in the closed
+// forms must stay far from int64 overflow, and OwnerAt must agree with
+// the definitional ownership-window check.
+func TestWarehouseScaleArithmetic(t *testing.T) {
+	const disks, slots = 4000, 43000
+	p, err := NewParams(time.Second, disks, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CycleLen(); got != time.Duration(disks)*time.Second {
+		t.Fatalf("cycle %v at %d disks", got, disks)
+	}
+	rng := rand.New(rand.NewSource(3))
+	horizon := int64(30 * 24 * time.Hour) // ~2.6e15 ns, a month of sim time
+	for i := 0; i < 500; i++ {
+		now := sim.Time(rng.Int63n(horizon))
+		slot := int32(rng.Intn(slots))
+		d := rng.Intn(disks)
+		st := p.ServiceTime(d, slot, now)
+		if st < now || st.Sub(now) >= p.CycleLen() {
+			t.Fatalf("ServiceTime(%d, %d, %v) = %v outside [now, now+cycle)", d, slot, now, st)
+		}
+		// OwnerAt against the definition: the returned disk's ownership
+		// window must contain now, and its due time must be that disk's
+		// next service of the slot.
+		if od, due, ok := p.OwnerAt(slot, now); ok {
+			open, cl := p.OwnershipWindow(due)
+			if now < open || now >= cl {
+				t.Fatalf("OwnerAt(%d, %v): window [%v,%v) misses now", slot, now, open, cl)
+			}
+			if want := p.ServiceTime(od, slot, now); want != due {
+				t.Fatalf("OwnerAt(%d, %v): due %v but disk %d serves at %v", slot, now, due, od, want)
+			}
+		}
+	}
+	// The ownership relation must be a partition in time: sampling one
+	// slot densely across a full cycle, exactly NumDisks ownership
+	// windows of OwnDur each must appear (one per disk's pass).
+	owned := 0
+	step := int64(p.OwnDur) / 4
+	for off := int64(0); off < int64(p.CycleLen()); off += step {
+		if _, _, ok := p.OwnerAt(7, sim.Time(off)); ok {
+			owned++
+		}
+	}
+	wantOwned := int(int64(disks) * int64(p.OwnDur) / step)
+	if owned < wantOwned-disks || owned > wantOwned+disks {
+		t.Fatalf("slot 7 owned at %d of the sampled offsets, want ~%d", owned, wantOwned)
+	}
+}

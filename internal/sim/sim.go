@@ -100,12 +100,13 @@ func (t Timer) Stop() bool {
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // New.
 type Engine struct {
-	now      Time
-	seq      uint64
-	heap     []heapNode
-	pool     []event // slab of event records, addressed by heapNode.slot
-	freeHead int32
-	rng      *rand.Rand
+	now       Time
+	seq       uint64
+	processed uint64
+	heap      []heapNode
+	pool      []event // slab of event records, addressed by heapNode.slot
+	freeHead  int32
+	rng       *rand.Rand
 	// running guards against re-entrant Run calls.
 	running bool
 }
@@ -171,6 +172,10 @@ func (e *Engine) After(d Duration, fn func()) Timer {
 // Pending reports the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// Processed reports the number of events executed since New. It is the
+// denominator for ns/event and allocs/event budgets.
+func (e *Engine) Processed() uint64 { return e.processed }
+
 // Step runs the single earliest event. It reports whether an event ran.
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
@@ -181,6 +186,7 @@ func (e *Engine) Step() bool {
 	fn := e.pool[n.slot].fn
 	e.release(n.slot)
 	e.now = n.at
+	e.processed++
 	fn()
 	return true
 }
@@ -199,6 +205,24 @@ func (e *Engine) RunUntil(t Time) {
 	e.enter()
 	defer e.leave()
 	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunBefore executes events with at-time strictly less than t, then
+// advances the clock to exactly t. The sharded coordinator uses the
+// strict bound for every window except the last: an event scheduled at
+// exactly a window boundary belongs to the next window, so that events
+// injected at the boundary by another shard (which the lookahead bound
+// guarantees arrive no earlier than the boundary) still sort into the
+// same total order a serial execution would produce.
+func (e *Engine) RunBefore(t Time) {
+	e.enter()
+	defer e.leave()
+	for len(e.heap) > 0 && e.heap[0].at < t {
 		e.Step()
 	}
 	if t > e.now {

@@ -1,0 +1,169 @@
+package tiger
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tiger/internal/disk"
+)
+
+// ScaleCapacityPoint is one cluster size in the warehouse-scale sweep:
+// measured capacity and loss at rated load, the Viennot-style resource
+// bounds the rated capacity is compared against, and the simulator-cost
+// budgets (ns/event, allocs/event, heap/cub) that pin the O(window)
+// claim at that scale.
+type ScaleCapacityPoint struct {
+	Cubs   int
+	Disks  int
+	Shards int // simulation shards used for this point (1 = serial)
+
+	// Capacity versus the theoretical bounds. Rated is Tiger's planned
+	// schedule capacity, which reserves disk bandwidth for declustered
+	// mirror reads. BoundDisk is the same disks with no failover
+	// reservation; BoundNet is the aggregate NIC bandwidth divided by
+	// the stream rate. Bound = min(BoundDisk, BoundNet) is the
+	// resource-capacity upper bound in the style of Viennot et al.:
+	// no distribution scheme can serve more streams than the raw
+	// bandwidth supports. CapacityFrac = Rated/Bound is the fraction of
+	// that bound Tiger's mirrored schedule promises — the price of
+	// single-fault tolerance.
+	Rated        int
+	BoundDisk    int
+	BoundNet     int
+	Bound        int
+	CapacityFrac float64
+
+	// Service quality over the measured hold at rated load.
+	Achieved     int   // streams active at the end of the hold
+	BlocksOK     int64 // on-time block deliveries during the hold
+	BlocksLost   int64 // late or missing blocks during the hold
+	ServerMisses int64 // server-side deadline misses during the hold
+
+	// Simulator-cost budgets over the measured hold.
+	Events          uint64  // simulation events executed
+	NsPerEvent      float64 // wall nanoseconds per event
+	AllocsPerEvent  float64 // heap allocations per event
+	HeapBytesPerCub uint64  // live heap per cub after the hold (GC'd)
+	MaxViewEntries  int     // largest per-cub view — the O(window) invariant
+	WallSeconds     float64 // wall-clock time for settle+hold
+}
+
+// scaleShards picks the shard count for a cluster size: serial for
+// small clusters (where coordinator windows cost more than they save),
+// growing with size up to eight shards. A pure function of the cub
+// count so the committed artifact does not depend on the host machine;
+// worker count never changes results (byte-identical guarantee).
+func scaleShards(cubs int) int {
+	s := cubs / 32
+	if s < 1 {
+		s = 1
+	}
+	if s > 8 {
+		s = 8
+	}
+	return s
+}
+
+// RunScaleCapacity sweeps cluster sizes, running each at its full rated
+// capacity and measuring loss and simulator cost over a hold window.
+// Points run sequentially (one large cluster wants the whole machine;
+// the parallelism is inside each point, via sharding). settle is run
+// after the ramp before measurement begins; hold is the measured
+// window.
+func RunScaleCapacity(o Options, cubCounts []int, settle, hold time.Duration) ([]ScaleCapacityPoint, error) {
+	pts := make([]ScaleCapacityPoint, 0, len(cubCounts))
+	for _, n := range cubCounts {
+		p, err := runScalePoint(o, n, settle, hold)
+		if err != nil {
+			return pts, fmt.Errorf("scale point %d cubs: %w", n, err)
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+func runScalePoint(o Options, cubs int, settle, hold time.Duration) (ScaleCapacityPoint, error) {
+	oo := o
+	oo.Cubs = cubs
+	disks := cubs * oo.DisksPerCub
+	// Spread file start disks across the whole array and kill the two
+	// stochastic loss sources that are not Tiger's fault: client-side
+	// drops and ramp stagger (we want the steady state, not the ramp).
+	if oo.NumFiles < disks {
+		oo.NumFiles = disks
+	}
+	oo.ClientDropProb = 0
+	oo.RampSpacing = 0
+	// Likewise disable drive blips (the ~2e-6 slow-outlier tail that
+	// reproduces the paper's §5 late blocks). They are a fault-model
+	// feature exercised by the failure experiments; here they would add
+	// an O(reads) noise floor of misses unrelated to scale, hiding the
+	// systematic losses (backlog, late state) this sweep gates on.
+	oo.DiskParams.BlipProb = 0
+	oo.Shards = scaleShards(cubs)
+
+	c, err := New(oo)
+	if err != nil {
+		return ScaleCapacityPoint{}, err
+	}
+	p := ScaleCapacityPoint{
+		Cubs:   cubs,
+		Disks:  disks,
+		Shards: c.Shards(),
+		Rated:  c.Capacity(),
+	}
+	// Resource bounds: the same hardware with no failover reservation.
+	unmirrored := disk.PlanCapacity(oo.DiskParams, disks, oo.BlockSize, oo.BlockPlay, 0)
+	p.BoundDisk = unmirrored.Streams
+	p.BoundNet = int(float64(cubs) * oo.NetParams.NICRate * 8 / float64(oo.StreamBitrate))
+	p.Bound = p.BoundDisk
+	if p.BoundNet < p.Bound {
+		p.Bound = p.BoundNet
+	}
+	if p.Bound > 0 {
+		p.CapacityFrac = float64(p.Rated) / float64(p.Bound)
+	}
+
+	if err := c.RampTo(p.Rated); err != nil {
+		return p, err
+	}
+	c.RunFor(settle)
+
+	ok0, lost0, _ := c.ViewerTotals()
+	miss0 := c.TotalCubStats().ServerMisses
+	ev0 := c.EventsProcessed()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	w0 := time.Now()
+
+	c.RunFor(hold)
+
+	wall := time.Since(w0)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	ok1, lost1, _ := c.ViewerTotals()
+	p.BlocksOK = ok1 - ok0
+	p.BlocksLost = lost1 - lost0
+	p.ServerMisses = c.TotalCubStats().ServerMisses - miss0
+	p.Achieved = c.Active()
+	p.Events = c.EventsProcessed() - ev0
+	if p.Events > 0 {
+		p.NsPerEvent = float64(wall.Nanoseconds()) / float64(p.Events)
+		p.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(p.Events)
+	}
+	p.MaxViewEntries = c.MaxViewSize()
+	p.WallSeconds = wall.Seconds()
+
+	// Memory footprint: live heap per cub with garbage collected. The
+	// whole process is attributed to the cubs — viewers, controller and
+	// harness included — so this is a conservative per-node figure.
+	runtime.GC()
+	var mg runtime.MemStats
+	runtime.ReadMemStats(&mg)
+	p.HeapBytesPerCub = mg.HeapAlloc / uint64(cubs)
+	// The cluster must stay reachable through the heap measurement, or
+	// the GC above collects the very footprint being measured.
+	runtime.KeepAlive(c)
+	return p, nil
+}

@@ -64,6 +64,19 @@ if grep -E '"(BlocksLost|DoubleServes|Violations)": [^0]' "$eldir/BENCH_elastic.
 fi
 rm -rf "$eldir"
 
+# Warehouse-scale gate: the sharded-vs-serial byte-identical determinism
+# compare (2/4/8 shards × 2/4/8 workers) under the race detector — this
+# is the coordination code's correctness proof — then a short 200-cub
+# scalability smoke at rated load with the ns/event and allocs/event
+# budgets enforced and zero loss required (the experiment fails itself
+# on any lost block).
+go test -race -run 'TestSharded' .
+scdir=$(mktemp -d)
+go run ./cmd/tigerbench -exp scalability -scalecubs 200 -scalesettle 5s -scalehold 15s \
+    -nsevent-budget 6000 -allocs-budget 8 -out "$scdir" >/dev/null
+[ -s "$scdir/BENCH_scale.json" ]
+rm -rf "$scdir"
+
 # Bench smoke: compile and single-shot every benchmark so the alloc
 # regression tests and hot-path benches can't silently rot.
 go test -bench=. -benchtime=1x -run='^$' ./...

@@ -1,0 +1,130 @@
+package tiger
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// shardedDigest runs a fixed loaded scenario on an S-sharded cluster
+// with the given worker count and digests everything observable: per-cub
+// protocol counters, viewer outcomes, loss totals, per-shard event
+// counts, and the exact startup-latency sequence. A sharded simulation
+// is a pure function of (options, shard count); the worker count only
+// changes which goroutine executes a shard's window, so digests must be
+// byte-identical across worker counts.
+func shardedDigest(t *testing.T, shards, workers int) string {
+	t.Helper()
+	o := DefaultOptions()
+	o.Cubs = 8
+	o.DisksPerCub = 2
+	o.Decluster = 2
+	o.ClientDropProb = 0
+	o.RampSpacing = 20 * time.Millisecond
+	o.NumFiles = 16
+	o.FileBlocks = 60
+	o.Shards = shards
+	o.ShardWorkers = workers
+	o.Seed = 11
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RampTo(c.Capacity() * 3 / 4); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(45 * time.Second)
+	// Stop a deterministic subset mid-run, then keep serving.
+	stopped := 0
+	for inst := InstanceID(1); stopped < 10 && inst < 10000; inst++ {
+		if s, ok := c.Streams()[inst]; ok {
+			s.Stop()
+			stopped++
+		}
+	}
+	c.RunFor(30 * time.Second)
+
+	digest := fmt.Sprintf("t:%d;ev:%d;", int64(c.Now()), c.EventsProcessed())
+	for i, cub := range c.Cubs {
+		st := cub.Stats()
+		digest += fmt.Sprintf("cub%d:%d/%d/%d/%d/%d/%d;", i,
+			st.BlocksSent, st.PiecesSent, st.Inserts, st.StatesRecv,
+			st.ServerMisses, st.Conflicts)
+	}
+	ok, lost, mirror := c.ViewerTotals()
+	digest += fmt.Sprintf("v:%d/%d/%d;", ok, lost, mirror)
+	digest += fmt.Sprintf("loss:%d/%d;", c.Loss.ServerMissed, c.Loss.ClientMissed)
+	cs := c.Controller.Stats()
+	digest += fmt.Sprintf("ctl:%d/%d/%d/%d;", cs.Starts, cs.Stops, cs.Acks, cs.EOFs)
+	for _, p := range c.StartupPoints {
+		digest += fmt.Sprintf("%d,", p.Latency.Nanoseconds())
+	}
+	return digest
+}
+
+// TestShardedByteIdentical is the cluster-level half of the sharded
+// determinism guarantee: for each shard count, running the partitioned
+// model serially (1 worker) and in parallel (2, 4, 8 workers) must
+// produce byte-identical observable histories. Run with -race to also
+// certify the coordination (the barrier and mailbox single-writer
+// discipline) data-race free under real concurrency.
+func TestShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay run")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		serial := shardedDigest(t, shards, 1)
+		for _, workers := range []int{2, 4, 8} {
+			par := shardedDigest(t, shards, workers)
+			if par != serial {
+				i := 0
+				for i < len(serial) && i < len(par) && serial[i] == par[i] {
+					i++
+				}
+				lo := i - 40
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("shards=%d workers=%d diverged from serial at byte %d:\n serial: ...%s\n par:    ...%s",
+					shards, workers, i,
+					serial[lo:min(i+40, len(serial))], par[lo:min(i+40, len(par))])
+			}
+		}
+	}
+}
+
+// TestShardedServes sanity-checks that a sharded cluster actually
+// serves: streams ramp, blocks arrive on time, and nothing is lost at
+// three-quarters load.
+func TestShardedServes(t *testing.T) {
+	o := DefaultOptions()
+	o.Cubs = 8
+	o.DisksPerCub = 2
+	o.Decluster = 2
+	o.ClientDropProb = 0
+	o.RampSpacing = 20 * time.Millisecond
+	o.NumFiles = 16
+	o.Shards = 4
+	o.Seed = 5
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RampTo(c.Capacity() * 3 / 4); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(60 * time.Second)
+	ok, lost, _ := c.ViewerTotals()
+	if ok == 0 {
+		t.Fatal("no blocks delivered on a sharded cluster")
+	}
+	if lost != 0 {
+		t.Fatalf("%d blocks lost at 3/4 load on a healthy sharded cluster", lost)
+	}
+	if c.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", c.Shards())
+	}
+	if c.EventsProcessed() == 0 {
+		t.Fatal("EventsProcessed() = 0")
+	}
+}

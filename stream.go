@@ -62,26 +62,10 @@ func (c *Cluster) Play(file msg.FileID, startBlock int32) (*Stream, error) {
 	// Close the block-lifecycle span at the client: margin of each
 	// delivered piece against the viewer's play deadline, recorded under
 	// the serving cub's label so per-cub receipt slack is comparable with
-	// its insert/state/read/send stages.
-	v.OnTimedDelivery = func(d netsim.BlockDelivery, slack time.Duration) {
-		if i := int(d.From); i >= 0 && i < len(c.Cubs) {
-			cub := c.Cubs[i]
-			cub.Spans().ObserveSlack(obs.StageReceipt, slack.Seconds())
-			// Close the causal chain at the viewer: a receipt hop lands in
-			// the serving cub's log, but only for blocks already being
-			// traced there — untraced blocks must not allocate chains.
-			if cl := cub.ChainLog(); cl.Has(d.Instance, d.Block) {
-				cl.Record(d.Instance, d.Block, trace.Hop{
-					At:     d.LastByte,
-					Node:   d.From,
-					Kind:   trace.HopReceipt,
-					Slack:  int64(slack),
-					Slot:   -1,
-					Disk:   -1,
-					Mirror: d.Mirror,
-				})
-			}
-		}
+	// its insert/state/read/send stages. Not under sharding: the viewer
+	// runs on shard 0 and must not reach into another shard's cub.
+	if c.sharded == nil {
+		v.OnTimedDelivery = c.timedDelivery
 	}
 	v.OnDone = func() {
 		if s.done {
@@ -107,6 +91,29 @@ func (c *Cluster) Play(file msg.FileID, startBlock int32) (*Stream, error) {
 		}
 	}
 	return s, nil
+}
+
+// timedDelivery closes the block-lifecycle span at the client, crediting
+// the serving cub's receipt stage (see the OnTimedDelivery wiring above).
+func (c *Cluster) timedDelivery(d netsim.BlockDelivery, slack time.Duration) {
+	if i := int(d.From); i >= 0 && i < len(c.Cubs) {
+		cub := c.Cubs[i]
+		cub.Spans().ObserveSlack(obs.StageReceipt, slack.Seconds())
+		// Close the causal chain at the viewer: a receipt hop lands in
+		// the serving cub's log, but only for blocks already being
+		// traced there — untraced blocks must not allocate chains.
+		if cl := cub.ChainLog(); cl.Has(d.Instance, d.Block) {
+			cl.Record(d.Instance, d.Block, trace.Hop{
+				At:     d.LastByte,
+				Node:   d.From,
+				Kind:   trace.HopReceipt,
+				Slack:  int64(slack),
+				Slot:   -1,
+				Disk:   -1,
+				Mirror: d.Mirror,
+			})
+		}
+	}
 }
 
 // Stop sends the viewer's "stop playing" request through the controller

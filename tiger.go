@@ -95,6 +95,24 @@ type Options struct {
 	// zero takes the direction-dependent default.
 	RestripeLinger time.Duration
 
+	// Shards, when > 1, partitions the simulation across that many
+	// engines run by a conservative parallel coordinator (sim.Sharded),
+	// with the network's base link latency as the lookahead. Cubs are
+	// spread round-robin; shard 0 additionally hosts the controller,
+	// every viewer, and the harness. Results are byte-identical across
+	// ShardWorkers settings (including 1), but NOT to an unsharded run
+	// of the same options: sharding re-partitions the random streams.
+	//
+	// A sharded cluster is for scale experiments and trades away the
+	// single-threaded harness extras: per-cub registry instruments, the
+	// slot-conflict oracle, receipt-slack spans, protocol traces, and
+	// chaos/fault injection during the run are disabled or unsupported.
+	Shards int
+	// ShardWorkers bounds the goroutines executing shards; 0 means one
+	// per shard, 1 runs the sharded model serially (the determinism
+	// reference).
+	ShardWorkers int
+
 	Seed int64
 }
 
@@ -127,11 +145,16 @@ type Cluster struct {
 	Opt Options
 	Cfg *core.Config
 
-	Eng        *sim.Engine
+	Eng        *sim.Engine // shard 0's engine in a sharded cluster
 	Net        *netsim.Network
 	Controller *core.Controller
 	Cubs       []*core.Cub
 	Loss       *metrics.LossLog
+
+	// sharded is the conservative parallel coordinator driving all
+	// engines; nil for a single-engine cluster. engines[0] == Eng.
+	sharded *sim.Sharded
+	engines []*sim.Engine
 
 	// StartupLatency accumulates request→first-byte times with the
 	// schedule load at request time (Figure 10's two axes).
@@ -223,7 +246,21 @@ func New(o Options) (*Cluster, error) {
 		return nil, err
 	}
 
-	eng := sim.New(o.Seed)
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 && o.NetParams.LatencyBase <= 0 {
+		return nil, fmt.Errorf("tiger: sharding needs a positive network base latency for lookahead")
+	}
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		// Distinct seeds per shard: each engine's rng must be an
+		// independent stream, and the derivation must be a pure function
+		// of (Seed, shard) so runs stay reproducible.
+		engines[i] = sim.New(o.Seed + int64(i)*1_000_003)
+	}
+	eng := engines[0]
 	clk := clock.Sim{Eng: eng}
 
 	files := make(map[msg.FileID]layout.File, o.NumFiles)
@@ -268,6 +305,7 @@ func New(o Options) (*Cluster, error) {
 		Cfg:            cfg,
 		Eng:            eng,
 		Net:            net,
+		engines:        engines,
 		Loss:           &metrics.LossLog{},
 		StartupLatency: &metrics.Summary{},
 		capacity:       capa,
@@ -275,20 +313,61 @@ func New(o Options) (*Cluster, error) {
 		streams:        make(map[msg.InstanceID]*Stream),
 		oracle:         newSlotOracle(),
 	}
+	shardOf := func(id msg.NodeID) int {
+		if id < 0 {
+			return 0 // controller (and any other sentinel) lives with the harness
+		}
+		return int(id) % shards
+	}
+	if shards > 1 {
+		workers := o.ShardWorkers
+		if workers < 1 {
+			workers = shards
+		}
+		c.sharded = sim.NewSharded(engines, o.NetParams.LatencyBase, workers)
+		clocks := make([]clock.Clock, shards)
+		for i := range clocks {
+			clocks[i] = clock.Sim{Eng: engines[i]}
+		}
+		net.SetSharded(&netsim.ShardMap{
+			ShardOf:     shardOf,
+			Clocks:      clocks,
+			Post:        c.sharded.Post,
+			ViewerShard: 0,
+			Seed:        o.Seed,
+		})
+	}
 
 	c.reg = obs.NewRegistry()
 	c.rsGauge = c.reg.Gauge("tiger_restripe_phase", "Elastic restripe phase: 0 idle, 1 copy, 2 cutover, 3 drain, 4 linger, 5 done.", nil)
 	c.Controller = core.NewController(cfg, clk, net)
 	c.Controller.AttachObs(c.reg)
 	net.Register(msg.Controller, c.Controller)
-	net.AttachObs(c.reg)
-	c.baseHooks = core.Hooks{OnInsert: c.onInsertOracle}
+	if c.sharded == nil {
+		// Registry instruments and the slot-conflict oracle are harness
+		// state shared across every node; in a sharded run cubs execute
+		// concurrently, so cubs run bare (their plain stats structs are
+		// shard-owned and remain available).
+		net.AttachObs(c.reg)
+		c.baseHooks = core.Hooks{OnInsert: c.onInsertOracle}
+	}
 	c.cubHooks = composeHooks(c.baseHooks)
 	for i := 0; i < o.Cubs; i++ {
-		cub := core.NewCub(msg.NodeID(i), cfg, clk, net, net, eng.Rand())
+		cclk := clock.Clock(clk)
+		crng := eng.Rand()
+		if c.sharded != nil {
+			sh := shardOf(msg.NodeID(i))
+			cclk = clock.Sim{Eng: engines[sh]}
+			// Each cub draws disk jitter etc. from a private stream: a
+			// shared rng would race across shards and break determinism.
+			crng = rand.New(rand.NewSource(o.Seed + 7_368_787*int64(i+1)))
+		}
+		cub := core.NewCub(msg.NodeID(i), cfg, cclk, net, net, crng)
 		cub.SetLossLog(c.Loss)
 		cub.SetHooks(c.cubHooks)
-		cub.AttachObs(c.reg)
+		if c.sharded == nil {
+			cub.AttachObs(c.reg)
+		}
 		net.Register(msg.NodeID(i), cub)
 		c.Cubs = append(c.Cubs, cub)
 	}
@@ -296,6 +375,24 @@ func New(o Options) (*Cluster, error) {
 		cub.Start()
 	}
 	return c, nil
+}
+
+// Sharded reports the shard count driving this cluster (1 when the
+// simulation is single-engine).
+func (c *Cluster) Shards() int {
+	if c.sharded == nil {
+		return 1
+	}
+	return c.sharded.Shards()
+}
+
+// EventsProcessed reports the total simulation events executed so far,
+// summed across shards — the denominator for ns/event budgets.
+func (c *Cluster) EventsProcessed() uint64 {
+	if c.sharded != nil {
+		return c.sharded.Processed()
+	}
+	return c.Eng.Processed()
 }
 
 // Registry exposes the cluster's metrics registry: every cub, disk,
@@ -314,8 +411,16 @@ func (c *Cluster) CapacityPlan() disk.Capacity { return c.capacity }
 // Now returns the current virtual time.
 func (c *Cluster) Now() sim.Time { return c.Eng.Now() }
 
-// RunFor advances the simulation by d.
-func (c *Cluster) RunFor(d time.Duration) { c.Eng.RunFor(d) }
+// RunFor advances the simulation by d. In a sharded cluster this drives
+// the conservative coordinator, which leaves every shard's clock —
+// including Eng's, which Now reads — at the same instant.
+func (c *Cluster) RunFor(d time.Duration) {
+	if c.sharded != nil {
+		c.sharded.RunFor(d)
+		return
+	}
+	c.Eng.RunFor(d)
+}
 
 // Active returns the number of inserted streams.
 func (c *Cluster) Active() int { return c.Controller.Active() }
