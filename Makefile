@@ -1,4 +1,4 @@
-.PHONY: check test bench elastic attr scale
+.PHONY: check test bench elastic attr scale correlated
 
 # Full verification gate: vet, build, short tests, race detector on the
 # concurrent packages. CI and pre-commit both run this.
@@ -22,6 +22,12 @@ elastic:
 # point alone simulates ~43,000 concurrent streams.
 scale:
 	go run ./cmd/tigerbench -exp scalability -out .
+
+# Regenerate the correlated-failure survival sweep (failure domains,
+# mirror exhaustion, degradation governor) and refresh the committed
+# BENCH_correlated.json artifact.
+correlated:
+	go run ./cmd/tigerbench -exp correlated -out .
 
 # Run the traced grayfail sweep with causal tracing on: prints the
 # per-component "where the slack went" tables and embeds attribution +

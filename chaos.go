@@ -2,6 +2,7 @@ package tiger
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tiger/internal/chaos"
@@ -63,6 +64,11 @@ func (s chaosSystem) HealDisk(cub, idx int) {
 func (s chaosSystem) StartRestripe(targetCubs int) error { return s.c.StartRestripe(targetCubs) }
 func (s chaosSystem) RestripePhase() string              { return s.c.RestripePhase() }
 
+// CrashDomain and RestartDomain make the cluster a chaos.DomainSystem,
+// unlocking the domain step kinds.
+func (s chaosSystem) CrashDomain(d int) ([]int, error)   { return s.c.CrashDomain(d) }
+func (s chaosSystem) RestartDomain(d int) ([]int, error) { return s.c.RestartDomain(d) }
+
 // serveKey identifies one block or mirror-piece service. Exactly one cub
 // may perform each: the slot owner for primaries, the covering disk's
 // cub for mirror pieces. Two cubs serving the same key is the
@@ -94,6 +100,10 @@ const servePruneAfter = 10 * time.Second
 type ChaosHarness struct {
 	c *Cluster
 
+	// mu guards the serve oracle's state: under sim.Sharded the OnServe
+	// hook fires from concurrent shard goroutines. Single-engine runs
+	// pay one uncontended lock per serve.
+	mu         sync.Mutex
 	serves     map[serveKey]serveRec
 	doubles    int
 	lastDouble string
@@ -125,20 +135,32 @@ func (h *ChaosHarness) Close() {
 }
 
 func (h *ChaosHarness) onServe(cub msg.NodeID, vs msg.ViewerState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	k := serveKey{inst: vs.Instance, seq: vs.PlaySeq, mirror: vs.Mirror, part: vs.Part}
 	if prev, ok := h.serves[k]; ok && prev.by != cub {
 		h.doubles++
 		h.lastDouble = fmt.Sprintf("instance %d playseq %d (mirror=%v part %d) served by cub %v and cub %v",
 			vs.Instance, vs.PlaySeq, vs.Mirror, vs.Part, prev.by, cub)
-		if fr := h.c.flight; fr != nil {
+		// The flight recorder walks serial-engine state (clock, causal
+		// chains, the trace ring); under a sharded engine the hook fires
+		// on shard goroutines, so only the count and detail string are
+		// recorded there.
+		if fr := h.c.flight; fr != nil && h.c.sharded == nil {
 			fr.doubleServe(cub, vs, h.lastDouble)
 		}
 		return
 	}
-	h.serves[k] = serveRec{by: cub, at: h.c.Now()}
+	// Stamp the record with the state's due time, not the cluster clock:
+	// under sim.Sharded this hook runs on shard goroutines, where reading
+	// another shard's engine clock would race. Due is within one state
+	// lead of now, which is far inside the prune horizon.
+	h.serves[k] = serveRec{by: cub, at: sim.Time(vs.Due)}
 }
 
 func (h *ChaosHarness) pruneServes() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	cut := h.c.Now().Add(-servePruneAfter)
 	for k, r := range h.serves {
 		if r.at < cut {
@@ -148,7 +170,11 @@ func (h *ChaosHarness) pruneServes() {
 }
 
 // DoubleServes returns how many duplicate services the oracle observed.
-func (h *ChaosHarness) DoubleServes() int { return h.doubles }
+func (h *ChaosHarness) DoubleServes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.doubles
+}
 
 // Converged reports whether the cluster has returned to a clean steady
 // state: no cub believes any peer dead, and no mirror load covers a cub

@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|scalability|flash|chaos|grayfail|elastic|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|all")
+	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|scalability|flash|chaos|grayfail|elastic|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|correlated|all")
 	parallel = flag.Int("parallel", 1, "worker-pool width for multi-point sweeps (0 = GOMAXPROCS); results are identical at any width")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
@@ -53,6 +53,9 @@ var (
 
 	elasticArmsFlag = flag.String("elasticarms", strings.Join(tiger.ElasticArms, ","),
 		"comma-separated chaos arms for the elastic sweep (clean|crash|partition|disk-slow)")
+
+	corrArmsFlag = flag.String("corrarms", strings.Join(tiger.CorrelatedArms, ","),
+		"comma-separated arms for the correlated-failure sweep")
 )
 
 // writeCSV emits rows into <csvDir>/<name>.csv when -csv is set.
@@ -158,6 +161,12 @@ func main() {
 	// so it too runs only when asked for by name.
 	if *expFlag == "scalability" {
 		run("scalability", func() error { return scalability(o) })
+		return
+	}
+	// correlated includes a 200-cub sharded arm — minutes of wall time —
+	// so it also runs only when asked for by name.
+	if *expFlag == "correlated" {
+		run("correlated", func() error { return correlated(o) })
 		return
 	}
 
@@ -813,4 +822,36 @@ func ablateFrag() error {
 			q, p.Admitted, p.Utilization*100, p.Fragmentation*100)
 	}
 	return nil
+}
+
+// splitArms parses a comma-separated arm-selection flag.
+func splitArms(s string) []string {
+	var arms []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			arms = append(arms, a)
+		}
+	}
+	return arms
+}
+
+func correlated(o tiger.Options) error {
+	header("Correlated failures: domains, mirror exhaustion, graceful degradation",
+		"beyond single-failure coverage: survivors lose nothing, endangered streams park and resume")
+	pts, err := tiger.RunCorrelated(o, splitArms(*corrArmsFlag))
+	fmt.Printf("%18s %5s %7s %8s %7s %6s %6s %7s %5s %7s %8s %6s\n",
+		"arm", "cubs", "shards", "streams", "unserv", "parks", "bound", "resumes", "lost",
+		"doubles", "drain_s", "conv")
+	for _, p := range pts {
+		if p.Cubs == 0 {
+			continue // arm aborted before setup (its error is reported below)
+		}
+		fmt.Printf("%18s %5d %7d %8d %7d %6d %6d %7d %5d %7d %8.1f %6v\n",
+			p.Arm, p.Cubs, p.Shards, p.Streams, p.Unservable, p.Parks, p.ParkBound,
+			p.Resumes, p.BlocksLost, p.DoubleServes, p.DrainSec, p.Converged)
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON("correlated", pts)
 }

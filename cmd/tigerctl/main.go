@@ -97,6 +97,10 @@ func main() {
 		runWhy(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "parked" {
+		runParked(os.Args[2:])
+		return
+	}
 	flag.Parse()
 	if *play < 0 {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -play <fileID>")
@@ -394,6 +398,101 @@ func printWhyChain(ch whyChain) {
 // runStats scrapes a tigerd debug endpoint's /metrics and prints a
 // readable summary (or the raw exposition text with -raw). Histogram
 // series are folded to their _count and _sum lines.
+// runParked summarises the degradation governor's state from a tigerd
+// debug endpoint: how many streams are parked, how many disks the
+// governor computes mirror-exhausted, lifetime park/resume totals, and
+// the per-cub view of park orders and local exhaustion beliefs.
+func runParked(args []string) {
+	fs := flag.NewFlagSet("parked", flag.ExitOnError)
+	addr := fs.String("debug", "127.0.0.1:9000", "tigerd debug address (control port + 2000 by default)")
+	fs.Parse(args)
+
+	resp, err := http.Get("http://" + *addr + "/metrics")
+	if err != nil {
+		log.Fatalf("scrape %s: %v", *addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("scrape %s: %s", *addr, resp.Status)
+	}
+
+	sums := map[string]float64{}
+	type cubRow struct{ parks, resumes, unservable float64 }
+	perCub := map[int]*cubRow{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, value := line[:sp], line[sp+1:]
+		name, cub := series, -1
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			if i := strings.Index(name[b:], `cub="`); i >= 0 {
+				if e := strings.IndexByte(name[b+i+5:], '"'); e >= 0 {
+					cub, _ = strconv.Atoi(name[b+i+5 : b+i+5+e])
+				}
+			}
+			name = name[:b]
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "tiger_governor_parked_streams", "tiger_governor_unservable_disks",
+			"tiger_governor_parks_total", "tiger_governor_resumes_total":
+			sums[name] += v
+			continue
+		}
+		if cub < 0 {
+			continue
+		}
+		r := perCub[cub]
+		if r == nil {
+			r = &cubRow{}
+			perCub[cub] = r
+		}
+		switch name {
+		case "tiger_cub_parks_total":
+			r.parks = v
+		case "tiger_cub_resumes_total":
+			r.resumes = v
+		case "tiger_cub_unservable_disks":
+			r.unservable = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading scrape: %v", err)
+	}
+
+	fmt.Printf("parked      : %.0f streams awaiting re-admission\n", sums["tiger_governor_parked_streams"])
+	fmt.Printf("unservable  : %.0f disks with no live copy\n", sums["tiger_governor_unservable_disks"])
+	fmt.Printf("parks       : %.0f streams shed (lifetime)\n", sums["tiger_governor_parks_total"])
+	fmt.Printf("resumes     : %.0f streams re-admitted (lifetime)\n", sums["tiger_governor_resumes_total"])
+
+	var cubs []int
+	for i, r := range perCub {
+		if r.parks != 0 || r.resumes != 0 || r.unservable != 0 {
+			cubs = append(cubs, i)
+		}
+	}
+	if len(cubs) == 0 {
+		return
+	}
+	sort.Ints(cubs)
+	fmt.Printf("%5s %7s %8s %11s\n", "cub", "parks", "resumes", "unservable")
+	for _, i := range cubs {
+		r := perCub[i]
+		fmt.Printf("%5d %7.0f %8.0f %11.0f\n", i, r.parks, r.resumes, r.unservable)
+	}
+}
+
 func runStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	addr := fs.String("debug", "127.0.0.1:9000", "tigerd debug address (control port + 2000 by default)")

@@ -1,0 +1,322 @@
+package tiger
+
+import (
+	"fmt"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+// Correlated-failure survival experiment (`tigerbench -exp correlated`).
+// Declustered mirroring survives any single cub loss; this sweep measures
+// what happens beyond that guarantee. Each arm loads a fresh cluster to
+// 100% of rated capacity with the degradation governor enabled, kills a
+// chosen cub set simultaneously, holds the outage, restarts, and gates:
+//
+//   - zero client-visible block loss — survivors are mirror-served and
+//     endangered streams are parked before any deadline passes;
+//   - park count bounded by the layout-derived exposure (streams whose
+//     play trajectory crosses the unservable disks during the outage);
+//   - every parked stream resumes exactly once after the rejoin, and the
+//     cluster converges (no death beliefs, mirror load drained).
+//
+// The arms walk the failure geometry: one cub (mirrors cover
+// everything), a scattered pair (outside each other's decluster span —
+// still fully covered), an adjacent pair (the victim's decluster span is
+// breached: its four strided disks are unservable), a whole failure
+// domain (rack loss: three interior cubs exhausted, twelve disks), and
+// the adjacent pair again on a 200-cub sharded cluster.
+
+// CorrelatedPoint is one arm's outcome.
+type CorrelatedPoint struct {
+	Arm        string
+	Cubs       int
+	Shards     int
+	DomainSize int
+	Streams    int   // active streams at crash time
+	Down       []int // cubs killed
+	Unservable int   // disks with no live copy during the full outage
+	OutageSec  float64
+
+	ParkBound int   // layout-derived cap on justified parks
+	Parks     int64 // governor park decisions
+	Resumes   int64 // re-admissions (plus parks resolved at EOF)
+	ParkAcks  int64 // distinct instances acked by cubs
+	ParkedEnd int   // parked streams left at end (must be 0)
+	QueueEnd  int   // re-admission queue left at end (must be 0)
+
+	BlocksOK     int64
+	BlocksLost   int64 // must be 0
+	MirrorBlocks int64
+	ServerMisses int64
+	DoubleServes int
+	Violations   int
+	Converged    bool
+	DrainSec     float64 // restart to converged-and-drained
+}
+
+type corrArm struct {
+	name   string
+	cubs   int
+	domain int // >= 0: crash this whole failure domain
+	down   []int
+	outage time.Duration
+}
+
+func correlatedArms() []corrArm {
+	return []corrArm{
+		{name: "single", cubs: 14, domain: -1, down: []int{5}, outage: 6 * time.Second},
+		{name: "scattered-pair", cubs: 14, domain: -1, down: []int{2, 9}, outage: 6 * time.Second},
+		{name: "adjacent-pair", cubs: 14, domain: -1, down: []int{5, 6}, outage: 6 * time.Second},
+		{name: "whole-domain", cubs: 14, domain: 1, outage: 6 * time.Second},
+		{name: "adjacent-pair-200", cubs: 200, domain: -1, down: []int{99, 100}, outage: 6 * time.Second},
+	}
+}
+
+// CorrelatedArms lists the sweep's arm names in run order, for the
+// bench binary's arm-selection flag.
+var CorrelatedArms = func() []string {
+	var names []string
+	for _, a := range correlatedArms() {
+		names = append(names, a.name)
+	}
+	return names
+}()
+
+// RunCorrelated runs the correlated-failure sweep — the named arms, or
+// all of them when names is empty — and enforces its gates; any gate
+// failure is returned as an error naming the arm.
+func RunCorrelated(o Options, names []string) ([]CorrelatedPoint, error) {
+	arms := correlatedArms()
+	if len(names) > 0 {
+		want := make(map[string]bool, len(names))
+		for _, n := range names {
+			want[n] = true
+		}
+		kept := arms[:0]
+		for _, a := range arms {
+			if want[a.name] {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("no correlated arms match %v (have %v)", names, CorrelatedArms)
+		}
+		arms = kept
+	}
+	out := make([]CorrelatedPoint, len(arms))
+	err := forEachPoint(len(arms), func(i int) error {
+		p, err := runCorrelatedArm(o, arms[i])
+		out[i] = p
+		if err != nil {
+			return fmt.Errorf("arm %s: %w", arms[i].name, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+func runCorrelatedArm(o Options, a corrArm) (CorrelatedPoint, error) {
+	oo := o
+	oo.Cubs = a.cubs
+	oo.DomainSize = 4
+	oo.Governor.Enable = true
+	// Zero the stochastic loss sources that are not the failure's fault
+	// (same normalization as the scale sweep): client drops, ramp
+	// stagger, and the drives' slow-outlier blip tail.
+	oo.ClientDropProb = 0
+	oo.RampSpacing = 0
+	oo.DiskParams.BlipProb = 0
+	if disks := a.cubs * oo.DisksPerCub; oo.NumFiles < disks {
+		oo.NumFiles = disks
+	}
+	oo.Shards = scaleShards(a.cubs)
+
+	c, err := New(oo)
+	if err != nil {
+		return CorrelatedPoint{}, err
+	}
+	p := CorrelatedPoint{
+		Arm:        a.name,
+		Cubs:       a.cubs,
+		Shards:     c.Shards(),
+		DomainSize: oo.DomainSize,
+		OutageSec:  a.outage.Seconds(),
+	}
+	h := NewChaosHarness(c)
+	defer h.Close()
+
+	if err := c.RampTo(c.Capacity()); err != nil {
+		return p, err
+	}
+	c.RunFor(60 * time.Second) // let the flash-ramp insertions land; reach steady state
+
+	ok0, lost0, mir0 := c.ViewerTotals()
+	miss0 := c.TotalCubStats().ServerMisses
+	viol0 := c.InvariantViolations()
+	p.Streams = c.Active()
+
+	// The unservable set the layout predicts for the full down set, and
+	// the park bound it implies. This mirrors the governor's own sweep
+	// geometry exactly: a stream at play position p is parked when any
+	// disk in [p-1, p+look] is unservable (and streams advance one disk
+	// per block play, so over the outage the window a trajectory must
+	// dodge stretches to [p-1, p+look+outageBlocks]), or -- at the crash
+	// instant -- when any disk in [p-1, p+lookState] lost its in-flight
+	// states with a dead forwarding pair. The expected park count is the
+	// uniform-occupancy mass of the union of those per-disk position
+	// windows; EOF-replay churn re-admits a few streams into the danger
+	// window mid-outage, covered by the margin.
+	down := a.down
+	if a.domain >= 0 {
+		for _, z := range c.Cfg.Layout.CubsOfDomain(a.domain) {
+			down = append(down, int(z))
+		}
+	}
+	deadSet := make(map[msg.NodeID]bool, len(down))
+	for _, i := range down {
+		deadSet[msg.NodeID(i)] = true
+	}
+	unservable := c.Cfg.Layout.UnservableDisks(func(z msg.NodeID) bool { return deadSet[z] })
+	p.Unservable = len(unservable)
+	p.Down = down
+	{
+		nd := c.Cfg.Layout.NumDisks()
+		look := c.Cfg.Governor.GuardBlocks + c.Cfg.Governor.Horizon
+		lookState := int(c.Cfg.MaxVStateLead/c.Cfg.Sched.BlockPlay) + c.Cfg.Governor.GuardBlocks
+		outBlocks := int(a.outage / c.Cfg.Sched.BlockPlay)
+		endangered := make(map[int]bool)
+		for _, u := range unservable {
+			for j := -1; j <= look+outBlocks; j++ {
+				endangered[((u-j)%nd+nd)%nd] = true
+			}
+		}
+		for z := range deadSet {
+			pred := msg.NodeID((int(z) - 1 + c.Cfg.Layout.Cubs) % c.Cfg.Layout.Cubs)
+			if !deadSet[pred] {
+				continue
+			}
+			for _, d := range c.Cfg.Layout.DisksOfCub(z) {
+				for j := -1; j <= lookState; j++ {
+					endangered[((d-j)%nd+nd)%nd] = true
+				}
+			}
+		}
+		if len(endangered) > 0 {
+			bound := (p.Streams*len(endangered) + nd - 1) / nd
+			p.ParkBound = bound + bound/8 + 8
+		}
+	}
+
+	if a.domain >= 0 {
+		if _, err := c.CrashDomain(a.domain); err != nil {
+			return p, err
+		}
+	} else {
+		for _, i := range a.down {
+			c.CrashCub(i)
+		}
+	}
+	c.RunFor(a.outage)
+
+	if a.domain >= 0 {
+		if _, err := c.RestartDomain(a.domain); err != nil {
+			return p, err
+		}
+	} else {
+		for _, i := range a.down {
+			c.RestartCub(i)
+		}
+	}
+	restartAt := c.Now()
+
+	// Run until the governor has drained its queue and the cluster is
+	// back to a clean steady state (no death beliefs, mirror load
+	// retired), stepping so the drain time has sub-second resolution.
+	// The quiet condition must hold for a sustained run of samples:
+	// convergence can flicker while residual mirror entries from the
+	// crash-window hedges fall due, and a single clean sample mid-drain
+	// must not stop the clock.
+	const step = 500 * time.Millisecond
+	const quietNeed = 6 // 3s of consecutive quiet samples
+	const drainCap = 3 * time.Minute
+	quiet := 0
+	for c.Now().Sub(restartAt) < drainCap {
+		gs := c.Controller.GovernorStats()
+		if gs.Parked == 0 && gs.QueueLen == 0 && gs.Unservable == 0 && h.Converged() {
+			quiet++
+			if quiet >= quietNeed {
+				break
+			}
+		} else {
+			quiet = 0
+		}
+		c.RunFor(step)
+	}
+	p.DrainSec = c.Now().Sub(restartAt).Seconds() - float64(quiet-1)*step.Seconds()
+	if quiet < quietNeed {
+		p.DrainSec = c.Now().Sub(restartAt).Seconds()
+	}
+	// A settle tail: re-admitted streams must play cleanly too.
+	c.RunFor(15 * time.Second)
+
+	gs := c.Controller.GovernorStats()
+	p.Parks = gs.Parks
+	p.Resumes = gs.Resumes
+	p.ParkAcks = gs.Acks
+	p.ParkedEnd = gs.Parked
+	p.QueueEnd = gs.QueueLen
+	ok1, lost1, mir1 := c.ViewerTotals()
+	p.BlocksOK = ok1 - ok0
+	p.BlocksLost = lost1 - lost0
+	p.MirrorBlocks = mir1 - mir0
+	p.ServerMisses = c.TotalCubStats().ServerMisses - miss0
+	p.DoubleServes = h.DoubleServes()
+	p.Violations = c.InvariantViolations() - viol0
+	p.Converged = h.Converged()
+
+	// Gates. When the decluster span is breached the governor parks every
+	// endangered stream, and a parked stream finishes cleanly and resumes
+	// at its delivered watermark — so the exhausted arms must lose
+	// nothing at all. Under full mirror coverage no stream parks, and the
+	// only irreducible loss is the blocks mid-transfer on the dying cubs'
+	// links at the crash instant: mirrors take over future blocks, but a
+	// send already in flight dies with the machine (the paper's "brief
+	// glitch"). Allow that residue and nothing more.
+	// At the rated point each drive launches a send every
+	// BlockPlay/streamsPerDisk and a block transfer lasts about twice
+	// that spacing, so at most ~2 sends per drive are mid-flight when
+	// the machine dies.
+	lossCap := int64(0)
+	if p.Unservable == 0 {
+		lossCap = int64(2 * oo.DisksPerCub * len(down))
+	}
+	if p.BlocksLost > lossCap {
+		return p, fmt.Errorf("%d blocks lost (cap %d: survivors mirror-served, endangered streams parked in time, only in-flight sends may die)", p.BlocksLost, lossCap)
+	}
+	if p.Unservable == 0 && p.Parks != 0 {
+		return p, fmt.Errorf("%d parks with full mirror coverage (must be 0)", p.Parks)
+	}
+	if p.Unservable > 0 && p.Parks > int64(p.ParkBound) {
+		return p, fmt.Errorf("%d parks exceed the layout-derived bound %d", p.Parks, p.ParkBound)
+	}
+	if p.ParkedEnd != 0 || p.QueueEnd != 0 {
+		return p, fmt.Errorf("%d parked / %d queued streams left after the rejoin", p.ParkedEnd, p.QueueEnd)
+	}
+	if p.Resumes != p.Parks {
+		return p, fmt.Errorf("%d resumes for %d parks (each parked stream must resume exactly once)", p.Resumes, p.Parks)
+	}
+	if p.DoubleServes != 0 {
+		return p, fmt.Errorf("%d double services", p.DoubleServes)
+	}
+	if p.Violations != 0 {
+		return p, fmt.Errorf("%d invariant violations", p.Violations)
+	}
+	if !p.Converged {
+		return p, fmt.Errorf("cluster did not converge within %v of the restart", drainCap)
+	}
+	return p, nil
+}

@@ -60,6 +60,13 @@ func (c *Cluster) EnableFlightRecorder(maxDumps int) *FlightRecorder {
 			fr.capture(fmt.Sprintf("deadline-miss at cub %d (slot %d, mirror=%v)", cub, vs.Slot, vs.Mirror),
 				vs.Instance, vs.Block)
 		},
+		// A governor park is a deliberate shed, but each one costs a
+		// viewer their stream — capture the causal window so a park storm
+		// can be traced back to the failure that exhausted the mirrors.
+		OnPark: func(cub msg.NodeID, viewer msg.ViewerID, inst msg.InstanceID, slot int32) {
+			fr.capture(fmt.Sprintf("governor-park at cub %d (viewer %d, slot %d)", cub, viewer, slot),
+				inst, -1)
+		},
 	}
 	c.publishHooks()
 	return fr

@@ -1,0 +1,211 @@
+package tiger
+
+import (
+	"testing"
+	"time"
+)
+
+// Governor and failure-domain tests. The reduced chaos config (8 cubs,
+// 1 disk each, decluster 2) makes the exhaustion geometry easy to read:
+// disk d lives on cub d, and cub c's only mirror span is cub c+1, so
+// killing adjacent cubs {3,4} leaves disk 3 with no live copy while
+// every other disk stays covered.
+
+func governorTestOptions(seed int64) Options {
+	o := chaosTestOptions(seed)
+	o.DomainSize = 4
+	o.Governor.Enable = true
+	return o
+}
+
+// testMassCrashRejoin is satellite coverage for the correlated-failure
+// acceptance: two adjacent cubs crash simultaneously, mirror exhaustion
+// is detected, endangered streams park with zero client loss, and after
+// the cubs restart — in either order — the view converges, mirror load
+// drains, and every parked stream resumes exactly once.
+func testMassCrashRejoin(t *testing.T, firstUp, secondUp int) {
+	t.Helper()
+	o := governorTestOptions(7)
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewChaosHarness(c)
+	defer h.Close()
+	if err := c.RampTo(24); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(20 * time.Second)
+	_, lost0, _ := c.ViewerTotals()
+
+	c.CrashCub(3)
+	c.CrashCub(4)
+	c.RunFor(3 * time.Second)
+
+	if got := c.Unservable(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("unservable disks during the double crash = %v, want [3]", got)
+	}
+	gs := c.Controller.GovernorStats()
+	if gs.Parks == 0 {
+		t.Fatal("no streams parked while disk 3 had no live copy")
+	}
+	if gs.Acks == 0 {
+		t.Error("no park acks recorded")
+	}
+
+	c.RestartCub(firstUp)
+	c.RunFor(5 * time.Second)
+	c.RestartCub(secondUp)
+	c.RunFor(60 * time.Second)
+
+	gs = c.Controller.GovernorStats()
+	if gs.Parked != 0 || gs.QueueLen != 0 {
+		t.Errorf("governor did not drain: %d parked, %d queued", gs.Parked, gs.QueueLen)
+	}
+	if gs.Resumes != gs.Parks {
+		t.Errorf("%d resumes for %d parks: each parked stream must resume exactly once",
+			gs.Resumes, gs.Parks)
+	}
+	if got := len(c.Unservable()); got != 0 {
+		t.Errorf("%d disks still unservable after both rejoins", got)
+	}
+	if c.Active() != 24 {
+		t.Errorf("active streams = %d after drain, want 24", c.Active())
+	}
+	if c.ParkedStreams() != 0 {
+		t.Errorf("harness still tracks %d parked streams", c.ParkedStreams())
+	}
+	_, lost1, _ := c.ViewerTotals()
+	if lost := lost1 - lost0; lost != 0 {
+		t.Errorf("%d blocks lost across the correlated crash (must be 0)", lost)
+	}
+	if d := h.DoubleServes(); d != 0 {
+		t.Errorf("%d double services across park/resume", d)
+	}
+	if !h.Converged() {
+		t.Error("cluster did not converge after both rejoins")
+	}
+	if v := c.InvariantViolations(); v != 0 {
+		t.Errorf("slot conflicts: %d", v)
+	}
+	for _, i := range []int{3, 4} {
+		if ml := c.MirrorLoadFor(i); ml != 0 {
+			t.Errorf("mirror load for cub %d did not drain: %d entries", i, ml)
+		}
+	}
+}
+
+func TestMassCrashRejoinInOrder(t *testing.T)      { testMassCrashRejoin(t, 3, 4) }
+func TestMassCrashRejoinReverseOrder(t *testing.T) { testMassCrashRejoin(t, 4, 3) }
+
+// TestGovernorScatteredPairNoParks: two dead cubs outside each other's
+// decluster span leave every disk mirror-covered, so the governor must
+// not shed a single stream even though two machines are down at once.
+func TestGovernorScatteredPairNoParks(t *testing.T) {
+	o := governorTestOptions(9)
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewChaosHarness(c)
+	defer h.Close()
+	if err := c.RampTo(24); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(20 * time.Second)
+	_, lost0, _ := c.ViewerTotals()
+
+	c.CrashCub(1)
+	c.CrashCub(5)
+	c.RunFor(6 * time.Second)
+	if got := c.Unservable(); len(got) != 0 {
+		t.Fatalf("unservable disks = %v for a scattered pair, want none", got)
+	}
+	if gs := c.Controller.GovernorStats(); gs.Parks != 0 {
+		t.Errorf("governor parked %d streams with full mirror coverage", gs.Parks)
+	}
+	c.RestartCub(1)
+	c.RestartCub(5)
+	c.RunFor(40 * time.Second)
+	_, lost1, _ := c.ViewerTotals()
+	if lost := lost1 - lost0; lost != 0 {
+		t.Errorf("%d blocks lost (scattered pair is inside mirror coverage)", lost)
+	}
+	if !h.Converged() {
+		t.Error("cluster did not converge")
+	}
+}
+
+// TestCrashDomainKillsMembers: CrashDomain takes the whole rack down
+// atomically and reports the members; RestartDomain brings them back.
+func TestCrashDomainKillsMembers(t *testing.T) {
+	o := governorTestOptions(3)
+	c, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewChaosHarness(c)
+	defer h.Close()
+	if err := c.RampTo(16); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(15 * time.Second)
+
+	members, err := c.CrashDomain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 4 || members[0] != 4 {
+		t.Fatalf("domain 1 members = %v, want [4 5 6 7]", members)
+	}
+	if _, err := c.CrashDomain(99); err == nil {
+		t.Error("CrashDomain(99) did not report a missing domain")
+	}
+	c.RunFor(3 * time.Second)
+	// Cubs 4..6 are dead with a dead piece-holder inside their decluster
+	// span; cub 7's mirror pieces live on cubs 0 and 1, which are alive.
+	if got := c.Unservable(); len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Errorf("unservable disks = %v during rack loss, want [4 5 6]", got)
+	}
+	if _, err := c.RestartDomain(1); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(60 * time.Second)
+	gs := c.Controller.GovernorStats()
+	if gs.Parked != 0 || gs.QueueLen != 0 {
+		t.Errorf("governor did not drain after rack rejoin: %d parked, %d queued", gs.Parked, gs.QueueLen)
+	}
+	if gs.Resumes != gs.Parks {
+		t.Errorf("%d resumes for %d parks", gs.Resumes, gs.Parks)
+	}
+	if !h.Converged() {
+		t.Error("cluster did not converge after the rack rejoin")
+	}
+}
+
+// TestChaosSmokeSharded is the sharded arm of the chaos smoke test: the
+// same partition scenario with the event loop split across two shards.
+// Step application and invariant sweeps happen between RunFor slices, so
+// fault injection must behave identically under sim.Sharded.
+func TestChaosSmokeSharded(t *testing.T) {
+	o := chaosTestOptions(1)
+	o.Shards = 2
+	c := rampedCluster(t, o, 12)
+	if c.Shards() < 2 {
+		t.Fatalf("cluster did not shard: %d", c.Shards())
+	}
+	sc := PartitionScenario(5, 2, len(c.Cubs), 5*time.Second, 15*time.Second, 42)
+	res, err := c.RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Report.Err(); err != nil {
+		t.Errorf("invariant violations: %v", err)
+	}
+	if !res.Converged {
+		t.Error("sharded smoke partition did not converge")
+	}
+	if !res.Report.QuietAtEnd || len(res.Report.Outstanding) != 0 {
+		t.Errorf("faults outstanding at end: %v", res.Report.Outstanding)
+	}
+}

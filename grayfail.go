@@ -51,12 +51,12 @@ type GrayFailPoint struct {
 	// Attribution is the per-component "where the slack went" table over
 	// the fault window, folded from the causal chains of every traced
 	// block. Nil unless the sweep ran with attribution enabled.
-	Attribution *attr.Table `json:"Attribution,omitempty"`
+	Attribution *attr.Table `json:"attribution,omitempty"`
 
 	// Flight holds the failure flight recorder's dumps: the causal
 	// chains of blocks that missed their deadline during the fault.
 	// Empty unless attribution was enabled.
-	Flight []FlightDump `json:"Flight,omitempty"`
+	Flight []FlightDump `json:"flight,omitempty"`
 }
 
 // RunGrayFailSweep measures gray-failure tolerance: for each slowdown

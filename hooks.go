@@ -72,6 +72,33 @@ func composeHooks(layers ...core.Hooks) core.Hooks {
 				out.OnMoveNack = f
 			}
 		}
+		if f := l.OnPark; f != nil {
+			if prev := out.OnPark; prev != nil {
+				out.OnPark = func(cub msg.NodeID, viewer msg.ViewerID, inst msg.InstanceID, slot int32) {
+					prev(cub, viewer, inst, slot)
+					f(cub, viewer, inst, slot)
+				}
+			} else {
+				out.OnPark = f
+			}
+		}
+		if f := l.OnResume; f != nil {
+			if prev := out.OnResume; prev != nil {
+				out.OnResume = func(cub msg.NodeID, viewer msg.ViewerID, oldInst, newInst msg.InstanceID) {
+					prev(cub, viewer, oldInst, newInst)
+					f(cub, viewer, oldInst, newInst)
+				}
+			} else {
+				out.OnResume = f
+			}
+		}
+		if f := l.OnUnservable; f != nil {
+			if prev := out.OnUnservable; prev != nil {
+				out.OnUnservable = func(cub msg.NodeID, disks int32) { prev(cub, disks); f(cub, disks) }
+			} else {
+				out.OnUnservable = f
+			}
+		}
 	}
 	return out
 }

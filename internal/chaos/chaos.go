@@ -90,6 +90,19 @@ const (
 	// must re-route the disk's pending copies when the health monitor
 	// quarantines it. Pair with HealDisk.
 	DiskSlowDuringRestripe Kind = "disk-slow-during-restripe"
+	// CrashMany crashes cubs A..A+B-1 simultaneously (no virtual time
+	// between the kills) — the correlated failure a shared power strip
+	// produces. Pair with RestartMany, or individual RestartCub steps.
+	CrashMany Kind = "crash-many"
+	// RestartMany cold-restarts cubs A..A+B-1 together.
+	RestartMany Kind = "restart-many"
+	// CrashDomain crashes every cub of failure domain A atomically.
+	// Requires a System that also implements DomainSystem; the domain
+	// index is range-checked at apply time (the runner cannot see the
+	// layout at validation time).
+	CrashDomain Kind = "crash-domain"
+	// RestartDomain restarts every cub of failure domain A.
+	RestartDomain Kind = "restart-domain"
 )
 
 // All, as Step.A for DropData, applies the probability to every cub.
@@ -178,9 +191,16 @@ func (s Scenario) Validate(numCubs int) error {
 		case CrashCub, RestartCub, FailCub, ReviveCub, FailDisk, CutLink, CutOneWay,
 			HealLink, HealOneWay, FlakyLink, FlakyOneWay, Isolate, Rejoin, HealAll, DropData,
 			SlowDisk, ErrorDisk, StickDisk, HealDisk,
-			RestripeStart, CrashDuringRestripe, PartitionMidMove, DiskSlowDuringRestripe:
+			RestripeStart, CrashDuringRestripe, PartitionMidMove, DiskSlowDuringRestripe,
+			CrashMany, RestartMany, CrashDomain, RestartDomain:
 		default:
 			return fmt.Errorf("chaos: step %d has unknown kind %q", i, st.Kind)
+		}
+		if (st.Kind == CrashMany || st.Kind == RestartMany) && st.B < 1 {
+			return fmt.Errorf("chaos: step %d (%s) covers %d cubs", i, st.Kind, st.B)
+		}
+		if (st.Kind == CrashDomain || st.Kind == RestartDomain) && st.A < 0 {
+			return fmt.Errorf("chaos: step %d (%s) names domain %d", i, st.Kind, st.A)
 		}
 		if st.Kind == HealAll {
 			continue
@@ -219,6 +239,16 @@ func (s Scenario) Validate(numCubs int) error {
 		case RestripeStart:
 			if st.A > bound {
 				bound = st.A
+			}
+			continue
+		case CrashDomain, RestartDomain:
+			// Domain membership depends on the layout, which validation
+			// cannot see; a bad index surfaces as an apply-time violation.
+			continue
+		case CrashMany, RestartMany:
+			if st.A < 0 || st.A+st.B > bound {
+				return fmt.Errorf("chaos: step %s at %v covers cubs [%d,%d) of %d",
+					st.Kind, st.At, st.A, st.A+st.B, bound)
 			}
 			continue
 		}
@@ -320,6 +350,31 @@ func IsolateMidRestripe(cub int) Step { return Step{Kind: PartitionMidMove, A: c
 // DiskSlowMidRestripe returns a DiskSlowDuringRestripe step.
 func DiskSlowMidRestripe(cub, disk int, factor float64) Step {
 	return Step{Kind: DiskSlowDuringRestripe, A: cub, Disk: disk, Factor: factor}
+}
+
+// MultiCrash returns a CrashMany step killing cubs first..first+count-1
+// at the same instant.
+func MultiCrash(first, count int) Step { return Step{Kind: CrashMany, A: first, B: count} }
+
+// MultiRestart returns a RestartMany step restarting cubs
+// first..first+count-1 together.
+func MultiRestart(first, count int) Step { return Step{Kind: RestartMany, A: first, B: count} }
+
+// DomainCrash returns a CrashDomain step killing failure domain d.
+func DomainCrash(d int) Step { return Step{Kind: CrashDomain, A: d} }
+
+// DomainRestart returns a RestartDomain step restarting failure domain d.
+func DomainRestart(d int) Step { return Step{Kind: RestartDomain, A: d} }
+
+// Cascade expands to count single-cub crash steps for cubs
+// first..first+count-1, the k-th firing at at + k·gap — the rolling
+// correlated failure of a rack losing cooling rather than power.
+func Cascade(at time.Duration, first, count int, gap time.Duration) []Step {
+	out := make([]Step, 0, count)
+	for k := 0; k < count; k++ {
+		out = append(out, Step{At: at + time.Duration(k)*gap, Kind: CrashCub, A: first + k})
+	}
+	return out
 }
 
 // Concat joins step groups built with At into one schedule.

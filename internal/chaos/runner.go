@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"tiger/internal/msg"
@@ -47,6 +48,15 @@ func restripeInProgress(phase string) bool {
 	return phase != "" && phase != "idle" && phase != "done"
 }
 
+// DomainSystem is the optional extension a System implements when its
+// layout groups cubs into failure domains. The CrashDomain and
+// RestartDomain step kinds require it; the methods return the member
+// cub indices actually affected so the runner can track them as down.
+type DomainSystem interface {
+	CrashDomain(d int) ([]int, error)
+	RestartDomain(d int) ([]int, error)
+}
+
 // Invariant is one property checked every tick. Check receives quiet =
 // true once no fault is outstanding and the scenario's settle period has
 // elapsed; properties that only hold at rest (mirror-load conservation,
@@ -69,8 +79,13 @@ type Report struct {
 	Ticks      int  // invariant sweeps performed
 	QuietTicks int  // sweeps with quiet == true
 	QuietAtEnd bool // no fault outstanding when the run finished
-	Violations []Violation
-	FaultStats netsim.FaultStats // cumulative link/data interventions
+	// Outstanding names every fault still active at the end of the run,
+	// one entry per fault ("cub 3 down", "gray fault on cub 1 disk 2",
+	// ...). Empty exactly when QuietAtEnd — a scenario that leaks a fault
+	// now says which one instead of a bare false.
+	Outstanding []string
+	Violations  []Violation
+	FaultStats  netsim.FaultStats // cumulative link/data interventions
 }
 
 // Ok reports whether the run completed with no invariant violations.
@@ -275,6 +290,56 @@ func (r *Runner) apply(rep *Report, st Step) {
 		r.requireRestripe(rep, st)
 		r.Sys.SlowDisk(st.A, st.Disk, st.Factor)
 		r.grayDisks[[2]int{st.A, st.Disk}] = true
+	case CrashMany:
+		for k := 0; k < st.B; k++ {
+			r.Sys.CrashCub(st.A + k)
+			r.downCubs[st.A+k] = true
+		}
+	case RestartMany:
+		for k := 0; k < st.B; k++ {
+			r.Sys.RestartCub(st.A + k)
+			delete(r.downCubs, st.A+k)
+		}
+	case CrashDomain:
+		ds, ok := r.Sys.(DomainSystem)
+		if !ok {
+			r.addViolation(rep, Violation{
+				At: r.Sys.Now(), Invariant: "domain-precondition",
+				Err: fmt.Sprintf("step %s requires a domain-aware system", st.Kind),
+			})
+			break
+		}
+		members, err := ds.CrashDomain(st.A)
+		if err != nil {
+			r.addViolation(rep, Violation{
+				At: r.Sys.Now(), Invariant: "domain-precondition",
+				Err: fmt.Sprintf("crash of domain %d refused: %v", st.A, err),
+			})
+			break
+		}
+		for _, c := range members {
+			r.downCubs[c] = true
+		}
+	case RestartDomain:
+		ds, ok := r.Sys.(DomainSystem)
+		if !ok {
+			r.addViolation(rep, Violation{
+				At: r.Sys.Now(), Invariant: "domain-precondition",
+				Err: fmt.Sprintf("step %s requires a domain-aware system", st.Kind),
+			})
+			break
+		}
+		members, err := ds.RestartDomain(st.A)
+		if err != nil {
+			r.addViolation(rep, Violation{
+				At: r.Sys.Now(), Invariant: "domain-precondition",
+				Err: fmt.Sprintf("restart of domain %d refused: %v", st.A, err),
+			})
+			break
+		}
+		for _, c := range members {
+			delete(r.downCubs, c)
+		}
 	}
 	r.lastCure = r.Sys.Now()
 }
@@ -296,6 +361,51 @@ func (r *Runner) faultOutstanding() bool {
 		return true
 	}
 	return false
+}
+
+// outstanding enumerates the active faults faultOutstanding counts, one
+// string per fault in deterministic order, for Report.Outstanding.
+func (r *Runner) outstanding() []string {
+	var out []string
+	for _, c := range sortedInts(r.downCubs) {
+		out = append(out, fmt.Sprintf("cub %d down", c))
+	}
+	for _, c := range sortedInts(r.dropProb) {
+		if c == All {
+			out = append(out, fmt.Sprintf("data drop p=%.3g on all cubs", r.dropProb[c]))
+		} else {
+			out = append(out, fmt.Sprintf("data drop p=%.3g on cub %d", r.dropProb[c], c))
+		}
+	}
+	keys := make([][2]int, 0, len(r.grayDisks))
+	for k := range r.grayDisks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("gray fault on cub %d disk %d", k[0], k[1]))
+	}
+	if n := r.Sys.Net().FaultedLinks(); n > 0 {
+		out = append(out, fmt.Sprintf("%d faulted links", n))
+	}
+	if es, ok := r.Sys.(ElasticSystem); ok {
+		if p := es.RestripePhase(); restripeInProgress(p) {
+			out = append(out, fmt.Sprintf("restripe in phase %q", p))
+		}
+	}
+	return out
+}
+
+// sortedInts returns the keys of an int-keyed map in ascending order.
+func sortedInts[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // quiet reports whether the quiet-state invariants should engage: no
@@ -373,7 +483,8 @@ func (r *Runner) Run() (*Report, error) {
 	if r.Sys.Now() != lastSweep {
 		r.sweep(rep, r.Sys.Now())
 	}
-	rep.QuietAtEnd = !r.faultOutstanding()
+	rep.Outstanding = r.outstanding()
+	rep.QuietAtEnd = len(rep.Outstanding) == 0
 	rep.FaultStats = r.Sys.Net().FaultStats()
 	// Leave the network clean for whatever runs next.
 	if len(r.dropProb) > 0 {

@@ -76,7 +76,45 @@ type Config struct {
 	// Health tunes the per-disk gray-failure monitor (DESIGN §12).
 	Health HealthParams
 
+	// Governor tunes the correlated-failure degradation governor
+	// (governor.go). Off unless Governor.Enable is set: parking is a
+	// policy choice layered on the protocol, and the fault experiments
+	// that predate it measure raw mirror behaviour.
+	Governor GovernorParams
+
 	Files map[msg.FileID]layout.File
+}
+
+// GovernorParams tune the degradation governor: when correlated
+// failures exhaust mirror coverage, the controller parks the fewest
+// streams whose play trajectories cross the unservable disks so every
+// surviving stream keeps a clean schedule. Zero fields take
+// DefaultTimings' defaults.
+type GovernorParams struct {
+	// Enable turns the governor on. Without it, correlated failures
+	// degrade every stream crossing the dead span (the paper's
+	// behaviour).
+	Enable bool
+
+	// GuardBlocks widens the park test around a stream's current disk:
+	// a stream is parked when any disk within [-1, GuardBlocks+Horizon]
+	// block-times of its position is unservable. The -1 end covers a
+	// send already in flight; GuardBlocks covers reads already issued.
+	GuardBlocks int
+
+	// Horizon is how many additional block-times ahead the rolling
+	// sweep looks, so a stream is parked at least Horizon block plays
+	// before its first unservable deadline.
+	Horizon int
+
+	// Tick is the rolling sweep cadence while any disk is unservable;
+	// 0 means one block play time.
+	Tick time.Duration
+
+	// ResumeDelay is how long after the unservable set empties the
+	// governor waits before draining the re-admission queue — long
+	// enough for the restarted cub's rejoin handshake to finish.
+	ResumeDelay time.Duration
 }
 
 // HealthParams tune the per-disk gray-failure monitor: the EWMA slack
@@ -163,6 +201,15 @@ func (c *Config) DefaultTimings() {
 	if c.Health.ProbeGood == 0 {
 		c.Health.ProbeGood = 3
 	}
+	if c.Governor.GuardBlocks == 0 {
+		c.Governor.GuardBlocks = 1
+	}
+	if c.Governor.Horizon == 0 {
+		c.Governor.Horizon = 2
+	}
+	if c.Governor.ResumeDelay == 0 {
+		c.Governor.ResumeDelay = c.DeadmanTimeout
+	}
 }
 
 // Validate checks cross-field consistency.
@@ -202,6 +249,15 @@ func (c *Config) Validate() error {
 	}
 	if c.DeadmanTimeout < 2*c.HeartbeatInterval {
 		return fmt.Errorf("core: deadman timeout %v under two heartbeat intervals", c.DeadmanTimeout)
+	}
+	if c.Governor.Enable {
+		g := c.Governor
+		if g.GuardBlocks < 0 || g.Horizon < 0 {
+			return fmt.Errorf("core: governor guard/horizon must be non-negative: %+v", g)
+		}
+		if g.Tick < 0 || g.ResumeDelay < 0 {
+			return fmt.Errorf("core: governor tick/resume delay must be non-negative: %+v", g)
+		}
 	}
 	if !c.Health.Disable {
 		h := c.Health

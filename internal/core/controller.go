@@ -67,6 +67,9 @@ type Controller struct {
 	// Live-restripe coordinator state (restriper.go).
 	rs restriperState
 
+	// Degradation-governor state (governor.go).
+	gov governorState
+
 	stats  ControllerStats
 	obs    *ctlObs         // nil until AttachObs
 	ctrace *trace.ChainLog // nil until SetChainLog; causal hop recorder
@@ -78,6 +81,18 @@ type Controller struct {
 	// OnRestripeDone, if set, is called once every move of a restripe run
 	// has committed at its destination.
 	OnRestripeDone func()
+
+	// OnParked, if set, is consulted when the governor parks a stream: the
+	// harness tears the viewer down before its next deadline and returns
+	// the file and block the re-admitted stream should resume from.
+	OnParked func(viewer msg.ViewerID, inst msg.InstanceID) (file msg.FileID, resumeBlock int32, ok bool)
+
+	// OnReadmit, if set, is called for each parked stream when the
+	// governor drains its queue: the harness runs an ordinary Play and
+	// returns the new instance (0 if the ticket resolved without one,
+	// e.g. the stream would have ended). ok=false means admission
+	// refused — the governor retries later.
+	OnReadmit func(t ParkTicket) (msg.InstanceID, bool)
 }
 
 // NewController creates a controller for the given system.
@@ -374,6 +389,8 @@ func (c *Controller) Deliver(from msg.NodeID, m msg.Message) {
 		c.onMoveCommit(t)
 	case *msg.MoveNack:
 		c.onMoveNack(t)
+	case *msg.ParkAck:
+		c.onParkAck(t)
 	}
 }
 

@@ -109,6 +109,14 @@ type CubStats struct {
 	MoveBytesOut int64
 	MoveBytesIn  int64
 	MovesNacked  int64 // move orders refused (source disk failed/quarantined)
+
+	// Degradation-governor counters (park.go). Park and Resume orders go
+	// to two cubs each (serving cub + successor), so summed across cubs
+	// these count messages processed, not streams; the authoritative
+	// per-stream counts live in the controller's GovernorStats.
+	StreamsParked  int64 // park orders processed (first sighting per instance)
+	StreamsResumed int64 // resume notices processed
+	DownAdvisories int64 // controller CubDown advisories applied
 }
 
 // Hooks let tests and harnesses observe protocol events without
@@ -130,6 +138,14 @@ type Hooks struct {
 	// OnMoveNack fires when a move order is refused; reason is the
 	// MoveNack wire reason code.
 	OnMoveNack func(cub msg.NodeID, seq int64, reason uint8)
+	// OnPark fires when a cub first processes a governor park order for
+	// an instance.
+	OnPark func(cub msg.NodeID, viewer msg.ViewerID, inst msg.InstanceID, slot int32)
+	// OnResume fires when a cub processes a governor resume notice.
+	OnResume func(cub msg.NodeID, viewer msg.ViewerID, oldInst, newInst msg.InstanceID)
+	// OnUnservable fires when a cub's count of mirror-exhausted disks
+	// changes; disks is the new count.
+	OnUnservable func(cub msg.NodeID, disks int32)
 }
 
 // Cub is one content-holding machine of a Tiger system, implementing the
@@ -178,6 +194,14 @@ type Cub struct {
 	lastSeen     map[msg.NodeID]sim.Time
 	believedDead map[msg.NodeID]bool
 	monitored    []msg.NodeID
+
+	// Degradation-governor state (park.go): tombstones for parked
+	// instances (so stale gossip dies on arrival), the high-water fence
+	// of controller CubDown advisories, and the current count of
+	// mirror-exhausted disks derived from believedDead.
+	parkedInst map[msg.InstanceID]sim.Time
+	govFence   int32
+	unservable int
 
 	// Liveness epoch (§2.3's deadman protocol extended with restart
 	// fencing): bumped on every cold restart, stamped into heartbeats and
@@ -253,6 +277,7 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 		enqueuedStart:  make(map[msg.InstanceID]sim.Time),
 		lastSeen:       make(map[msg.NodeID]sim.Time),
 		believedDead:   make(map[msg.NodeID]bool),
+		parkedInst:     make(map[msg.InstanceID]sim.Time),
 		epoch:          1,
 		peerEpoch:      make(map[msg.NodeID]int32),
 		recovery:       metrics.NewHistogram(RecoveryBounds...),
@@ -565,6 +590,13 @@ func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 	case *msg.MoveOrder:
 		// Orders come from the controller, which the epoch fence skips.
 		c.onMoveOrder(*t)
+	case *msg.CubDown:
+		// Advisory from the controller's governor (epoch-exempt).
+		c.onCubDown(t)
+	case *msg.Park:
+		c.onPark(*t)
+	case *msg.Resume:
+		c.onResume(*t)
 	case *msg.MoveData:
 		prior := c.peerEpoch[from]
 		if c.staleEpoch(from, t.Epoch) {

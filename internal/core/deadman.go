@@ -36,6 +36,7 @@ func (c *Cub) markDead(z msg.NodeID) {
 	if o := c.obs; o != nil {
 		o.deadDeclared.Inc()
 	}
+	c.updateUnservable()
 	// We may be the decision maker for z's schedule load on some
 	// installed generations' rings but not others (the rings differ
 	// during a restripe); compute the verdict per generation.
@@ -119,6 +120,7 @@ func (c *Cub) markDead(z msg.NodeID) {
 // mirrors via RejoinConfirm.
 func (c *Cub) markAlive(z msg.NodeID) {
 	delete(c.believedDead, z)
+	c.updateUnservable()
 }
 
 // proofOfLife handles a direct message from z at epoch e when z is on

@@ -37,6 +37,11 @@ func (c *Cub) onViewerState(vs msg.ViewerState) {
 	if _, killed := c.desch[descKey{vs.Slot, vs.Instance}]; killed {
 		return
 	}
+	if _, parked := c.parkedInst[vs.Instance]; parked {
+		// The governor parked this stream; states still gossiping around
+		// the ring die here instead of resurrecting it (park.go).
+		return
+	}
 
 	// Resolve the striping generation the slot belongs to. A state for an
 	// uninstalled generation — dropped after its drain, or never seen —

@@ -328,6 +328,41 @@ func (c *Cub) unquarantineDisk(d int, h *diskHealth) {
 	c.setHealthGauge(d, h)
 }
 
+// resetHealthOnRestart wipes the monitor across a cub restart. Health
+// verdicts are volatile state of the dead incarnation: during a machine
+// crash every in-flight read dies, so the monitor of the (still
+// simulated) old incarnation quarantines all local drives — and if that
+// survived Restart(), the new incarnation would route even its own
+// accepted primaries to mirror chains until the probe loop cleared the
+// quarantine many seconds later. That window is worse than harmless
+// mirror load: the cub's view stays empty, so its slot-occupancy check
+// cannot veto re-admission inserts into slots whose states are flowing
+// around it (double service), and re-admissions started on it come up
+// as mirror chains missing the neighbouring restarted cub's piece. A
+// reboot clears soft state; a genuinely sick drive will be re-detected
+// by the same monitor within a few reads. Permanent FailDisk retirements
+// are not quarantines and survive.
+func (c *Cub) resetHealthOnRestart() {
+	for d := range c.quarantined {
+		delete(c.failedDisks, d)
+	}
+	c.quarantined = make(map[int]bool)
+	for d, h := range c.health {
+		if h.probeTimer != nil {
+			h.probeTimer.Stop()
+			h.probeTimer = nil
+		}
+		if c.failedDisks[d] {
+			continue // permanently retired: gauge stays pinned
+		}
+		h.state = DiskHealthy
+		h.badStreak = 0
+		h.probeGood = 0
+		h.seeded = false
+		c.setHealthGauge(d, h)
+	}
+}
+
 func (c *Cub) setHealthGauge(d int, h *diskHealth) {
 	if o := c.obs; o != nil {
 		if g := o.diskHealth[d]; g != nil {

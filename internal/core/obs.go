@@ -71,6 +71,11 @@ type cubObs struct {
 	movesNacked  *obs.Counter
 	moverPending *obs.Gauge
 
+	// Degradation governor (park.go).
+	parks      *obs.Counter
+	resumes    *obs.Counter
+	unservable *obs.Gauge
+
 	viewSize *obs.Gauge
 	queueLen *obs.Gauge
 	bufBytes *obs.Gauge
@@ -134,6 +139,10 @@ func (c *Cub) AttachObs(reg *obs.Registry) {
 		movesNacked:  reg.Counter("tiger_cub_moves_nacked_total", "Move orders refused (source drive failed or quarantined).", ls),
 		moverPending: reg.Gauge("tiger_cub_moves_pending", "Restripe copy jobs queued on this cub's drives.", ls),
 
+		parks:      reg.Counter("tiger_cub_parks_total", "Governor park orders processed (first sighting per instance).", ls),
+		resumes:    reg.Counter("tiger_cub_resumes_total", "Governor resume notices processed.", ls),
+		unservable: reg.Gauge("tiger_cub_unservable_disks", "Disks this cub computes mirror-exhausted from its death beliefs.", ls),
+
 		viewSize: reg.Gauge("tiger_cub_view_entries", "Schedule entries currently in the cub's view.", ls),
 		queueLen: reg.Gauge("tiger_cub_queued_starts", "Start requests waiting for a free slot.", ls),
 		bufBytes: reg.Gauge("tiger_cub_buffered_bytes", "Block buffer bytes currently held.", ls),
@@ -192,6 +201,12 @@ type ctlObs struct {
 	// Live-restripe coordinator (restriper.go).
 	rsCommitted *obs.Counter
 	rsRerouted  *obs.Counter
+
+	// Degradation governor (governor.go).
+	parked       *obs.Gauge
+	unservable   *obs.Gauge
+	parksTotal   *obs.Counter
+	resumesTotal *obs.Counter
 }
 
 // AttachObs registers the controller's instruments with the registry.
@@ -210,5 +225,10 @@ func (c *Controller) AttachObs(reg *obs.Registry) {
 
 		rsCommitted: reg.Counter("tiger_restripe_commits_total", "Restripe moves committed at their destinations.", nil),
 		rsRerouted:  reg.Counter("tiger_restripe_reroutes_total", "Restripe moves re-routed to a redundant copy.", nil),
+
+		parked:       reg.Gauge("tiger_governor_parked_streams", "Streams currently parked by the degradation governor.", nil),
+		unservable:   reg.Gauge("tiger_governor_unservable_disks", "Disks the governor currently computes mirror-exhausted.", nil),
+		parksTotal:   reg.Counter("tiger_governor_parks_total", "Streams parked by the degradation governor.", nil),
+		resumesTotal: reg.Counter("tiger_governor_resumes_total", "Parked streams re-admitted after capacity returned.", nil),
 	}
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"time"
+
+	"tiger/internal/msg"
+)
+
+// This file is the cub side of the degradation-governor protocol
+// (governor.go holds the controller side): applying CubDown advisories,
+// scrubbing parked streams out of the schedule, and maintaining the
+// mirror-exhaustion gauge derived from the deadman's death beliefs.
+
+// onCubDown applies a controller advisory that the listed cubs died at
+// once. The advisory exists to beat the deadman window: a correlated
+// crash kills several cubs between two heartbeats, and waiting
+// DeadmanTimeout to notice each one separately costs exactly the
+// deadlines the governor is trying to protect. Only deaths of cubs this
+// cub monitors are applied — those are the only ones its takeover
+// decisions depend on, and they are the only ones whose recovery
+// (heartbeat, rejoin, gossip proof of life) reaches this cub to clear
+// the belief again.
+func (c *Cub) onCubDown(m *msg.CubDown) {
+	if m.Fence < c.govFence {
+		return // stale advisory from an earlier degradation episode
+	}
+	c.govFence = m.Fence
+	c.stats.DownAdvisories++
+	for _, z := range m.Down {
+		if z == c.id || c.believedDead[z] || !c.isMonitored(z) {
+			continue
+		}
+		c.markDead(z)
+	}
+}
+
+func (c *Cub) isMonitored(z msg.NodeID) bool {
+	for _, n := range c.monitored {
+		if n == z {
+			return true
+		}
+	}
+	return false
+}
+
+// onPark removes a governor-parked stream from this cub's schedule. The
+// scrub itself is a deschedule — the same idempotent removal, the same
+// chase to successors — plus a parked-instance tombstone so states
+// still gossiping around the ring die on arrival (onViewerState) even
+// after the deschedule record ages out. The ack always goes back: the
+// controller dedups by instance.
+func (c *Cub) onPark(p msg.Park) {
+	if _, seen := c.parkedInst[p.Instance]; !seen {
+		c.parkedInst[p.Instance] = c.clk.Now()
+		// A resume clears the tombstone early; the GC bounds the map when
+		// the stream never comes back. By then every state of the parked
+		// stream has aged past the late-state cutoff anyway.
+		c.clk.After(time.Minute, func() { delete(c.parkedInst, p.Instance) })
+		c.stats.StreamsParked++
+		if o := c.obs; o != nil {
+			o.parks.Inc()
+		}
+		c.onDeschedule(msg.Deschedule{
+			Viewer:   p.Viewer,
+			Instance: p.Instance,
+			Slot:     p.Slot,
+			Created:  int64(c.clk.Now()),
+		})
+		if c.hooks.OnPark != nil {
+			c.hooks.OnPark(c.id, p.Viewer, p.Instance, p.Slot)
+		}
+	}
+	c.net.Send(c.id, msg.Controller, &msg.ParkAck{Instance: p.Instance, Fence: p.Fence, By: c.id})
+}
+
+// onResume clears the parked-instance tombstone when the governor
+// re-admits the stream under a fresh instance. The new instance arrives
+// through the ordinary StartPlay path; this is only bookkeeping.
+func (c *Cub) onResume(r msg.Resume) {
+	delete(c.parkedInst, r.OldInstance)
+	c.stats.StreamsResumed++
+	if o := c.obs; o != nil {
+		o.resumes.Inc()
+	}
+	if c.hooks.OnResume != nil {
+		c.hooks.OnResume(c.id, r.Viewer, r.OldInstance, r.NewInstance)
+	}
+}
+
+// updateUnservable recomputes the cub's count of mirror-exhausted disks
+// from its current death beliefs — pure layout arithmetic
+// (layout.UnservableDisks), no scan over streams or schedule entries.
+// Called on every death-belief transition; with at most one believed
+// death the count is zero without touching the layout at all.
+func (c *Cub) updateUnservable() {
+	n := 0
+	if len(c.believedDead) > 1 {
+		n = len(c.cfg.Layout.UnservableDisks(func(z msg.NodeID) bool { return c.believedDead[z] }))
+	}
+	if n == c.unservable {
+		return
+	}
+	c.unservable = n
+	if o := c.obs; o != nil {
+		o.unservable.Set(float64(n))
+	}
+	if c.hooks.OnUnservable != nil {
+		c.hooks.OnUnservable(c.id, int32(n))
+	}
+}
+
+// Unservable returns the number of disks this cub currently computes as
+// mirror-exhausted: dead disks whose decluster span contains another
+// death. Derived from this cub's own death beliefs, so only cubs near
+// the failure see a non-zero value.
+func (c *Cub) Unservable() int { return c.unservable }

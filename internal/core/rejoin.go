@@ -80,6 +80,9 @@ func (c *Cub) Restart() {
 	// re-orders them. Installed generations survive — they are
 	// configuration, not view.
 	c.resetMover()
+	// Health verdicts died with the incarnation (see resetHealthOnRestart
+	// for why letting them linger corrupts the rejoin).
+	c.resetHealthOnRestart()
 	now := c.clk.Now()
 	for _, n := range c.monitored {
 		c.lastSeen[n] = now

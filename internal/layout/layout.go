@@ -15,6 +15,14 @@ type Config struct {
 	Cubs        int // number of cub machines
 	DisksPerCub int // identical on every cub
 	Decluster   int // pieces each mirror copy is split into (§2.3)
+
+	// DomainSize groups consecutive cubs into failure domains — racks or
+	// power groups that fail together (a breaker trip kills every cub in
+	// the domain at once). 0 or 1 means every cub is its own domain. The
+	// paper's deployment put consecutive cubs on one power strip, which is
+	// the worst case for declustering: a domain of Decluster+1 adjacent
+	// cubs is guaranteed to exhaust some mirror spans.
+	DomainSize int
 }
 
 // Validate reports whether the configuration is usable.
@@ -29,6 +37,10 @@ func (c Config) Validate() error {
 	case c.Decluster >= c.NumDisks():
 		return fmt.Errorf("layout: decluster %d must be smaller than the %d disks",
 			c.Decluster, c.NumDisks())
+	case c.DomainSize < 0:
+		return fmt.Errorf("layout: negative failure-domain size %d", c.DomainSize)
+	case c.DomainSize > c.Cubs:
+		return fmt.Errorf("layout: failure domain of %d cubs exceeds the %d cubs", c.DomainSize, c.Cubs)
 	}
 	return nil
 }
@@ -129,4 +141,136 @@ func (c Config) FailoverBandwidthFraction() float64 {
 // MirrorPartSize returns the size of one declustered mirror piece.
 func (c Config) MirrorPartSize(f File) int64 {
 	return (f.BlockSize + int64(c.Decluster) - 1) / int64(c.Decluster)
+}
+
+// domainSize normalizes DomainSize: 0 (unset) means singleton domains.
+func (c Config) domainSize() int {
+	if c.DomainSize < 1 {
+		return 1
+	}
+	return c.DomainSize
+}
+
+// NumDomains returns the number of failure domains. The last domain may
+// be smaller than DomainSize when Cubs is not a multiple.
+func (c Config) NumDomains() int {
+	s := c.domainSize()
+	return (c.Cubs + s - 1) / s
+}
+
+// DomainOfCub returns the failure domain containing cub.
+func (c Config) DomainOfCub(cub msg.NodeID) int {
+	return int(cub) / c.domainSize()
+}
+
+// CubsOfDomain returns the member cubs of failure domain d, in ring
+// order. Domains group consecutive cubs, matching racks wired in
+// installation order.
+func (c Config) CubsOfDomain(d int) []msg.NodeID {
+	if d < 0 || d >= c.NumDomains() {
+		return nil
+	}
+	s := c.domainSize()
+	lo, hi := d*s, (d+1)*s
+	if hi > c.Cubs {
+		hi = c.Cubs
+	}
+	out := make([]msg.NodeID, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, msg.NodeID(i))
+	}
+	return out
+}
+
+// UnservableCubs returns, given a predicate marking dead cubs, the dead
+// cubs whose data cannot be reconstructed from mirrors: cub c is
+// unservable iff c is dead and at least one of the next
+// min(Decluster, Cubs-1) cubs in ring order is also dead. Because disks
+// are numbered cub-minor, the decluster span of every disk of cub c
+// lands on exactly the cubs c+1..c+Decluster (mod Cubs), so
+// exhaustion is uniform across all of a cub's disks and computable in
+// O(Cubs·Decluster) straight from the layout — no scan over streams or
+// schedules. The result is sorted ascending.
+func (c Config) UnservableCubs(dead func(msg.NodeID) bool) []msg.NodeID {
+	span := c.Decluster
+	if span > c.Cubs-1 {
+		span = c.Cubs - 1
+	}
+	var out []msg.NodeID
+	for i := 0; i < c.Cubs; i++ {
+		if !dead(msg.NodeID(i)) {
+			continue
+		}
+		for k := 1; k <= span; k++ {
+			if dead(msg.NodeID((i + k) % c.Cubs)) {
+				out = append(out, msg.NodeID(i))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// UnservableDisks returns the disks whose blocks cannot currently be
+// served from either copy, sorted ascending. These are exactly the
+// disks of the unservable cubs: a dead cub's disk is covered iff all
+// Decluster disks following it are on live cubs, which depends only on
+// the cub-level death pattern.
+func (c Config) UnservableDisks(dead func(msg.NodeID) bool) []int {
+	cubs := c.UnservableCubs(dead)
+	if len(cubs) == 0 {
+		return nil
+	}
+	bad := make(map[msg.NodeID]bool, len(cubs))
+	for _, z := range cubs {
+		bad[z] = true
+	}
+	out := make([]int, 0, len(cubs)*c.DisksPerCub)
+	for d := 0; d < c.NumDisks(); d++ {
+		if bad[c.CubOfDisk(d)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DiskSpan is a maximal run of consecutive unservable disks in striping
+// order: a stream whose play position enters [Start, Start+Len) in disk
+// space cannot be served for Len consecutive block times.
+type DiskSpan struct {
+	Start int // first unservable disk of the run
+	Len   int // number of consecutive unservable disks
+}
+
+// UnservableSpans groups UnservableDisks into maximal runs of
+// consecutive disks, folding the wrap at NumDisks-1 → 0 into one span.
+// Block b of file f is unservable iff PrimaryDisk(f, b) falls in some
+// span, so these runs translate directly into slot/block trajectories:
+// a viewer hits a span of length L for L consecutive block-play times,
+// every NumDisks blocks.
+func (c Config) UnservableSpans(dead func(msg.NodeID) bool) []DiskSpan {
+	disks := c.UnservableDisks(dead)
+	if len(disks) == 0 {
+		return nil
+	}
+	n := c.NumDisks()
+	if len(disks) == n {
+		return []DiskSpan{{Start: 0, Len: n}}
+	}
+	bad := make([]bool, n)
+	for _, d := range disks {
+		bad[d] = true
+	}
+	var spans []DiskSpan
+	for _, d := range disks {
+		if bad[(d+n-1)%n] {
+			continue // interior of a run; counted from its start
+		}
+		l := 1
+		for bad[(d+l)%n] {
+			l++
+		}
+		spans = append(spans, DiskSpan{Start: d, Len: l})
+	}
+	return spans
 }

@@ -60,6 +60,10 @@ const (
 	TMoveData
 	TMoveCommit
 	TMoveNack
+	TCubDown
+	TPark
+	TParkAck
+	TResume
 )
 
 func (t Type) String() string {
@@ -100,6 +104,14 @@ func (t Type) String() string {
 		return "MoveCommit"
 	case TMoveNack:
 		return "MoveNack"
+	case TCubDown:
+		return "CubDown"
+	case TPark:
+		return "Park"
+	case TParkAck:
+		return "ParkAck"
+	case TResume:
+		return "Resume"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -611,6 +623,14 @@ func Consume(b []byte) (Message, []byte, error) {
 		m = &MoveCommit{}
 	case TMoveNack:
 		m = &MoveNack{}
+	case TCubDown:
+		m = &CubDown{}
+	case TPark:
+		m = &Park{}
+	case TParkAck:
+		m = &ParkAck{}
+	case TResume:
+		m = &Resume{}
 	default:
 		return nil, nil, fmt.Errorf("msg: unknown message type %d", t)
 	}

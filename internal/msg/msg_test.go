@@ -32,6 +32,10 @@ func sampleMessages() []Message {
 		&RejoinConfirm{From: 41, Epoch: 42, States: []ViewerState{
 			{Viewer: 43, Instance: 44, Slot: 45, Due: 46, OrigDisk: 47},
 		}},
+		&CubDown{Fence: 48, Down: []NodeID{5, 6}},
+		&Park{Viewer: 49, Instance: 50, Slot: -1, Fence: 51},
+		&ParkAck{Instance: 52, Fence: 53, By: 54},
+		&Resume{Viewer: 55, OldInstance: 56, NewInstance: 57, Fence: 58},
 	}
 }
 

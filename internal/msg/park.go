@@ -1,0 +1,173 @@
+package msg
+
+import "fmt"
+
+// The degradation-governor protocol. When correlated failures exhaust
+// mirror coverage (a second death inside a dead cub's decluster span),
+// the controller's governor parks the fewest streams whose trajectories
+// cross the unservable disks, so every surviving stream keeps a clean
+// schedule. All four messages carry the governor's fence — a counter
+// bumped on every capacity-loss event — so an ack or a resume from a
+// previous degradation episode is discarded rather than double-counted.
+//
+//	CubDown  controller → every live cub (advisory death notice)
+//	Park     controller → serving cub + successor (remove the stream)
+//	ParkAck  cub → controller
+//	Resume   controller → new primary + successor (re-admitted stream)
+
+// CubDown is the controller's advisory that the listed cubs died at
+// once — a breaker trip, not independent deadman timeouts. Receiving
+// cubs mark them dead immediately instead of waiting out the deadman
+// window, which is what lets mirror takeover start before any viewer
+// deadline passes.
+type CubDown struct {
+	Fence int32
+	Down  []NodeID
+}
+
+func (*CubDown) Type() Type { return TCubDown }
+
+func (m *CubDown) Size() int { return 1 + 4 + 4 + 4*len(m.Down) }
+
+func (m *CubDown) encode(b []byte) []byte {
+	b = putU32(b, uint32(m.Fence))
+	b = putU32(b, uint32(len(m.Down)))
+	for _, z := range m.Down {
+		b = putU32(b, uint32(z))
+	}
+	return b
+}
+
+func (m *CubDown) decode(b []byte) ([]byte, error) {
+	if len(b) < 4+4 {
+		return nil, errShort
+	}
+	u32, b, _ := getU32(b)
+	m.Fence = int32(u32)
+	u32, b, _ = getU32(b)
+	n := int(u32)
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("msg: unreasonable down-cub count %d", n)
+	}
+	m.Down = make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, errShort
+		}
+		u32, b, _ = getU32(b)
+		m.Down[i] = NodeID(int32(u32))
+	}
+	return b, nil
+}
+
+// Park orders the cub currently serving the stream (and, like a
+// deschedule, its successor, in case the state already hopped) to
+// remove the instance from its schedule. Unlike a deschedule it also
+// installs a tombstone for the instance so states still gossiping
+// around the ring die on arrival.
+type Park struct {
+	Viewer   ViewerID
+	Instance InstanceID
+	Slot     int32 // slot the controller believes the stream occupies; <0 if queued
+	Fence    int32
+}
+
+const parkSize = 8 + 8 + 4 + 4
+
+func (*Park) Type() Type { return TPark }
+func (*Park) Size() int  { return 1 + parkSize }
+
+func (m *Park) encode(b []byte) []byte {
+	b = putU64(b, uint64(m.Viewer))
+	b = putU64(b, uint64(m.Instance))
+	b = putU32(b, uint32(m.Slot))
+	b = putU32(b, uint32(m.Fence))
+	return b
+}
+
+func (m *Park) decode(b []byte) ([]byte, error) {
+	if len(b) < parkSize {
+		return nil, errShort
+	}
+	u64, b, _ := getU64(b)
+	m.Viewer = ViewerID(u64)
+	u64, b, _ = getU64(b)
+	m.Instance = InstanceID(u64)
+	u32, b, _ := getU32(b)
+	m.Slot = int32(u32)
+	u32, b, _ = getU32(b)
+	m.Fence = int32(u32)
+	return b, nil
+}
+
+// ParkAck confirms a Park. By identifies the acking cub; the governor
+// counts each instance parked once however many cubs ack it.
+type ParkAck struct {
+	Instance InstanceID
+	Fence    int32
+	By       NodeID
+}
+
+const parkAckSize = 8 + 4 + 4
+
+func (*ParkAck) Type() Type { return TParkAck }
+func (*ParkAck) Size() int  { return 1 + parkAckSize }
+
+func (m *ParkAck) encode(b []byte) []byte {
+	b = putU64(b, uint64(m.Instance))
+	b = putU32(b, uint32(m.Fence))
+	b = putU32(b, uint32(m.By))
+	return b
+}
+
+func (m *ParkAck) decode(b []byte) ([]byte, error) {
+	if len(b) < parkAckSize {
+		return nil, errShort
+	}
+	u64, b, _ := getU64(b)
+	m.Instance = InstanceID(u64)
+	u32, b, _ := getU32(b)
+	m.Fence = int32(u32)
+	u32, b, _ = getU32(b)
+	m.By = NodeID(int32(u32))
+	return b, nil
+}
+
+// Resume tells the new primary (and successor) that a parked viewer is
+// back under a fresh instance: clear the parked tombstone for the old
+// instance so the viewer's history is clean. The stream itself restarts
+// through the ordinary StartPlay path; Resume is bookkeeping.
+type Resume struct {
+	Viewer      ViewerID
+	OldInstance InstanceID
+	NewInstance InstanceID
+	Fence       int32
+}
+
+const resumeSize = 8 + 8 + 8 + 4
+
+func (*Resume) Type() Type { return TResume }
+func (*Resume) Size() int  { return 1 + resumeSize }
+
+func (m *Resume) encode(b []byte) []byte {
+	b = putU64(b, uint64(m.Viewer))
+	b = putU64(b, uint64(m.OldInstance))
+	b = putU64(b, uint64(m.NewInstance))
+	b = putU32(b, uint32(m.Fence))
+	return b
+}
+
+func (m *Resume) decode(b []byte) ([]byte, error) {
+	if len(b) < resumeSize {
+		return nil, errShort
+	}
+	u64, b, _ := getU64(b)
+	m.Viewer = ViewerID(u64)
+	u64, b, _ = getU64(b)
+	m.OldInstance = InstanceID(u64)
+	u64, b, _ = getU64(b)
+	m.NewInstance = InstanceID(u64)
+	u32, b, _ := getU32(b)
+	m.Fence = int32(u32)
+	return b, nil
+}

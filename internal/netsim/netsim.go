@@ -127,6 +127,14 @@ type nodeStats struct {
 	// only sender-owned state (and drops a map hash per message).
 	lastArr map[msg.NodeID]sim.Time
 
+	// Fault-layer interventions charged to this sender. Like the rest of
+	// nodeStats these are shard-owned, which is what keeps the link-fault
+	// path lock-free under sim.Sharded; FaultStats aggregates them at the
+	// serial points where callers read totals.
+	linkDrops int64
+	linkDups  int64
+	dataDrops int64
+
 	// jitter is the sender-local latency-jitter stream (splitmix64),
 	// used instead of the network-wide rng when the simulation is
 	// sharded so concurrent senders never share a random source.
@@ -152,9 +160,8 @@ type Network struct {
 	incarn  map[msg.NodeID]int // bumped by Crash; dooms in-flight messages
 	stats   map[msg.NodeID]*nodeStats
 	links   map[pairKey]*linkFault // directed link faults; absent = healthy
-	faults  FaultStats
-	reg     *obs.Registry // nil without AttachObs
-	shard   *ShardMap     // nil for a single-engine simulation
+	reg     *obs.Registry          // nil without AttachObs
+	shard   *ShardMap              // nil for a single-engine simulation
 
 	// DropControl, if non-nil, is consulted for each control message;
 	// returning true drops it. Used by fault-injection tests only — the
@@ -425,8 +432,17 @@ func (n *Network) LinkCut(from, to msg.NodeID) bool {
 // clean again.
 func (n *Network) FaultedLinks() int { return len(n.links) }
 
-// FaultStats returns cumulative counts of fault-layer interventions.
-func (n *Network) FaultStats() FaultStats { return n.faults }
+// FaultStats returns cumulative counts of fault-layer interventions,
+// aggregated over the sender-owned counters. Call it only from the
+// serial driver context (between run windows in a sharded simulation).
+func (n *Network) FaultStats() (fs FaultStats) {
+	for _, st := range n.stats {
+		fs.LinkDrops += st.linkDrops
+		fs.LinkDups += st.linkDups
+		fs.DataDrops += st.dataDrops
+	}
+	return fs
+}
 
 // latency draws one message's one-way latency. The jitter comes from
 // the network-wide rng in a single-engine run and from the sender's
@@ -442,6 +458,17 @@ func (n *Network) latency(st *nodeStats) time.Duration {
 		}
 	}
 	return l
+}
+
+// chance draws one uniform [0, 1) variate for a sender's link-fault
+// decisions — from the network-wide rng in a single-engine run, from the
+// sender's private splitmix64 stream in a sharded run (same split as
+// latency, and for the same reason).
+func (n *Network) chance(st *nodeStats) float64 {
+	if n.shard != nil {
+		return float64(splitmix(&st.jitter)>>11) / float64(1<<53)
+	}
+	return n.rng.Float64()
 }
 
 // Send delivers a control message from one node to another, reliably and
@@ -468,18 +495,22 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 	dup := false
 	if lf := n.links[pairKey{from, to}]; lf != nil {
 		if lf.cut {
-			n.faults.LinkDrops++
+			st.linkDrops++
 			return
 		}
 		f := lf.flaky
-		if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
-			n.faults.LinkDrops++
+		if f.DropProb > 0 && n.chance(st) < f.DropProb {
+			st.linkDrops++
 			return
 		}
 		if f.ExtraDelay > 0 {
-			extra = time.Duration(n.rng.Int63n(int64(f.ExtraDelay)))
+			if n.shard != nil {
+				extra = time.Duration(splitmix(&st.jitter) % uint64(f.ExtraDelay))
+			} else {
+				extra = time.Duration(n.rng.Int63n(int64(f.ExtraDelay)))
+			}
 		}
-		if f.DupProb > 0 && n.rng.Float64() < f.DupProb {
+		if f.DupProb > 0 && n.chance(st) < f.DupProb {
 			dup = true
 		}
 	}
@@ -487,7 +518,7 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 	if dup {
 		// The duplicate trails the original through the same FIFO link,
 		// like a retransmission whose first copy also arrived.
-		n.faults.LinkDups++
+		st.linkDups++
 		n.deliverCtl(from, to, st, m, extra)
 	}
 }
@@ -528,11 +559,11 @@ func (n *Network) SendBlock(from msg.NodeID, d BlockDelivery, pace time.Duration
 	if n.failed[from] {
 		return
 	}
+	st := n.statsFor(from)
 	if n.DropData != nil && n.DropData(from, d) {
-		n.faults.DataDrops++
+		st.dataDrops++
 		return
 	}
-	st := n.statsFor(from)
 	st.dataBytes += d.Bytes
 	if st.obsDataBytes != nil {
 		st.obsDataBytes.Add(float64(d.Bytes))

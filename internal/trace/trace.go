@@ -43,6 +43,14 @@ const (
 	// RestripePhase is a restripe phase transition; Slot carries the
 	// numeric phase (idle=0 … done=5).
 	RestripePhase
+	// Park is a stream removed by the degradation governor to protect
+	// the survivors after a correlated failure.
+	Park
+	// Resume is a parked stream re-admitted after capacity returned.
+	Resume
+	// Unservable is a change in a cub's count of mirror-exhausted disks;
+	// Slot carries the new count.
+	Unservable
 )
 
 func (k Kind) String() string {
@@ -67,6 +75,12 @@ func (k Kind) String() string {
 		return "move-nack"
 	case RestripePhase:
 		return "restripe-phase"
+	case Park:
+		return "park"
+	case Resume:
+		return "resume"
+	case Unservable:
+		return "unservable"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -166,6 +166,13 @@ func (v *Viewer) End() {
 	v.instance = 0
 }
 
+// ResumePoint returns the file block the play has verified up to: the
+// start block plus the first play sequence whose deadline has not yet
+// been checked. A stream parked by the degradation governor re-admits
+// from here, so the viewer replays nothing it already verified and
+// skips nothing it had still to receive.
+func (v *Viewer) ResumePoint() int32 { return v.startBlock + v.nextCheck }
+
 // InFinalWindow reports whether every block this play has left to
 // receive is already within lead sequences of the end of file. Once the
 // final viewer state is that close, cubs stop forwarding next-hop
@@ -205,11 +212,18 @@ func (v *Viewer) DeliverBlock(d netsim.BlockDelivery) {
 	// The timeline anchors on the completion of the first block — the
 	// paper's client records "the receive time of a block to be when the
 	// last byte of the block arrives". A mirror-served first block
-	// completes with its final declustered piece.
-	if !v.gotFirst && (d.PlaySeq == 0 && ps.complete() || d.PlaySeq > 0) {
+	// completes with its final declustered piece. Never anchor on an
+	// incomplete piece group: a lone declustered piece finishes its
+	// transfer far sooner than a whole block would, so inferring the
+	// timeline from it back-dates firstByteAt by nearly the difference
+	// in transfer times and every on-time block thereafter is judged
+	// late. If the anchoring block's remaining pieces never arrive, a
+	// later complete block anchors instead and the hole is still
+	// counted lost at its deadline.
+	if !v.gotFirst && ps.complete() {
 		// Anchor on the completed first block; if the first block was
-		// lost entirely, infer the timeline from a later delivery so the
-		// loss is still detected.
+		// lost entirely, infer the timeline from a later complete
+		// delivery so the loss is still detected.
 		v.gotFirst = true
 		v.firstByteAt = d.LastByte.Add(-time.Duration(d.PlaySeq) * v.blockPlay)
 		if v.OnFirstBlock != nil {

@@ -1,0 +1,72 @@
+package tiger
+
+import (
+	"tiger/internal/core"
+	"tiger/internal/msg"
+)
+
+// Harness side of the degradation governor (DESIGN §16). The governor
+// itself runs in the controller (internal/core/governor.go); these two
+// callbacks are the client model around it. OnParked stands in for the
+// "your stream is paused" notification a real client would receive: it
+// tears the viewer down before any unservable deadline can pass and
+// reports the exact position the play had verified up to. OnReadmit is
+// the re-request: an ordinary admission at that position once capacity
+// is back.
+
+// onParked implements core.Controller.OnParked. It retires the stream
+// through the same bookkeeping a stop uses — fold the viewer's tallies,
+// release the slot oracle, detach the client machine — but sends
+// nothing to the controller (the governor already owns the play record)
+// and fires no EOF. The returned resume point is the first block whose
+// deadline the viewer had not yet checked, so the re-admitted play
+// replays nothing and skips nothing.
+func (c *Cluster) onParked(v msg.ViewerID, inst msg.InstanceID) (msg.FileID, int32, bool) {
+	s, ok := c.streams[inst]
+	if !ok {
+		return 0, 0, false
+	}
+	file := s.File
+	resume := s.Viewer.ResumePoint()
+	if s.OnEOF != nil {
+		if c.parkedEOF == nil {
+			c.parkedEOF = make(map[msg.ViewerID]func(*Stream))
+		}
+		c.parkedEOF[v] = s.OnEOF
+	}
+	s.finish()
+	return file, resume, true
+}
+
+// onReadmit implements core.Controller.OnReadmit: re-admit one parked
+// stream at its ticket position. A ticket whose resume point is at or
+// past end of file resolved itself during the outage — report success
+// with no new instance so the governor retires it. An admission refusal
+// (schedule still shuffling after the rejoin) returns false; the
+// governor retries the whole queue later.
+func (c *Cluster) onReadmit(t core.ParkTicket) (msg.InstanceID, bool) {
+	f, ok := c.Cfg.Files[t.File]
+	if !ok {
+		return 0, true // file no longer exists; nothing to resume
+	}
+	if int(t.ResumeBlock) >= f.Blocks {
+		onEOF := c.parkedEOF[t.Viewer]
+		delete(c.parkedEOF, t.Viewer)
+		if onEOF != nil {
+			// The play was effectively complete; let the workload loop
+			// exactly as an EOF would have.
+			onEOF(nil)
+		}
+		return 0, true
+	}
+	s, err := c.Play(t.File, t.ResumeBlock)
+	if err != nil {
+		return 0, false
+	}
+	s.OnEOF = c.parkedEOF[t.Viewer]
+	delete(c.parkedEOF, t.Viewer)
+	return s.Instance, true
+}
+
+// ParkedStreams reports the governor's current parked-stream count.
+func (c *Cluster) ParkedStreams() int { return c.Controller.GovernorStats().Parked }

@@ -64,6 +64,21 @@ if grep -E '"(BlocksLost|DoubleServes|Violations)": [^0]' "$eldir/BENCH_elastic.
 fi
 rm -rf "$eldir"
 
+# Correlated-failure gate: the governor regressions (mass-crash rejoin
+# in both restart orders, scattered pair parks nothing, domain kill,
+# sharded chaos smoke) under the race detector, then the adjacent-pair
+# sweep arm — decluster span breached, every endangered stream parked —
+# which must emit BENCH_correlated.json with its zero columns intact.
+go test -race -run 'TestMassCrashRejoin|TestGovernor|TestCrashDomain|TestChaosSmokeSharded' .
+codir=$(mktemp -d)
+go run ./cmd/tigerbench -exp correlated -corrarms adjacent-pair -out "$codir" >/dev/null
+[ -s "$codir/BENCH_correlated.json" ]
+if grep -E '"(BlocksLost|DoubleServes|Violations|ParkedEnd|QueueEnd)": [^0]' "$codir/BENCH_correlated.json"; then
+    echo "correlated sweep violated the zero columns" >&2
+    exit 1
+fi
+rm -rf "$codir"
+
 # Warehouse-scale gate: the sharded-vs-serial byte-identical determinism
 # compare (2/4/8 shards × 2/4/8 workers) under the race detector — this
 # is the coordination code's correctness proof — then a short 200-cub

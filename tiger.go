@@ -45,6 +45,10 @@ type Options struct {
 	Cubs        int
 	DisksPerCub int
 	Decluster   int
+	// DomainSize groups consecutive cubs into failure domains of this
+	// many machines (racks, power strips); 0 or 1 keeps every cub its
+	// own domain. CrashDomain kills a whole domain atomically.
+	DomainSize int
 
 	// Content and stream geometry (single-bitrate system).
 	BlockPlay     time.Duration
@@ -73,6 +77,12 @@ type Options struct {
 	// hedged mirror reads, quarantine); zero fields take the defaults,
 	// Health.Disable turns the monitor off for baselines.
 	Health core.HealthParams
+
+	// Governor configures the graceful-degradation governor: on capacity
+	// loss beyond mirror coverage it parks the fewest streams needed so
+	// the survivors see zero deadline misses, and re-admits them when a
+	// rejoin restores coverage. Off unless Governor.Enable is set.
+	Governor core.GovernorParams
 
 	// Client model.
 	ViewersPerMachine int
@@ -103,10 +113,14 @@ type Options struct {
 	// ShardWorkers settings (including 1), but NOT to an unsharded run
 	// of the same options: sharding re-partitions the random streams.
 	//
-	// A sharded cluster is for scale experiments and trades away the
+	// A sharded cluster is for scale experiments and trades away some
 	// single-threaded harness extras: per-cub registry instruments, the
-	// slot-conflict oracle, receipt-slack spans, protocol traces, and
-	// chaos/fault injection during the run are disabled or unsupported.
+	// slot-conflict oracle, receipt-slack spans, and protocol traces are
+	// disabled or unsupported. Chaos/fault injection IS supported — the
+	// runner applies steps and sweeps invariants between RunFor slices,
+	// when no shard goroutine is executing — but hook-based oracles that
+	// fire during the run (the chaos serve oracle) observe cubs from
+	// concurrent shard goroutines and must take their own locks.
 	Shards int
 	// ShardWorkers bounds the goroutines executing shards; 0 means one
 	// per shard, 1 runs the sharded model serially (the determinism
@@ -171,6 +185,10 @@ type Cluster struct {
 	nextViewer msg.ViewerID
 	oracle     *slotOracle
 
+	// parkedEOF carries a parked stream's replay handler across the
+	// park/re-admission gap, keyed by the old viewer (park.go).
+	parkedEOF map[msg.ViewerID]func(*Stream)
+
 	// cubHooks is the composed hook set every cub runs with; cubs created
 	// mid-run by an elastic restripe get the same set. It is rebuilt by
 	// publishHooks from the independent layers below, so the trace ring, a
@@ -233,7 +251,8 @@ func New(o Options) (*Cluster, error) {
 		o.StreamBitrate = o.BlockSize * 8 * int64(time.Second) / int64(o.BlockPlay)
 	}
 
-	lay := layout.Config{Cubs: o.Cubs, DisksPerCub: o.DisksPerCub, Decluster: o.Decluster}
+	lay := layout.Config{Cubs: o.Cubs, DisksPerCub: o.DisksPerCub, Decluster: o.Decluster,
+		DomainSize: o.DomainSize}
 	if err := lay.Validate(); err != nil {
 		return nil, err
 	}
@@ -290,6 +309,7 @@ func New(o Options) (*Cluster, error) {
 		AdmitLimit:        o.AdmitLimit,
 		SingleForward:     o.SingleForward,
 		Health:            o.Health,
+		Governor:          o.Governor,
 		DiskParams:        o.DiskParams,
 		CPUModel:          o.CPUModel,
 		Files:             files,
@@ -342,6 +362,8 @@ func New(o Options) (*Cluster, error) {
 	c.rsGauge = c.reg.Gauge("tiger_restripe_phase", "Elastic restripe phase: 0 idle, 1 copy, 2 cutover, 3 drain, 4 linger, 5 done.", nil)
 	c.Controller = core.NewController(cfg, clk, net)
 	c.Controller.AttachObs(c.reg)
+	c.Controller.OnParked = c.onParked
+	c.Controller.OnReadmit = c.onReadmit
 	net.Register(msg.Controller, c.Controller)
 	if c.sharded == nil {
 		// Registry instruments and the slot-conflict oracle are harness
@@ -442,8 +464,14 @@ func (c *Cluster) ReviveCub(i int) { c.Net.Revive(msg.NodeID(i)) }
 
 // CrashCub kills a cub like FailCub and additionally drops everything
 // the old incarnation still had in flight, modelling a machine crash
-// rather than a network blip. Bring it back with RestartCub.
-func (c *Cluster) CrashCub(i int) { c.Net.Crash(msg.NodeID(i)) }
+// rather than a network blip. Bring it back with RestartCub. When the
+// degradation governor is enabled the crash is advised to it
+// immediately, standing in for a rack controller's out-of-band failure
+// notification.
+func (c *Cluster) CrashCub(i int) {
+	c.Net.Crash(msg.NodeID(i))
+	c.Controller.NoteCubsDown([]msg.NodeID{msg.NodeID(i)})
+}
 
 // RestartCub cold-restarts a crashed cub: reconnects it, wipes its
 // volatile state, bumps its liveness epoch, and runs the rejoin
@@ -451,6 +479,54 @@ func (c *Cluster) CrashCub(i int) { c.Net.Crash(msg.NodeID(i)) }
 func (c *Cluster) RestartCub(i int) {
 	c.Net.Revive(msg.NodeID(i))
 	c.Cubs[i].Restart()
+	c.Controller.NoteCubUp(msg.NodeID(i))
+}
+
+// CrashDomain kills every cub of failure domain d atomically — the
+// correlated failure a rack losing power produces — and advises the
+// governor of the whole group in one notification, so the park sweep
+// sees the combined unservable set rather than discovering it cub by
+// cub. Returns the member cub indices. Domains are configured with
+// Options.DomainSize.
+func (c *Cluster) CrashDomain(d int) ([]int, error) {
+	members := c.Cfg.Layout.CubsOfDomain(d)
+	if members == nil {
+		return nil, fmt.Errorf("tiger: no failure domain %d (have %d)", d, c.Cfg.Layout.NumDomains())
+	}
+	out := make([]int, 0, len(members))
+	for _, z := range members {
+		c.Net.Crash(z)
+		out = append(out, int(z))
+	}
+	c.Controller.NoteCubsDown(members)
+	return out, nil
+}
+
+// RestartDomain cold-restarts every cub of failure domain d, in cub
+// order, and returns the member indices.
+func (c *Cluster) RestartDomain(d int) ([]int, error) {
+	members := c.Cfg.Layout.CubsOfDomain(d)
+	if members == nil {
+		return nil, fmt.Errorf("tiger: no failure domain %d (have %d)", d, c.Cfg.Layout.NumDomains())
+	}
+	out := make([]int, 0, len(members))
+	for _, z := range members {
+		c.RestartCub(int(z))
+		out = append(out, int(z))
+	}
+	return out, nil
+}
+
+// Unservable returns the disks no live copy can serve right now —
+// primaries on dead cubs whose mirror coverage is also dead — computed
+// from the layout and the governor's down set. Empty unless the
+// governor is enabled and a correlated failure is in progress.
+func (c *Cluster) Unservable() []int {
+	gs := c.Controller.GovernorStats()
+	if gs.Unservable == 0 {
+		return nil
+	}
+	return c.Cfg.Layout.UnservableDisks(c.Net.Failed)
 }
 
 // diskModel returns the simulated drive behind global disk number d
@@ -611,6 +687,9 @@ func (c *Cluster) TotalCubStats() core.CubStats {
 		t.MoveBytesOut += s.MoveBytesOut
 		t.MoveBytesIn += s.MoveBytesIn
 		t.MovesNacked += s.MovesNacked
+		t.StreamsParked += s.StreamsParked
+		t.StreamsResumed += s.StreamsResumed
+		t.DownAdvisories += s.DownAdvisories
 	}
 	return t
 }

@@ -73,6 +73,24 @@ func (c *Cluster) EnableTrace(capacity int) *trace.Ring {
 				Slot: int32(seq), Block: int32(reason),
 			})
 		},
+		OnPark: func(cubID msg.NodeID, viewer msg.ViewerID, inst msg.InstanceID, slot int32) {
+			ring.Add(trace.Event{
+				At: c.Now(), Node: cubID, Kind: trace.Park,
+				Slot: slot, Instance: inst,
+			})
+		},
+		OnResume: func(cubID msg.NodeID, viewer msg.ViewerID, oldInst, newInst msg.InstanceID) {
+			ring.Add(trace.Event{
+				At: c.Now(), Node: cubID, Kind: trace.Resume,
+				Slot: -1, Instance: newInst,
+			})
+		},
+		OnUnservable: func(cubID msg.NodeID, disks int32) {
+			ring.Add(trace.Event{
+				At: c.Now(), Node: cubID, Kind: trace.Unservable,
+				Slot: disks, // slot field carries the new unservable count
+			})
+		},
 	}
 	c.publishHooks()
 	return ring
