@@ -1,4 +1,4 @@
-.PHONY: check test bench elastic attr scale correlated
+.PHONY: check test bench elastic attr scale correlated failover
 
 # Full verification gate: vet, build, short tests, race detector on the
 # concurrent packages. CI and pre-commit both run this.
@@ -28,6 +28,12 @@ scale:
 # BENCH_correlated.json artifact.
 correlated:
 	go run ./cmd/tigerbench -exp correlated -out .
+
+# Regenerate the controller-failover sweep (epoch-fenced takeover that
+# rebuilds controller state by scavenging the cubs) and refresh the
+# committed BENCH_failover.json artifact.
+failover:
+	go run ./cmd/tigerbench -exp failover -out .
 
 # Run the traced grayfail sweep with causal tracing on: prints the
 # per-component "where the slack went" tables and embeds attribution +

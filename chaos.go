@@ -69,6 +69,13 @@ func (s chaosSystem) RestripePhase() string              { return s.c.RestripePh
 func (s chaosSystem) CrashDomain(d int) ([]int, error)   { return s.c.CrashDomain(d) }
 func (s chaosSystem) RestartDomain(d int) ([]int, error) { return s.c.RestartDomain(d) }
 
+// CrashController and friends make the cluster a chaos.ControllerSystem,
+// unlocking the controller-failover step kinds.
+func (s chaosSystem) CrashController()     { s.c.CrashController() }
+func (s chaosSystem) RestartController()   { s.c.RestartController() }
+func (s chaosSystem) ControllerDown() bool { return s.c.ControllerDown() }
+func (s chaosSystem) ParkedStreams() int   { return s.c.ParkedStreams() }
+
 // serveKey identifies one block or mirror-piece service. Exactly one cub
 // may perform each: the slot owner for primaries, the covering disk's
 // cub for mirror pieces. Two cubs serving the same key is the

@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment: capacity|fig8|fig9|fig10|loss|reconfig|scale|scalability|flash|chaos|grayfail|elastic|score|observe|ablate-fwd|ablate-dc|ablate-lead|ablate-frag|baseline|correlated|all")
+	expFlag  = flag.String("exp", "all", "experiment to run, \"all\", or \"list\" to print every name with a description")
 	parallel = flag.Int("parallel", 1, "worker-pool width for multi-point sweeps (0 = GOMAXPROCS); results are identical at any width")
 	paper    = flag.Bool("paper", false, "use the paper's full-scale procedure (30-stream steps, 50 s settles)")
 	hold     = flag.Duration("hold", 0, "steady-state hold for the loss experiment (paper: 1h; default scales with -paper)")
@@ -56,7 +56,33 @@ var (
 
 	corrArmsFlag = flag.String("corrarms", strings.Join(tiger.CorrelatedArms, ","),
 		"comma-separated arms for the correlated-failure sweep")
+
+	failoverArmsFlag = flag.String("failoverarms", strings.Join(tiger.FailoverArms, ","),
+		"comma-separated arms for the controller-failover sweep")
 )
+
+// experiment is one entry of the -exp registry: a name, a one-line
+// description for -exp list (and the unknown-name error), and whether
+// the experiment runs as part of -exp all or only when named (the slow
+// multi-minute sweeps).
+type experiment struct {
+	name  string
+	desc  string
+	inAll bool
+	fn    func() error
+}
+
+// listExperiments prints the registry, one line per experiment.
+func listExperiments(w io.Writer, exps []experiment) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range exps {
+		extra := ""
+		if !e.inAll {
+			extra = " [slow: runs only when named, not under -exp all]"
+		}
+		fmt.Fprintf(w, "  %-12s %s%s\n", e.name, e.desc, extra)
+	}
+}
 
 // writeCSV emits rows into <csvDir>/<name>.csv when -csv is set.
 func writeCSV(name string, header []string, rows [][]string) error {
@@ -139,54 +165,94 @@ func main() {
 		lossHold = *hold
 	}
 
-	run := func(name string, fn func() error) {
-		if *expFlag != "all" && *expFlag != name {
-			return
+	// The registry: run order is "-exp all" order. The slow multi-minute
+	// sweeps (baseline re-runs fig8 + loss; scalability reaches 1000
+	// cubs; correlated and failover hold full-capacity clusters through
+	// whole fault cycles) run only when named.
+	exps := []experiment{
+		{"capacity", "§5 capacity plan: block service time, streams per disk, rated streams", true, func() error { return capacity(o) }},
+		{"fig8", "load curve with no cubs failed (Figure 8)", true, func() error { return loadCurve(o, -1, ramp) }},
+		{"fig9", "load curve with one cub failed, mirrors serving (Figure 9)", true, func() error { return loadCurve(o, *failedAt, ramp) }},
+		{"fig10", "stream startup latency vs schedule load (Figure 10)", true, func() error { return fig10(o, ramp) }},
+		{"loss", "block loss rates at full load, unfailed and failed-mode (§5)", true, func() error { return loss(o, lossHold) }},
+		{"reconfig", "schedule reconfiguration after a power cut at 50% load", true, func() error { return reconfig(o) }},
+		{"scale", "distributed vs centralized control traffic (§3.3)", true, func() error { return scale(o) }},
+		{"ablate-fwd", "ablation A1: double vs single viewer-state forwarding", true, func() error { return ablateFwd(o) }},
+		{"ablate-dc", "ablation A2: decluster-factor trade-off", true, func() error { return ablateDc(o) }},
+		{"ablate-lead", "ablation A3: viewer-state lead sweep", true, func() error { return ablateLead(o) }},
+		{"flash", "flash crowd: every viewer requests the same title at once", true, func() error { return flash(o) }},
+		{"chaos", "partition-duration sweep: split-brain healing, death refutation", true, func() error { return chaosSweep(o) }},
+		{"grayfail", "fail-slow disk sweep: detect, hedge, quarantine", true, func() error { return grayfail(o) }},
+		{"elastic", "online restripe sweep: grow and shrink the array while serving", true, func() error { return elastic(o) }},
+		{"failover", "controller crash + epoch-fenced takeover: scavenged state rebuild", false, func() error { return failover(o) }},
+		{"score", "deadline-slack score across the standard scenarios", true, func() error { return score(o) }},
+		{"observe", "observability capture: metrics snapshot + protocol event trace", true, func() error { return observe(o) }},
+		{"ablate-frag", "ablation A4: network-schedule start quantization", true, func() error { return ablateFrag() }},
+		{"baseline", "committed performance envelope: fig8 headline + loss + engine cost", false, func() error { return baseline(o, ramp, lossHold) }},
+		{"scalability", "warehouse scale: rated capacity vs resource bounds, 14 to 1000 cubs", false, func() error { return scalability(o) }},
+		{"correlated", "correlated failures: domains, mirror exhaustion, degradation governor", false, func() error { return correlated(o) }},
+	}
+
+	if *expFlag == "list" {
+		listExperiments(os.Stdout, exps)
+		return
+	}
+	if *expFlag != "all" {
+		known := false
+		for _, e := range exps {
+			if e.name == *expFlag {
+				known = true
+				break
+			}
 		}
-		start := time.Now()
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		if !known {
+			fmt.Fprintf(os.Stderr, "tigerbench: unknown experiment %q\n\n", *expFlag)
+			listExperiments(os.Stderr, exps)
 			os.Exit(1)
 		}
-		fmt.Printf("  [%s completed in %v wall time]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	// baseline re-runs fig8 and loss for its headline numbers, so it is
-	// only available explicitly, never as part of -exp all.
-	if *expFlag == "baseline" {
-		run("baseline", func() error { return baseline(o, ramp, lossHold) })
-		return
+	for _, e := range exps {
+		if *expFlag == "all" && !e.inAll {
+			continue
+		}
+		if *expFlag != "all" && e.name != *expFlag {
+			continue
+		}
+		start := time.Now()
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %v wall time]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
-	// scalability sweeps up to 1000-cub clusters — minutes of wall time —
-	// so it too runs only when asked for by name.
-	if *expFlag == "scalability" {
-		run("scalability", func() error { return scalability(o) })
-		return
-	}
-	// correlated includes a 200-cub sharded arm — minutes of wall time —
-	// so it also runs only when asked for by name.
-	if *expFlag == "correlated" {
-		run("correlated", func() error { return correlated(o) })
-		return
-	}
+}
 
-	run("capacity", func() error { return capacity(o) })
-	run("fig8", func() error { return loadCurve(o, -1, ramp) })
-	run("fig9", func() error { return loadCurve(o, *failedAt, ramp) })
-	run("fig10", func() error { return fig10(o, ramp) })
-	run("loss", func() error { return loss(o, lossHold) })
-	run("reconfig", func() error { return reconfig(o) })
-	run("scale", func() error { return scale(o) })
-	run("ablate-fwd", func() error { return ablateFwd(o) })
-	run("ablate-dc", func() error { return ablateDc(o) })
-	run("ablate-lead", func() error { return ablateLead(o) })
-	run("flash", func() error { return flash(o) })
-	run("chaos", func() error { return chaosSweep(o) })
-	run("grayfail", func() error { return grayfail(o) })
-	run("elastic", func() error { return elastic(o) })
-	run("score", func() error { return score(o) })
-	run("observe", func() error { return observe(o) })
-	run("ablate-frag", func() error { return ablateFrag() })
+// failover prints and gates the controller-failover sweep: the
+// controller dies and a new incarnation takes over by scavenging the
+// cubs' distributed schedule state, in three regimes (idle serving,
+// mid-restripe, streams parked by the governor).
+func failover(o tiger.Options) error {
+	header("Controller failover: epoch-fenced takeover, scavenged rebuild",
+		"the cubs are the schedule; admitted streams play through the outage untouched")
+	pts, err := tiger.RunFailover(o, splitArms(*failoverArmsFlag))
+	fmt.Printf("%15s %5s %8s %8s %9s %6s %6s %6s %8s %5s %8s %5s %7s %6s\n",
+		"arm", "load", "streams", "outage", "takeover", "scav", "plays", "parks",
+		"retries", "lost", "doubles", "viol", "active", "conv")
+	for _, p := range pts {
+		if p.Cubs == 0 {
+			continue // arm aborted before setup (its error is reported below)
+		}
+		fmt.Printf("%15s %5.2f %8d %7.0fs %8.2fs %6d %6d %6d %8d %5d %8d %5d %7d %6v\n",
+			p.Arm, p.LoadFrac, p.Streams, p.OutageSec, p.TakeoverSec,
+			p.ScavengesServed, p.ScavengedPlays, p.ScavengedParks,
+			p.StartRetries, p.BlocksLost, p.DoubleServes, p.Violations,
+			p.ActiveAfter, p.Converged)
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON("failover", pts)
 }
 
 // observe runs a modest load and exports the observability artifacts: a

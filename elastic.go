@@ -251,6 +251,7 @@ func (c *Cluster) StartRestripe(targetCubs int) error {
 	c.rsOldGen, c.rsNewGen = oldGen, newGen
 	c.rsCfg1, c.rsCap1 = cfg1, cap1
 	c.rsMoves, c.rsBytes = len(plan.Moves), plan.BytesTotal
+	c.rsPlan = plan
 	c.rsCopyStart = c.Now()
 	c.rsCopyDone, c.rsDrainDone, c.rsFinished = 0, 0, 0
 	c.setRestripePhase(RestripeCopy)
@@ -274,6 +275,7 @@ func (c *Cluster) restripeCutover() {
 		return
 	}
 	c.rsCopyDone = c.Now()
+	c.rsPlan = nil // every move committed; nothing left to re-arm after a takeover
 	c.setRestripePhase(RestripeCutover)
 	c.rsPauseReplay = true
 	clockOf(c).After(restripeCutoverPause, func() {

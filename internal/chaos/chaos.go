@@ -103,6 +103,24 @@ const (
 	CrashDomain Kind = "crash-domain"
 	// RestartDomain restarts every cub of failure domain A.
 	RestartDomain Kind = "restart-domain"
+	// CrashController kills the controller: admitted streams keep
+	// playing off the distributed schedule, new admissions retry.
+	// Requires a System that also implements ControllerSystem. Pair with
+	// RestartController.
+	CrashController Kind = "crash-controller"
+	// RestartController brings up the next controller incarnation, which
+	// fences the dead one by epoch and rebuilds its state by scavenging
+	// the cubs' schedules.
+	RestartController Kind = "restart-controller"
+	// CrashControllerDuringRestripe crashes the controller like
+	// CrashController, asserting an elastic restripe is in copy phase at
+	// apply time — the takeover must re-arm the interrupted move plan.
+	CrashControllerDuringRestripe Kind = "crash-controller-during-restripe"
+	// CrashControllerWhileParked crashes the controller while the
+	// governor holds parked streams, asserting ParkedStreams() > 0 at
+	// apply time — the takeover must scavenge the park tickets and
+	// resume each stream exactly once.
+	CrashControllerWhileParked Kind = "crash-controller-while-parked"
 )
 
 // All, as Step.A for DropData, applies the probability to every cub.
@@ -192,7 +210,8 @@ func (s Scenario) Validate(numCubs int) error {
 			HealLink, HealOneWay, FlakyLink, FlakyOneWay, Isolate, Rejoin, HealAll, DropData,
 			SlowDisk, ErrorDisk, StickDisk, HealDisk,
 			RestripeStart, CrashDuringRestripe, PartitionMidMove, DiskSlowDuringRestripe,
-			CrashMany, RestartMany, CrashDomain, RestartDomain:
+			CrashMany, RestartMany, CrashDomain, RestartDomain,
+			CrashController, RestartController, CrashControllerDuringRestripe, CrashControllerWhileParked:
 		default:
 			return fmt.Errorf("chaos: step %d has unknown kind %q", i, st.Kind)
 		}
@@ -234,7 +253,9 @@ func (s Scenario) Validate(numCubs int) error {
 	bound := numCubs
 	for _, st := range s.sortedSteps() {
 		switch st.Kind {
-		case HealAll:
+		case HealAll, CrashController, RestartController,
+			CrashControllerDuringRestripe, CrashControllerWhileParked:
+			// No cub named: the target is the switch or the controller.
 			continue
 		case RestripeStart:
 			if st.A > bound {
@@ -365,6 +386,18 @@ func DomainCrash(d int) Step { return Step{Kind: CrashDomain, A: d} }
 
 // DomainRestart returns a RestartDomain step restarting failure domain d.
 func DomainRestart(d int) Step { return Step{Kind: RestartDomain, A: d} }
+
+// CtlCrash returns a CrashController step.
+func CtlCrash() Step { return Step{Kind: CrashController} }
+
+// CtlRestart returns a RestartController step (epoch bump + scavenge).
+func CtlRestart() Step { return Step{Kind: RestartController} }
+
+// CtlCrashMidRestripe returns a CrashControllerDuringRestripe step.
+func CtlCrashMidRestripe() Step { return Step{Kind: CrashControllerDuringRestripe} }
+
+// CtlCrashWhileParked returns a CrashControllerWhileParked step.
+func CtlCrashWhileParked() Step { return Step{Kind: CrashControllerWhileParked} }
 
 // Cascade expands to count single-cub crash steps for cubs
 // first..first+count-1, the k-th firing at at + k·gap — the rolling

@@ -57,6 +57,19 @@ type DomainSystem interface {
 	RestartDomain(d int) ([]int, error)
 }
 
+// ControllerSystem is the optional extension a System implements when
+// its controller can be crashed and restarted (epoch-fenced takeover
+// that rebuilds state by scavenging the cubs). The controller step
+// kinds require it.
+type ControllerSystem interface {
+	CrashController()
+	RestartController()
+	ControllerDown() bool
+	// ParkedStreams reports the governor's parked-stream count, the
+	// precondition CrashControllerWhileParked asserts.
+	ParkedStreams() int
+}
+
 // Invariant is one property checked every tick. Check receives quiet =
 // true once no fault is outstanding and the scenario's settle period has
 // elapsed; properties that only hold at rest (mirror-load conservation,
@@ -119,6 +132,7 @@ type Runner struct {
 	downCubs  map[int]bool    // FailCub/CrashCub without a matching repair
 	sickCubs  map[int]bool    // cubs with a failed disk: never fully quiet
 	grayDisks map[[2]int]bool // {cub, disk} with a gray fault not yet healed
+	ctlDown   bool            // CrashController without a RestartController
 	lastCure  sim.Time        // when the last outstanding fault cleared
 }
 
@@ -340,6 +354,36 @@ func (r *Runner) apply(rep *Report, st Step) {
 		for _, c := range members {
 			delete(r.downCubs, c)
 		}
+	case CrashController, RestartController, CrashControllerDuringRestripe, CrashControllerWhileParked:
+		cs, ok := r.Sys.(ControllerSystem)
+		if !ok {
+			r.addViolation(rep, Violation{
+				At: r.Sys.Now(), Invariant: "controller-precondition",
+				Err: fmt.Sprintf("step %s requires a controller-aware system", st.Kind),
+			})
+			break
+		}
+		switch st.Kind {
+		case RestartController:
+			cs.RestartController()
+			r.ctlDown = false
+		case CrashControllerDuringRestripe:
+			r.requireRestripe(rep, st)
+			cs.CrashController()
+			r.ctlDown = true
+		case CrashControllerWhileParked:
+			if cs.ParkedStreams() == 0 {
+				r.addViolation(rep, Violation{
+					At: r.Sys.Now(), Invariant: "controller-precondition",
+					Err: fmt.Sprintf("step %s at %v fired with no parked streams", st.Kind, st.At),
+				})
+			}
+			cs.CrashController()
+			r.ctlDown = true
+		default: // CrashController
+			cs.CrashController()
+			r.ctlDown = true
+		}
 	}
 	r.lastCure = r.Sys.Now()
 }
@@ -354,7 +398,7 @@ func (r *Runner) apply(rep *Report, st Step) {
 // steady states until the old generation is dropped.
 func (r *Runner) faultOutstanding() bool {
 	if len(r.downCubs) > 0 || len(r.dropProb) > 0 || len(r.grayDisks) > 0 ||
-		r.Sys.Net().FaultedLinks() > 0 {
+		r.ctlDown || r.Sys.Net().FaultedLinks() > 0 {
 		return true
 	}
 	if es, ok := r.Sys.(ElasticSystem); ok && restripeInProgress(es.RestripePhase()) {
@@ -369,6 +413,9 @@ func (r *Runner) outstanding() []string {
 	var out []string
 	for _, c := range sortedInts(r.downCubs) {
 		out = append(out, fmt.Sprintf("cub %d down", c))
+	}
+	if r.ctlDown {
+		out = append(out, "controller down")
 	}
 	for _, c := range sortedInts(r.dropProb) {
 		if c == All {

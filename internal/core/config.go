@@ -28,6 +28,15 @@ type Transport interface {
 	Send(from, to msg.NodeID, m msg.Message)
 }
 
+// SteadySender is an optional Transport refinement: SendSteady delivers
+// like Send but without drawing from the transport's shared jitter
+// stream, so periodic liveness traffic (the controller heartbeat) cannot
+// perturb the randomness alignment of everything else in a simulated
+// run. netsim.Network implements it; the TCP mesh just uses Send.
+type SteadySender interface {
+	SendSteady(from, to msg.NodeID, m msg.Message)
+}
+
 // Config is the static, globally agreed configuration of a Tiger system.
 // Every node gets an identical copy; nothing in it is negotiated at run
 // time.

@@ -40,6 +40,12 @@ type ControllerStats struct {
 	EOFs      int64
 	Rejected  int64 // refused by the admission limit
 	MaxActive int
+
+	// Failover counters (scavenge.go).
+	Takeovers       int64 // restarts of the controller incarnation
+	ScavengeReplies int64 // cub inventory replies folded
+	ScavengedPlays  int64 // play records rebuilt from cub inventories
+	ScavengedParks  int64 // parked-stream tickets recovered from cubs
 }
 
 // Controller is the Tiger controller machine: the clients' contact
@@ -70,6 +76,21 @@ type Controller struct {
 	// Degradation-governor state (governor.go).
 	gov governorState
 
+	// Controller-failover state (scavenge.go). ctlEpoch is this
+	// incarnation's epoch, stamped into every controller-originated order
+	// so cubs can fence a dead incarnation's in-flight traffic; down
+	// makes a crashed incarnation inert in place; the scav* fields track
+	// an in-progress takeover scavenge.
+	ctlEpoch    int32
+	down        bool
+	started     bool
+	hbTimer     clock.Timer
+	scavenging  bool
+	scavPending map[msg.NodeID]bool
+	scavParked  map[msg.InstanceID]*ParkTicket
+	scavStart   sim.Time
+	takeover    *metrics.Histogram
+
 	stats  ControllerStats
 	obs    *ctlObs         // nil until AttachObs
 	ctrace *trace.ChainLog // nil until SetChainLog; causal hop recorder
@@ -93,17 +114,26 @@ type Controller struct {
 	// e.g. the stream would have ended). ok=false means admission
 	// refused — the governor retries later.
 	OnReadmit func(t ParkTicket) (msg.InstanceID, bool)
+
+	// OnScavenged, if set, is called when a takeover scavenge completes:
+	// the rebuilt state is installed and the harness may replay
+	// environmental knowledge the dead incarnation held that cubs do not
+	// (the out-of-band down-cub notifications, an in-flight restripe
+	// plan).
+	OnScavenged func()
 }
 
 // NewController creates a controller for the given system.
 func NewController(cfg *Config, clk clock.Clock, net Transport) *Controller {
 	c := &Controller{
-		cfg:     cfg,
-		clk:     clk,
-		net:     net,
-		plays:   make(map[msg.InstanceID]*playRecord),
-		gens:    map[int32]*Config{0: cfg},
-		genLoad: make(map[int32]int),
+		cfg:      cfg,
+		clk:      clk,
+		net:      net,
+		plays:    make(map[msg.InstanceID]*playRecord),
+		gens:     map[int32]*Config{0: cfg},
+		genLoad:  make(map[int32]int),
+		ctlEpoch: 1,
+		takeover: metrics.NewHistogram(RecoveryBounds...),
 	}
 	c.cpu.Model = cfg.CPUModel
 	return c
@@ -173,6 +203,15 @@ func (c *Controller) StartPlay(viewer msg.ViewerID, file msg.FileID, startBlock 
 // (the real-time transport uses it; the simulator routes by ViewerID).
 func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.FileID, startBlock int32, bitrate int32) (msg.InstanceID, error) {
 	c.cpu.ChargeStartReq()
+	if c.down {
+		return 0, ErrControllerDown
+	}
+	if c.scavenging {
+		// Admitting before the fold completes risks double-admitting an
+		// instance a cub is about to report; callers retry after the
+		// scavenge window (one RTT, bounded by the deadman closeout).
+		return 0, ErrScavenging
+	}
 	acfg := c.gens[c.activeGen]
 	f, ok := acfg.Files[file]
 	if !ok {
@@ -237,6 +276,7 @@ func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.
 		StartBlock: startBlock,
 		Bitrate:    bitrate,
 		Issued:     int64(now),
+		Ctl:        c.ctlEpoch,
 	}
 	if c.ctrace != nil {
 		sp.Trace = 1
@@ -271,6 +311,9 @@ func (c *Controller) StartPlayFrom(viewer msg.ViewerID, addr [16]byte, file msg.
 // (§4.1.2).
 func (c *Controller) StopPlay(inst msg.InstanceID) {
 	c.cpu.ChargeStartReq()
+	if c.down {
+		return
+	}
 	rec, ok := c.plays[inst]
 	if !ok || rec.state == PlayDone {
 		return
@@ -306,6 +349,9 @@ func (c *Controller) StopPlay(inst msg.InstanceID) {
 // the schedule on its own (§4.1.2: "handling end-of-file is
 // straightforward").
 func (c *Controller) NotifyEOF(inst msg.InstanceID) {
+	if c.down {
+		return
+	}
 	rec, ok := c.plays[inst]
 	if !ok || rec.state == PlayDone {
 		return
@@ -382,6 +428,13 @@ func (c *Controller) pendingAndActive() int {
 // halves of the live-restripe move protocol.
 func (c *Controller) Deliver(from msg.NodeID, m msg.Message) {
 	c.cpu.ChargeCtlMsg()
+	if c.down {
+		// A crashed incarnation is inert: anything addressed to it — a
+		// StartAck racing the crash, a late commit — is lost exactly as a
+		// dead process would lose it, and the takeover scavenge rebuilds
+		// the state from the cubs instead.
+		return
+	}
 	switch t := m.(type) {
 	case *msg.StartAck:
 		c.onStartAck(t)
@@ -391,6 +444,8 @@ func (c *Controller) Deliver(from msg.NodeID, m msg.Message) {
 		c.onMoveNack(t)
 	case *msg.ParkAck:
 		c.onParkAck(t)
+	case *msg.ScavengeReply:
+		c.onScavengeReply(t)
 	}
 }
 

@@ -117,6 +117,12 @@ type CubStats struct {
 	StreamsParked  int64 // park orders processed (first sighting per instance)
 	StreamsResumed int64 // resume notices processed
 	DownAdvisories int64 // controller CubDown advisories applied
+
+	// Controller-failover counters (scavenge.go).
+	CtlStaleDrops   int64 // orders dropped for a stale controller epoch
+	CtlTakeovers    int64 // controller epoch bumps observed (takeovers)
+	CtlDeclaredDead int64 // controller deadman transitions observed
+	ScavengesServed int64 // takeover scavenge requests answered
 }
 
 // Hooks let tests and harnesses observe protocol events without
@@ -203,6 +209,17 @@ type Cub struct {
 	govFence   int32
 	unservable int
 
+	// Controller-failover state (scavenge.go): the high-water mark of
+	// controller epochs seen (fences a dead incarnation's in-flight
+	// orders), the retained re-admission tickets of parked streams (the
+	// scavengeable half of the governor's state), and the deadman for
+	// the controller itself — armed only once a controller heartbeat
+	// has been seen.
+	ctlEpoch      int32
+	parkedTickets map[msg.InstanceID]msg.ScavengedPark
+	ctlLastSeen   sim.Time
+	ctlDown       bool
+
 	// Liveness epoch (§2.3's deadman protocol extended with restart
 	// fencing): bumped on every cold restart, stamped into heartbeats and
 	// forwarded viewer states, so receivers can discard traffic produced
@@ -278,6 +295,7 @@ func NewCub(id msg.NodeID, cfg *Config, clk clock.Clock, net Transport, data Dat
 		lastSeen:       make(map[msg.NodeID]sim.Time),
 		believedDead:   make(map[msg.NodeID]bool),
 		parkedInst:     make(map[msg.InstanceID]sim.Time),
+		parkedTickets:  make(map[msg.InstanceID]msg.ScavengedPark),
 		epoch:          1,
 		peerEpoch:      make(map[msg.NodeID]int32),
 		recovery:       metrics.NewHistogram(RecoveryBounds...),
@@ -564,10 +582,17 @@ func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 	case *msg.Deschedule:
 		c.onDeschedule(*t)
 	case *msg.StartPlay:
+		if c.staleCtl(t.Ctl) {
+			return
+		}
 		c.onStartPlay(*t)
 	case *msg.StartAck:
 		c.onStartAck(*t)
 	case *msg.Heartbeat:
+		if t.From == msg.Controller {
+			c.onCtlHeartbeat(t)
+			return
+		}
 		prior := c.peerEpoch[from]
 		if c.staleEpoch(from, t.Epoch) {
 			return
@@ -588,15 +613,27 @@ func (c *Cub) deliverOne(from msg.NodeID, m msg.Message) {
 	case *msg.RejoinConfirm:
 		c.onRejoinConfirm(t)
 	case *msg.MoveOrder:
-		// Orders come from the controller, which the epoch fence skips.
+		// Orders come from the controller, which the peer epoch fence
+		// skips — the controller-epoch fence is what guards them.
+		if c.staleCtl(t.Ctl) {
+			return
+		}
 		c.onMoveOrder(*t)
 	case *msg.CubDown:
 		// Advisory from the controller's governor (epoch-exempt).
 		c.onCubDown(t)
 	case *msg.Park:
+		if c.staleCtl(t.Ctl) {
+			return
+		}
 		c.onPark(*t)
 	case *msg.Resume:
+		if c.staleCtl(t.Ctl) {
+			return
+		}
 		c.onResume(*t)
+	case *msg.ScavengeReq:
+		c.onScavengeReq(*t)
 	case *msg.MoveData:
 		prior := c.peerEpoch[from]
 		if c.staleEpoch(from, t.Epoch) {

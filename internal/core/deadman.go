@@ -27,6 +27,7 @@ func (c *Cub) heartbeatTick() {
 			c.markDead(n)
 		}
 	}
+	c.ctlDeadmanCheck(now)
 	c.clk.After(c.cfg.HeartbeatInterval, c.heartbeatTick)
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+// TestRefuteDeathSameEpoch pins the false-death branch of proofOfLife
+// (deadman.go): a direct message from a believed-dead peer at an
+// UNCHANGED epoch means the peer never died — the deadman fired across a
+// partition — so the death is refuted in place: the belief clears, the
+// mirror chains built for the peer's disks retire, and the rebuilt
+// primaries are handed straight back without a rejoin handshake.
+func TestRefuteDeathSameEpoch(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	for v := msg.ViewerID(1); v <= 8; v++ {
+		r.play(v, msg.FileID(int(v)%4), int32(v)*5)
+	}
+	r.run(10 * time.Second)
+
+	// Cub 4 is a ring successor of cub 3: it monitors 3's heartbeats and
+	// holds mirror pieces for 3's disks. Plant the false belief directly —
+	// the unit under test is the recovery, not the (separately tested)
+	// timeout that would produce it.
+	const victim = 3
+	watcher := r.cubs[4]
+	watcher.markDead(victim)
+	if !watcher.believedDead[victim] {
+		t.Fatal("markDead did not record the belief")
+	}
+	if watcher.MirrorLoadFor(victim) == 0 {
+		t.Fatal("markDead built no mirror chains; the scenario is vacuous")
+	}
+	refuted0 := watcher.Stats().DeathsRefuted
+	retired0 := watcher.Stats().MirrorsRetired
+	rejoins0 := r.totals().Rejoins
+
+	// The victim was alive all along: its next heartbeat arrives at the
+	// same epoch it has always used, which must take the refuteDeath
+	// branch (epoch unchanged), not the restart branch.
+	r.run(2*r.cfg.HeartbeatInterval + time.Second)
+
+	if watcher.believedDead[victim] {
+		t.Error("death belief survived proof of life")
+	}
+	if got := watcher.Stats().DeathsRefuted; got != refuted0+1 {
+		t.Errorf("DeathsRefuted = %d, want %d", got, refuted0+1)
+	}
+	if watcher.MirrorLoadFor(victim) != 0 {
+		t.Errorf("mirror chains not retired: %d entries remain", watcher.MirrorLoadFor(victim))
+	}
+	if got := watcher.Stats().MirrorsRetired; got <= retired0 {
+		t.Error("refutation retired no mirror entries")
+	}
+	// The heal must be in place: a rejoin handshake is the restart path,
+	// and the victim never restarted.
+	if got := r.totals().Rejoins; got != rejoins0 {
+		t.Errorf("refutation triggered %d rejoin handshakes", got-rejoins0)
+	}
+}

@@ -269,8 +269,12 @@ func (c *Controller) parkOne(inst msg.InstanceID) {
 	// is lost with the cub, while the stream's mirror-chain states keep
 	// circulating the ring, burning disk reads the degraded cluster does
 	// not have. The park is idempotent (tombstoned per instance at each
-	// cub) and park episodes are rare, so the broadcast is cheap.
-	p := msg.Park{Viewer: rec.viewer, Instance: inst, Slot: slot, Fence: g.fence}
+	// cub) and park episodes are rare, so the broadcast is cheap. The
+	// order carries the full re-admission ticket: every live cub retains
+	// it until the matching Resume, so a controller takeover can
+	// scavenge the parked set (scavenge.go).
+	p := msg.Park{Viewer: rec.viewer, Instance: inst, Slot: slot, Fence: g.fence,
+		File: t.File, ResumeBlock: t.ResumeBlock, Bitrate: t.Bitrate, Ctl: c.ctlEpoch}
 	for i := 0; i < rcfg.Layout.Cubs; i++ {
 		z := msg.NodeID(i)
 		if g.down[z] {
@@ -307,7 +311,7 @@ func (c *Controller) ensureGovTick() {
 
 func (c *Controller) govTick() {
 	c.gov.ticking = false
-	if len(c.gov.unservable) == 0 {
+	if c.down || len(c.gov.unservable) == 0 {
 		return
 	}
 	c.parkSweep(false)
@@ -326,7 +330,7 @@ func (c *Controller) govTick() {
 func (c *Controller) drainParked() {
 	g := &c.gov
 	g.draining = false
-	if len(g.unservable) != 0 {
+	if c.down || len(g.unservable) != 0 {
 		return
 	}
 	batch := c.cfg.Sched.NumDisks / 4
@@ -362,12 +366,20 @@ func (c *Controller) drainParked() {
 				if rcfg == nil {
 					rcfg = c.cfg
 				}
+				// The resume notice is broadcast to every live cub, matching
+				// the Park broadcast: each cub that retained the ticket must
+				// clear it, or a later controller takeover would scavenge the
+				// stale ticket and resume the stream a second time.
 				r := msg.Resume{Viewer: t.Viewer, OldInstance: t.OldInstance,
-					NewInstance: newInst, Fence: g.fence}
-				r1 := r
-				c.net.Send(msg.Controller, rec.primary, &r1)
-				r2 := r
-				c.net.Send(msg.Controller, rcfg.Layout.Successor(rec.primary), &r2)
+					NewInstance: newInst, Fence: g.fence, Ctl: c.ctlEpoch}
+				for i := 0; i < rcfg.Layout.Cubs; i++ {
+					z := msg.NodeID(i)
+					if g.down[z] {
+						continue
+					}
+					ri := r
+					c.net.Send(msg.Controller, z, &ri)
+				}
 			}
 		}
 	}

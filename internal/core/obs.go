@@ -76,6 +76,12 @@ type cubObs struct {
 	resumes    *obs.Counter
 	unservable *obs.Gauge
 
+	// Controller failover (scavenge.go).
+	ctlStaleDrops *obs.Counter
+	ctlTakeovers  *obs.Counter
+	scavServed    *obs.Counter
+	ctlDown       *obs.Gauge
+
 	viewSize *obs.Gauge
 	queueLen *obs.Gauge
 	bufBytes *obs.Gauge
@@ -143,6 +149,11 @@ func (c *Cub) AttachObs(reg *obs.Registry) {
 		resumes:    reg.Counter("tiger_cub_resumes_total", "Governor resume notices processed.", ls),
 		unservable: reg.Gauge("tiger_cub_unservable_disks", "Disks this cub computes mirror-exhausted from its death beliefs.", ls),
 
+		ctlStaleDrops: reg.Counter("tiger_cub_ctl_stale_drops_total", "Orders dropped for carrying a dead controller incarnation's epoch.", ls),
+		ctlTakeovers:  reg.Counter("tiger_cub_ctl_takeovers_total", "Controller epoch bumps observed (takeovers).", ls),
+		scavServed:    reg.Counter("tiger_cub_scavenges_served_total", "Takeover scavenge requests answered with an inventory.", ls),
+		ctlDown:       reg.Gauge("tiger_cub_ctl_down", "1 while this cub's deadman believes the controller dead.", ls),
+
 		viewSize: reg.Gauge("tiger_cub_view_entries", "Schedule entries currently in the cub's view.", ls),
 		queueLen: reg.Gauge("tiger_cub_queued_starts", "Start requests waiting for a free slot.", ls),
 		bufBytes: reg.Gauge("tiger_cub_buffered_bytes", "Block buffer bytes currently held.", ls),
@@ -207,6 +218,12 @@ type ctlObs struct {
 	unservable   *obs.Gauge
 	parksTotal   *obs.Counter
 	resumesTotal *obs.Counter
+
+	// Controller failover (scavenge.go).
+	epoch        *obs.Gauge
+	takeovers    *obs.Counter
+	scavReplies  *obs.Counter
+	takeoverTime *obs.Histogram
 }
 
 // AttachObs registers the controller's instruments with the registry.
@@ -230,5 +247,15 @@ func (c *Controller) AttachObs(reg *obs.Registry) {
 		unservable:   reg.Gauge("tiger_governor_unservable_disks", "Disks the governor currently computes mirror-exhausted.", nil),
 		parksTotal:   reg.Counter("tiger_governor_parks_total", "Streams parked by the degradation governor.", nil),
 		resumesTotal: reg.Counter("tiger_governor_resumes_total", "Parked streams re-admitted after capacity returned.", nil),
+
+		epoch:       reg.Gauge("tiger_ctrl_epoch", "Controller incarnation epoch (bumps on takeover).", nil),
+		takeovers:   reg.Counter("tiger_ctrl_takeovers_total", "Controller incarnation restarts performed.", nil),
+		scavReplies: reg.Counter("tiger_ctrl_scavenge_replies_total", "Cub inventory replies folded during takeovers.", nil),
 	}
+	tb := make([]float64, len(RecoveryBounds))
+	for i, d := range RecoveryBounds {
+		tb[i] = d.Seconds()
+	}
+	c.obs.takeoverTime = reg.Histogram("tiger_ctrl_takeover_seconds", "Restart-to-rebuilt duration of controller takeovers.", nil, tb)
+	c.obs.epoch.Set(float64(c.ctlEpoch))
 }

@@ -56,6 +56,20 @@ func (c *Cub) onPark(p msg.Park) {
 		// the stream never comes back. By then every state of the parked
 		// stream has aged past the late-state cutoff anyway.
 		c.clk.After(time.Minute, func() { delete(c.parkedInst, p.Instance) })
+		// Retain the re-admission ticket until the matching Resume: the
+		// tickets held across the ring are what a controller takeover
+		// scavenges to rebuild the parked set (scavenge.go). Retention is
+		// much longer than the tombstone — it must survive a controller
+		// outage — with a backstop GC for streams never resumed.
+		c.parkedTickets[p.Instance] = msg.ScavengedPark{
+			Viewer:      p.Viewer,
+			Instance:    p.Instance,
+			File:        p.File,
+			ResumeBlock: p.ResumeBlock,
+			Bitrate:     p.Bitrate,
+			Fence:       p.Fence,
+		}
+		c.clk.After(parkedTicketTTL, func() { delete(c.parkedTickets, p.Instance) })
 		c.stats.StreamsParked++
 		if o := c.obs; o != nil {
 			o.parks.Inc()
@@ -78,6 +92,7 @@ func (c *Cub) onPark(p msg.Park) {
 // through the ordinary StartPlay path; this is only bookkeeping.
 func (c *Cub) onResume(r msg.Resume) {
 	delete(c.parkedInst, r.OldInstance)
+	delete(c.parkedTickets, r.OldInstance)
 	c.stats.StreamsResumed++
 	if o := c.obs; o != nil {
 		o.resumes.Inc()

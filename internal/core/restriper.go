@@ -143,7 +143,7 @@ func (c *Controller) StartRestripe(fence int64, oldGen int32, plan *layout.Elast
 // up to each source's window, re-send in-flight orders past the resend
 // timeout, and re-arm.
 func (c *Controller) dispatchMoves() {
-	if !c.rs.active {
+	if !c.rs.active || c.down {
 		return
 	}
 	now := c.clk.Now()
@@ -168,6 +168,7 @@ func (c *Controller) dispatchMoves() {
 func (c *Controller) sendOrder(m *rsMove, now sim.Time) {
 	m.lastSent = now
 	o := m.order
+	o.Ctl = c.ctlEpoch
 	c.net.Send(msg.Controller, m.src, &o)
 }
 

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"tiger/internal/layout"
+	"tiger/internal/metrics"
+	"tiger/internal/msg"
+	"tiger/internal/sim"
+)
+
+// Controller failover (DESIGN §17). The paper's argument that the
+// controller has "almost nothing to do" has a sharp corollary: it also
+// has almost nothing to *lose*. The distributed schedule — the viewer
+// states circulating the cub ring, the queued starts, the parked-stream
+// tickets — IS the system of record, so a dead controller is replaced by
+// asking the cubs what they are doing:
+//
+//  1. Fencing. Every controller-originated order (StartPlay, Park,
+//     Resume, MoveOrder) carries the incarnation's epoch. A takeover
+//     bumps the epoch and announces it in the ScavengeReq broadcast, so
+//     each cub raises its high-water mark and the dead incarnation's
+//     in-flight orders die on arrival (Cub.staleCtl).
+//
+//  2. Scavenging. Each cub answers with its inventory: one
+//     representative (furthest-progress) viewer state per play instance
+//     in its window — including starts still queued for a slot and
+//     primaries it is covering from mirror pieces — plus the parked
+//     re-admission tickets it retains and its governor-fence high-water
+//     mark. The new incarnation folds the replies into a rebuilt plays
+//     map, per-generation admission load, parked set and fence.
+//
+//  3. Dedup. States are folded per instance (a stream appears in
+//     several cubs' windows); parked tickets are deduped by instance
+//     and dropped when the viewer already has a live play — the dead
+//     incarnation resumed it and crashed before every cub saw the
+//     Resume — so no stream is double-admitted and every parked stream
+//     resumes exactly once.
+//
+// Cubs never stop serving: the schedule needs no controller to run, so
+// every active stream plays through the outage untouched.
+
+// ErrControllerDown is returned to a start request while the controller
+// incarnation is crashed (a real deployment's connection refusal).
+var ErrControllerDown = errors.New("controller: down")
+
+// ErrScavenging is returned to a start request while a takeover
+// scavenge is folding cub inventories; callers should retry after the
+// scavenge window (one RTT, bounded by the deadman closeout).
+var ErrScavenging = errors.New("controller: takeover scavenge in progress")
+
+// Epoch returns the controller incarnation's epoch. It starts at 1 and
+// bumps on every Restart, so any order stamped with an older epoch is
+// provably from a dead incarnation.
+func (c *Controller) Epoch() int32 { return c.ctlEpoch }
+
+// Down reports whether the controller incarnation is crashed.
+func (c *Controller) Down() bool { return c.down }
+
+// Scavenging reports whether a takeover scavenge is still folding cub
+// inventories; admission is refused while it is.
+func (c *Controller) Scavenging() bool { return c.scavenging }
+
+// Start begins the controller's periodic heartbeat broadcast, which is
+// what lets cubs run a deadman for the controller itself. Idempotent;
+// harnesses that never call it get the historical silent controller.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.hbTick()
+}
+
+// allCubs returns the union of cub IDs across every installed
+// generation — during a grow restripe the new generation's extra cubs
+// must hear heartbeats and scavenge requests too. Cub IDs are dense per
+// generation, so the union is 0..max-1.
+func (c *Controller) allCubs() int {
+	n := 0
+	for _, g := range c.gens {
+		if g.Layout.Cubs > n {
+			n = g.Layout.Cubs
+		}
+	}
+	return n
+}
+
+func (c *Controller) hbTick() {
+	if c.down {
+		return
+	}
+	now := c.clk.Now()
+	hb := &msg.Heartbeat{From: msg.Controller, Epoch: c.ctlEpoch, Now: int64(now)}
+	// Steady (jitter-free) delivery when the transport offers it: the
+	// heartbeat is periodic background traffic, and drawing per-send
+	// jitter from the simulation's shared randomness stream would
+	// re-roll the alignment of every unrelated experiment just by
+	// existing.
+	send := c.net.Send
+	if s, ok := c.net.(SteadySender); ok {
+		send = s.SendSteady
+	}
+	for i := 0; i < c.allCubs(); i++ {
+		send(msg.Controller, msg.NodeID(i), hb)
+	}
+	c.hbTimer = c.clk.After(c.cfg.HeartbeatInterval, c.hbTick)
+}
+
+// Crash makes the incarnation inert in place: timers stop, deliveries
+// drop, and no further orders leave. The object survives because the
+// harness holds the pointer (mirroring Cub.Restart's in-place model);
+// everything an incarnation would lose is wiped by Restart.
+func (c *Controller) Crash() {
+	if c.down {
+		return
+	}
+	c.down = true
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+		c.hbTimer = nil
+	}
+	if c.rs.tick != nil {
+		c.rs.tick.Stop()
+		c.rs.tick = nil
+	}
+	c.scavenging = false
+	c.scavPending = nil
+	c.scavParked = nil
+}
+
+// Restart brings up a new controller incarnation: bump the epoch, wipe
+// every piece of volatile state, and broadcast a ScavengeReq so the
+// cubs' inventories rebuild it. Installed generations and the active
+// generation survive — they are configuration, known to every cub, not
+// view. nextInstance is also kept: a production controller salts the
+// instance space with its epoch so a new incarnation can never re-issue
+// a live ID; the in-place restart models that by keeping the counter,
+// and the fold still raises it past anything a cub reports.
+func (c *Controller) Restart() {
+	if !c.down {
+		c.Crash()
+	}
+	c.down = false
+	c.ctlEpoch++
+	c.stats.Takeovers++
+	c.plays = make(map[msg.InstanceID]*playRecord)
+	c.active = 0
+	c.genLoad = make(map[int32]int)
+	c.rs = restriperState{}
+	c.gov = governorState{}
+
+	now := c.clk.Now()
+	c.scavenging = true
+	c.scavStart = now
+	c.scavParked = make(map[msg.InstanceID]*ParkTicket)
+	c.scavPending = make(map[msg.NodeID]bool)
+	for i := 0; i < c.allCubs(); i++ {
+		z := msg.NodeID(i)
+		c.scavPending[z] = true
+		c.net.Send(msg.Controller, z, &msg.ScavengeReq{Epoch: c.ctlEpoch})
+	}
+	if o := c.obs; o != nil {
+		o.epoch.Set(float64(c.ctlEpoch))
+		o.takeovers.Inc()
+		o.active.Set(0)
+	}
+	// A cub that is itself dead never answers; close the fold after a
+	// deadman timeout so the takeover clock always stops.
+	ep := c.ctlEpoch
+	c.clk.After(c.cfg.DeadmanTimeout, func() {
+		if c.scavenging && c.ctlEpoch == ep {
+			c.finishScavenge()
+		}
+	})
+	c.started = true
+	c.hbTick()
+	if len(c.scavPending) == 0 {
+		c.finishScavenge()
+	}
+}
+
+// onScavengeReply folds one cub's inventory into the rebuilt state.
+func (c *Controller) onScavengeReply(r *msg.ScavengeReply) {
+	if !c.scavenging || r.ForEpoch != c.ctlEpoch {
+		return // an answer to a previous incarnation's request
+	}
+	if !c.scavPending[r.From] {
+		return // duplicate
+	}
+	delete(c.scavPending, r.From)
+	c.stats.ScavengeReplies++
+	if o := c.obs; o != nil {
+		o.scavReplies.Inc()
+	}
+	if r.GovFence > c.gov.fence {
+		c.gov.fence = r.GovFence
+		c.gov.stats.Fence = r.GovFence
+	}
+	for i := range r.States {
+		vs := &r.States[i]
+		if vs.Instance > c.nextInstance {
+			c.nextInstance = vs.Instance
+		}
+		// Due == 0 marks a start still queued for a slot; its Slot field
+		// carries the gen-tagged primary disk, not a schedule slot.
+		queued := vs.Due == 0
+		rec := c.plays[vs.Instance]
+		if rec == nil {
+			gen := GenOf(vs.Slot)
+			gcfg := c.gens[gen]
+			if gcfg == nil {
+				gen = c.activeGen
+				gcfg = c.gens[gen]
+			}
+			rec = &playRecord{
+				viewer:     vs.Viewer,
+				file:       vs.File,
+				startBlock: vs.Block,
+				bitrate:    vs.Bitrate,
+				slot:       -1,
+				state:      PlayQueued,
+				issued:     c.clk.Now(),
+				gen:        gen,
+			}
+			if queued && gcfg != nil {
+				rec.primary = gcfg.Layout.CubOfDisk(int(RawSlot(vs.Slot)) % gcfg.Sched.NumDisks)
+			}
+			c.plays[vs.Instance] = rec
+			c.genLoad[gen]++
+			c.stats.ScavengedPlays++
+		}
+		if !queued && rec.state == PlayQueued {
+			rec.state = PlayActive
+			rec.slot = vs.Slot
+			c.active++
+			if c.active > c.stats.MaxActive {
+				c.stats.MaxActive = c.active
+			}
+		}
+	}
+	for i := range r.Parked {
+		p := &r.Parked[i]
+		if p.Instance > c.nextInstance {
+			c.nextInstance = p.Instance
+		}
+		if t := c.scavParked[p.Instance]; t == nil || p.Fence > t.Fence {
+			c.scavParked[p.Instance] = &ParkTicket{
+				Viewer:      p.Viewer,
+				OldInstance: p.Instance,
+				File:        p.File,
+				ResumeBlock: p.ResumeBlock,
+				Bitrate:     p.Bitrate,
+				Fence:       p.Fence,
+			}
+		}
+	}
+	if len(c.scavPending) == 0 {
+		c.finishScavenge()
+	}
+}
+
+// finishScavenge installs the folded state and re-opens admission.
+func (c *Controller) finishScavenge() {
+	if !c.scavenging {
+		return
+	}
+	c.scavenging = false
+	c.scavPending = nil
+
+	// Install recovered park tickets — except those whose viewer already
+	// has a live play: the dead incarnation resumed that stream and
+	// crashed before every cub saw the Resume, so re-admitting the
+	// ticket would double-serve the viewer.
+	g := &c.gov
+	g.init()
+	liveViewer := make(map[msg.ViewerID]bool, len(c.plays))
+	for _, rec := range c.plays {
+		if rec.state != PlayDone {
+			liveViewer[rec.viewer] = true
+		}
+	}
+	insts := make([]msg.InstanceID, 0, len(c.scavParked))
+	for inst := range c.scavParked {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		t := c.scavParked[inst]
+		if liveViewer[t.Viewer] {
+			continue
+		}
+		g.parked[inst] = t
+		g.queue = append(g.queue, t)
+		g.stats.Parks++
+		c.stats.ScavengedParks++
+	}
+	c.scavParked = nil
+
+	d := c.clk.Now().Sub(c.scavStart)
+	c.takeover.Observe(d)
+	if o := c.obs; o != nil {
+		o.active.Set(float64(c.active))
+		o.parked.Set(float64(len(g.parked)))
+		o.takeoverTime.Observe(d.Seconds())
+	}
+	if c.OnScavenged != nil {
+		c.OnScavenged()
+	}
+	// If capacity is whole and recovered tickets are waiting, drain them;
+	// when the replayed down-set re-armed the governor instead, the
+	// ordinary NoteCubUp path drains once coverage returns.
+	if len(g.unservable) == 0 && len(g.queue) > 0 && !g.draining {
+		g.draining = true
+		c.clk.After(c.cfg.Governor.ResumeDelay, c.drainParked)
+	}
+	c.ensureGovTick()
+}
+
+// TakeoverTimes returns the histogram of restart-to-rebuilt durations.
+func (c *Controller) TakeoverTimes() *metrics.Histogram { return c.takeover }
+
+// ResumeRestripe re-drives an elastic plan after a takeover. The wiped
+// coordinator re-issues every move as pending; sources dedup orders
+// already queued, destinations re-ack moves already durable (the
+// at-least-once order stream meets the cubs' (fence,seq) dedup), so the
+// run converges without re-copying committed work.
+func (c *Controller) ResumeRestripe(fence int64, oldGen int32, plan *layout.ElasticPlan) error {
+	if c.rs.active {
+		return nil
+	}
+	return c.StartRestripe(fence, oldGen, plan)
+}
+
+// --- cub side ---
+
+// parkedTicketTTL bounds how long a cub retains a parked stream's
+// re-admission ticket with no Resume arriving. Generous — tickets exist
+// precisely to survive a controller outage plus a governor episode —
+// but finite, so a stream abandoned forever does not pin the map.
+const parkedTicketTTL = 10 * time.Minute
+
+// staleCtl implements the receive-side controller-epoch fence: an order
+// stamped below the highest controller epoch this cub has seen was
+// issued by a dead incarnation and must not touch the schedule. Epoch 0
+// marks an unstamped order (direct-injection tests) and passes.
+func (c *Cub) staleCtl(e int32) bool {
+	if e == 0 {
+		return false
+	}
+	if e < c.ctlEpoch {
+		c.stats.CtlStaleDrops++
+		if o := c.obs; o != nil {
+			o.ctlStaleDrops.Inc()
+		}
+		return true
+	}
+	c.noteCtlEpoch(e)
+	return false
+}
+
+// noteCtlEpoch raises the controller-epoch high-water mark. A bump past
+// an epoch we already knew is a takeover observed.
+func (c *Cub) noteCtlEpoch(e int32) {
+	if e <= c.ctlEpoch {
+		return
+	}
+	if c.ctlEpoch != 0 {
+		c.stats.CtlTakeovers++
+		if o := c.obs; o != nil {
+			o.ctlTakeovers.Inc()
+		}
+	}
+	c.ctlEpoch = e
+}
+
+// onCtlHeartbeat feeds the cub's deadman for the controller. The cub
+// keeps serving either way — the schedule needs no controller to run —
+// so a controller death only flips an observability flag here.
+func (c *Cub) onCtlHeartbeat(t *msg.Heartbeat) {
+	c.ctlLastSeen = c.clk.Now()
+	if c.ctlDown {
+		c.ctlDown = false
+		if o := c.obs; o != nil {
+			o.ctlDown.Set(0)
+		}
+	}
+	c.noteCtlEpoch(t.Epoch)
+}
+
+// ctlDeadmanCheck runs from heartbeatTick: a controller that has
+// heartbeated before and then fallen silent past the deadman window is
+// declared down. Armed only after the first controller heartbeat, so
+// harnesses that never start the controller's broadcast see nothing.
+func (c *Cub) ctlDeadmanCheck(now sim.Time) {
+	if c.ctlLastSeen == 0 || c.ctlDown {
+		return
+	}
+	if now.Sub(c.ctlLastSeen) > c.cfg.DeadmanTimeout {
+		c.ctlDown = true
+		c.stats.CtlDeclaredDead++
+		if o := c.obs; o != nil {
+			o.ctlDown.Set(1)
+		}
+	}
+}
+
+// ControllerDown reports whether this cub's deadman currently believes
+// the controller dead.
+func (c *Cub) ControllerDown() bool { return c.ctlDown }
+
+// CtlEpoch returns the highest controller epoch this cub has seen.
+func (c *Cub) CtlEpoch() int32 { return c.ctlEpoch }
+
+// ParkedTickets returns how many parked-stream re-admission tickets
+// this cub currently retains.
+func (c *Cub) ParkedTickets() int { return len(c.parkedTickets) }
+
+// onScavengeReq answers a new controller incarnation with this cub's
+// inventory: one representative viewer state per play instance in its
+// window, queued starts it holds, and its parked-stream tickets. The
+// request doubles as the fence announcement — the epoch high-water mark
+// rises before the reply leaves, so nothing the dead incarnation still
+// has in flight can slip in behind the fold.
+func (c *Cub) onScavengeReq(q msg.ScavengeReq) {
+	c.noteCtlEpoch(q.Epoch)
+	c.ctlLastSeen = c.clk.Now()
+	if c.ctlDown {
+		c.ctlDown = false
+		if o := c.obs; o != nil {
+			o.ctlDown.Set(0)
+		}
+	}
+	c.stats.ScavengesServed++
+	if o := c.obs; o != nil {
+		o.scavServed.Inc()
+	}
+
+	pace := int64(c.cfg.MirrorPace())
+	best := make(map[msg.InstanceID]msg.ViewerState)
+	keys := make([]entryKey, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sortEntryKeys(keys)
+	for _, k := range keys {
+		e := c.entries[k]
+		if _, parked := c.parkedInst[e.vs.Instance]; parked {
+			continue // a parked stream's stragglers are not a live play
+		}
+		vs := e.vs
+		if k.part >= 0 {
+			// A mirror piece: rebuild the primary service it substitutes
+			// for, exactly as the rejoin reply does — the play is live even
+			// if every primary state sits on dead cubs.
+			vs.Mirror = false
+			vs.Part = 0
+			vs.Due -= int64(e.vs.Part) * pace
+		}
+		if b, ok := best[vs.Instance]; !ok || vs.Block > b.Block {
+			best[vs.Instance] = vs
+		}
+	}
+	// Starts still waiting for a slot — queued under a (gen, disk) key
+	// or held as a redundant copy for a neighbour. Reported with Due 0
+	// (no schedule position yet) and the gen-tagged primary disk in
+	// Slot; a real state for the same instance wins the fold.
+	addQueued := func(req *startReq) {
+		if _, ok := best[req.sp.Instance]; ok {
+			return
+		}
+		best[req.sp.Instance] = msg.ViewerState{
+			Viewer:   req.sp.Viewer,
+			Instance: req.sp.Instance,
+			File:     req.sp.File,
+			Block:    req.sp.StartBlock,
+			Slot:     req.dkey,
+			Due:      0,
+			Bitrate:  req.sp.Bitrate,
+		}
+	}
+	dkeys := make([]int32, 0, len(c.queue))
+	for k := range c.queue {
+		dkeys = append(dkeys, k)
+	}
+	sort.Slice(dkeys, func(i, j int) bool { return dkeys[i] < dkeys[j] })
+	for _, k := range dkeys {
+		for _, req := range c.queue[k] {
+			addQueued(req)
+		}
+	}
+	rinsts := make([]msg.InstanceID, 0, len(c.redundantStart))
+	for inst := range c.redundantStart {
+		rinsts = append(rinsts, inst)
+	}
+	sort.Slice(rinsts, func(i, j int) bool { return rinsts[i] < rinsts[j] })
+	for _, inst := range rinsts {
+		addQueued(c.redundantStart[inst])
+	}
+
+	reply := &msg.ScavengeReply{From: c.id, ForEpoch: q.Epoch, GovFence: c.govFence}
+	insts := make([]msg.InstanceID, 0, len(best))
+	for inst := range best {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		reply.States = append(reply.States, best[inst])
+	}
+	pinsts := make([]msg.InstanceID, 0, len(c.parkedTickets))
+	for inst := range c.parkedTickets {
+		pinsts = append(pinsts, inst)
+	}
+	sort.Slice(pinsts, func(i, j int) bool { return pinsts[i] < pinsts[j] })
+	for _, inst := range pinsts {
+		reply.Parked = append(reply.Parked, c.parkedTickets[inst])
+	}
+	c.net.Send(c.id, msg.Controller, reply)
+}

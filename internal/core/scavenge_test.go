@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tiger/internal/msg"
+)
+
+// These tests drive the controller-failover machinery (scavenge.go)
+// directly: epoch fencing, the takeover scavenge fold, the cub-side
+// controller deadman, and recovery of starts caught mid-flight.
+
+// TestScavengeRebuildsActivePlays is the core takeover property: crash
+// the controller under live streams, restart it, and the new incarnation
+// rebuilds the plays map purely from cub inventories — same active
+// count, no re-admissions, and the streams never stop being served.
+func TestScavengeRebuildsActivePlays(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	insts := make([]msg.InstanceID, 0, 6)
+	for v := msg.ViewerID(1); v <= 6; v++ {
+		insts = append(insts, r.play(v, msg.FileID(int(v)%4), int32(v)*10))
+	}
+	r.run(10 * time.Second)
+	active0 := r.ctl.Active()
+	if active0 != 6 {
+		t.Fatalf("expected 6 active before the crash, have %d", active0)
+	}
+	inserts0 := r.totals().Inserts
+	got0 := make(map[msg.ViewerID]int)
+	for v := msg.ViewerID(1); v <= 6; v++ {
+		got0[v] = r.got(v)
+	}
+
+	r.ctl.Crash()
+	r.run(5 * time.Second)
+	// The outage is invisible to admitted streams: every viewer kept
+	// receiving blocks off the distributed schedule.
+	for v := msg.ViewerID(1); v <= 6; v++ {
+		if r.got(v) <= got0[v] {
+			t.Errorf("viewer %d stalled during the outage: %d blocks before, %d after",
+				v, got0[v], r.got(v))
+		}
+	}
+	if _, err := r.ctl.StartPlay(99, 0, 0, 2_000_000); err != ErrControllerDown {
+		t.Errorf("admission during the outage: err=%v", err)
+	}
+
+	r.ctl.Restart()
+	r.run(2 * time.Second)
+
+	if r.ctl.Scavenging() {
+		t.Fatal("scavenge did not close with every cub live")
+	}
+	if got := r.ctl.Active(); got != active0 {
+		t.Errorf("rebuilt active count %d, want %d", got, active0)
+	}
+	st := r.ctl.Stats()
+	if st.Takeovers != 1 {
+		t.Errorf("takeovers = %d, want 1", st.Takeovers)
+	}
+	if st.ScavengeReplies != int64(len(r.cubs)) {
+		t.Errorf("scavenge replies = %d, want %d", st.ScavengeReplies, len(r.cubs))
+	}
+	if st.ScavengedPlays != int64(active0) {
+		t.Errorf("scavenged plays = %d, want %d (one per instance, deduped)", st.ScavengedPlays, active0)
+	}
+	if e := r.ctl.Epoch(); e != 2 {
+		t.Errorf("controller epoch after one takeover = %d, want 2", e)
+	}
+	for i, cub := range r.cubs {
+		if e := cub.CtlEpoch(); e != 2 {
+			t.Errorf("cub %d controller-epoch high-water = %d, want 2", i, e)
+		}
+	}
+	// No stream was re-admitted: the fold rebuilt records, it did not
+	// replay starts through the insertion path.
+	if inserts1 := r.totals().Inserts; inserts1 != inserts0 {
+		t.Errorf("takeover caused %d new insertions", inserts1-inserts0)
+	}
+	// The rebuilt records are live: a stop routes through them.
+	r.ctl.StopPlay(insts[0])
+	r.run(time.Second)
+	if got := r.ctl.Active(); got != active0-1 {
+		t.Errorf("active after post-takeover stop = %d, want %d", got, active0-1)
+	}
+}
+
+// TestScavengeRecoversInFlightStart crashes the controller the instant a
+// start request leaves, before its ack can return. The cub still admits
+// the stream (the order was issued by the live incarnation); the
+// takeover fold must discover it from the cub's inventory even though
+// the controller never saw the ack.
+func TestScavengeRecoversInFlightStart(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	r.play(7, 2, 0)
+	r.ctl.Crash() // the StartPlay is in flight; its ack will find the controller dead
+	r.run(2 * time.Second)
+	r.ctl.Restart()
+	r.run(2 * time.Second)
+	if got := r.ctl.Active(); got != 1 {
+		t.Errorf("in-flight start not recovered: active = %d, want 1", got)
+	}
+	if r.got(7) == 0 {
+		t.Error("the recovered stream never delivered a block")
+	}
+}
+
+// TestCtlEpochFencesStaleOrders verifies the receive-side fence: after a
+// takeover bumps the cubs' high-water mark, orders stamped by the dead
+// incarnation die on arrival, while unstamped (epoch 0) test injections
+// still pass.
+func TestCtlEpochFencesStaleOrders(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	r.play(1, 0, 0)
+	r.run(5 * time.Second)
+	r.ctl.Crash()
+	r.ctl.Restart() // epoch 2 announced via ScavengeReq
+	r.run(time.Second)
+
+	cub := r.cubs[0]
+	drops0 := cub.Stats().CtlStaleDrops
+	parked0 := cub.Stats().StreamsParked
+	// A Park from the dead incarnation (epoch 1) must be dropped.
+	r.net.Send(msg.Controller, 0, &msg.Park{Viewer: 50, Instance: 5000, Slot: -1, Ctl: 1})
+	r.run(time.Second)
+	if d := cub.Stats().CtlStaleDrops; d != drops0+1 {
+		t.Errorf("stale-order drops = %d, want %d", d, drops0+1)
+	}
+	if p := cub.Stats().StreamsParked; p != parked0 {
+		t.Errorf("a fenced Park still parked a stream (%d -> %d)", parked0, p)
+	}
+	// An unstamped Park (test injection) passes the fence.
+	r.net.Send(msg.Controller, 0, &msg.Park{Viewer: 51, Instance: 5001, Slot: -1})
+	r.run(time.Second)
+	if p := cub.Stats().StreamsParked; p != parked0+1 {
+		t.Errorf("an unstamped Park was dropped (parked %d, want %d)", p, parked0+1)
+	}
+}
+
+// TestCtlDeadmanDeclaresAndClears drives the cub-side controller
+// deadman: armed by the first controller heartbeat, declaring after
+// silence past the deadman window, cleared by the next incarnation's
+// scavenge broadcast.
+func TestCtlDeadmanDeclaresAndClears(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	r.ctl.Start()
+	r.run(2 * time.Second)
+	for i, cub := range r.cubs {
+		if cub.ControllerDown() {
+			t.Fatalf("cub %d believes a heartbeating controller dead", i)
+		}
+	}
+	r.ctl.Crash()
+	r.run(r.cfg.DeadmanTimeout + 2*r.cfg.HeartbeatInterval + time.Second)
+	for i, cub := range r.cubs {
+		if !cub.ControllerDown() {
+			t.Errorf("cub %d never declared the silent controller dead", i)
+		}
+		if cub.Stats().CtlDeclaredDead == 0 {
+			t.Errorf("cub %d declared no controller death", i)
+		}
+	}
+	r.ctl.Restart()
+	r.run(time.Second)
+	for i, cub := range r.cubs {
+		if cub.ControllerDown() {
+			t.Errorf("cub %d still believes the restarted controller dead", i)
+		}
+	}
+}
+
+// TestScavengeSurvivesDeadCub closes the fold by deadman timeout when a
+// cub cannot answer: the takeover must not hang on a reply that will
+// never come, and the plays the dead cub alone knew about are covered by
+// the mirror states its peers report.
+func TestScavengeSurvivesDeadCub(t *testing.T) {
+	r := newRig(t, defaultRigOptions())
+	for v := msg.ViewerID(1); v <= 4; v++ {
+		r.play(v, msg.FileID(int(v)%4), 0)
+	}
+	r.run(10 * time.Second)
+	active0 := r.ctl.Active()
+
+	// Kill a cub, then the controller, then take over with the cub still
+	// down: one reply is missing forever.
+	r.net.Crash(3)
+	r.ctl.Crash()
+	r.run(time.Second)
+	r.ctl.Restart()
+	r.run(500 * time.Millisecond)
+	if !r.ctl.Scavenging() {
+		t.Fatal("scavenge closed while a reply was still owed")
+	}
+	r.run(r.cfg.DeadmanTimeout + time.Second)
+	if r.ctl.Scavenging() {
+		t.Fatal("scavenge never closed out around the dead cub")
+	}
+	if got := r.ctl.Stats().ScavengeReplies; got != int64(len(r.cubs)-1) {
+		t.Errorf("scavenge replies = %d, want %d (cub 3 is dead)", got, len(r.cubs)-1)
+	}
+	if got := r.ctl.Active(); got != active0 {
+		t.Errorf("rebuilt active count %d, want %d", got, active0)
+	}
+}

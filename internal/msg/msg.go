@@ -64,6 +64,8 @@ const (
 	TPark
 	TParkAck
 	TResume
+	TScavengeReq
+	TScavengeReply
 )
 
 func (t Type) String() string {
@@ -112,6 +114,10 @@ func (t Type) String() string {
 		return "ParkAck"
 	case TResume:
 		return "Resume"
+	case TScavengeReq:
+		return "ScavengeReq"
+	case TScavengeReply:
+		return "ScavengeReply"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -178,9 +184,10 @@ type StartPlay struct {
 	Primary    bool  // true at the cub expected to do the insertion
 	Issued     int64 // ns: when the controller received the request
 	Trace      uint8 // causal-trace flags inherited by every viewer state
+	Ctl        int32 // controller epoch; fences orders from a dead incarnation
 }
 
-const startPlaySize = 8 + 8 + 16 + 4 + 4 + 4 + 1 + 8 + 1
+const startPlaySize = 8 + 8 + 16 + 4 + 4 + 4 + 1 + 8 + 1 + 4
 
 func (*StartPlay) Type() Type { return TStartPlay }
 func (*StartPlay) Size() int  { return 1 + startPlaySize }
@@ -406,6 +413,7 @@ func (s *StartPlay) encode(b []byte) []byte {
 	b = putBool(b, s.Primary)
 	b = putU64(b, uint64(s.Issued))
 	b = putU8(b, s.Trace)
+	b = putU32(b, uint32(s.Ctl))
 	return b
 }
 
@@ -431,6 +439,8 @@ func (s *StartPlay) decode(b []byte) ([]byte, error) {
 	s.Issued = int64(u64)
 	u8, b, _ = getU8(b)
 	s.Trace = u8
+	u32, b, _ = getU32(b)
+	s.Ctl = int32(u32)
 	return b, nil
 }
 
@@ -631,6 +641,10 @@ func Consume(b []byte) (Message, []byte, error) {
 		m = &ParkAck{}
 	case TResume:
 		m = &Resume{}
+	case TScavengeReq:
+		m = &ScavengeReq{}
+	case TScavengeReply:
+		m = &ScavengeReply{}
 	default:
 		return nil, nil, fmt.Errorf("msg: unknown message type %d", t)
 	}

@@ -33,9 +33,20 @@ func sampleMessages() []Message {
 			{Viewer: 43, Instance: 44, Slot: 45, Due: 46, OrigDisk: 47},
 		}},
 		&CubDown{Fence: 48, Down: []NodeID{5, 6}},
-		&Park{Viewer: 49, Instance: 50, Slot: -1, Fence: 51},
+		&Park{Viewer: 49, Instance: 50, Slot: -1, Fence: 51,
+			File: 2, ResumeBlock: 77, Bitrate: 2_000_000, Ctl: 3},
 		&ParkAck{Instance: 52, Fence: 53, By: 54},
-		&Resume{Viewer: 55, OldInstance: 56, NewInstance: 57, Fence: 58},
+		&Resume{Viewer: 55, OldInstance: 56, NewInstance: 57, Fence: 58, Ctl: 3},
+		&ScavengeReq{Epoch: 59},
+		&ScavengeReply{From: 60, ForEpoch: 61, GovFence: 62,
+			States: []ViewerState{
+				{Viewer: 63, Instance: 64, File: 65, Block: 66, Slot: 67,
+					Due: 68, Bitrate: 69, Epoch: 70},
+			},
+			Parked: []ScavengedPark{
+				{Viewer: 71, Instance: 72, File: 73, ResumeBlock: 74,
+					Bitrate: 75, Fence: 76},
+			}},
 	}
 }
 

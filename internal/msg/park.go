@@ -64,15 +64,22 @@ func (m *CubDown) decode(b []byte) ([]byte, error) {
 // deschedule, its successor, in case the state already hopped) to
 // remove the instance from its schedule. Unlike a deschedule it also
 // installs a tombstone for the instance so states still gossiping
-// around the ring die on arrival.
+// around the ring die on arrival. The File/ResumeBlock/Bitrate fields
+// are the viewer's full re-admission ticket: every live cub retains
+// them until the matching Resume, so a controller takeover can scavenge
+// the parked set instead of losing it with the dead incarnation.
 type Park struct {
-	Viewer   ViewerID
-	Instance InstanceID
-	Slot     int32 // slot the controller believes the stream occupies; <0 if queued
-	Fence    int32
+	Viewer      ViewerID
+	Instance    InstanceID
+	Slot        int32 // slot the controller believes the stream occupies; <0 if queued
+	Fence       int32
+	File        FileID
+	ResumeBlock int32 // delivered watermark the stream resumes at
+	Bitrate     int32
+	Ctl         int32 // controller epoch
 }
 
-const parkSize = 8 + 8 + 4 + 4
+const parkSize = 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4
 
 func (*Park) Type() Type { return TPark }
 func (*Park) Size() int  { return 1 + parkSize }
@@ -82,6 +89,10 @@ func (m *Park) encode(b []byte) []byte {
 	b = putU64(b, uint64(m.Instance))
 	b = putU32(b, uint32(m.Slot))
 	b = putU32(b, uint32(m.Fence))
+	b = putU32(b, uint32(m.File))
+	b = putU32(b, uint32(m.ResumeBlock))
+	b = putU32(b, uint32(m.Bitrate))
+	b = putU32(b, uint32(m.Ctl))
 	return b
 }
 
@@ -97,6 +108,14 @@ func (m *Park) decode(b []byte) ([]byte, error) {
 	m.Slot = int32(u32)
 	u32, b, _ = getU32(b)
 	m.Fence = int32(u32)
+	u32, b, _ = getU32(b)
+	m.File = FileID(int32(u32))
+	u32, b, _ = getU32(b)
+	m.ResumeBlock = int32(u32)
+	u32, b, _ = getU32(b)
+	m.Bitrate = int32(u32)
+	u32, b, _ = getU32(b)
+	m.Ctl = int32(u32)
 	return b, nil
 }
 
@@ -142,9 +161,10 @@ type Resume struct {
 	OldInstance InstanceID
 	NewInstance InstanceID
 	Fence       int32
+	Ctl         int32 // controller epoch
 }
 
-const resumeSize = 8 + 8 + 8 + 4
+const resumeSize = 8 + 8 + 8 + 4 + 4
 
 func (*Resume) Type() Type { return TResume }
 func (*Resume) Size() int  { return 1 + resumeSize }
@@ -154,6 +174,7 @@ func (m *Resume) encode(b []byte) []byte {
 	b = putU64(b, uint64(m.OldInstance))
 	b = putU64(b, uint64(m.NewInstance))
 	b = putU32(b, uint32(m.Fence))
+	b = putU32(b, uint32(m.Ctl))
 	return b
 }
 
@@ -169,5 +190,7 @@ func (m *Resume) decode(b []byte) ([]byte, error) {
 	m.NewInstance = InstanceID(u64)
 	u32, b, _ := getU32(b)
 	m.Fence = int32(u32)
+	u32, b, _ = getU32(b)
+	m.Ctl = int32(u32)
 	return b, nil
 }

@@ -33,9 +33,10 @@ type MoveOrder struct {
 	DstCub NodeID
 	DstIdx int8 // cub-local destination disk index
 	Alt    uint8
+	Ctl    int32 // controller epoch; fences orders from a dead incarnation
 }
 
-const moveOrderSize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 1 + 1
+const moveOrderSize = 8 + 4 + 4 + 4 + 1 + 1 + 4 + 1 + 1 + 4
 
 func (*MoveOrder) Type() Type { return TMoveOrder }
 func (*MoveOrder) Size() int  { return 1 + moveOrderSize }
@@ -50,6 +51,7 @@ func (m *MoveOrder) encode(b []byte) []byte {
 	b = putU32(b, uint32(m.DstCub))
 	b = putU8(b, uint8(m.DstIdx))
 	b = putU8(b, m.Alt)
+	b = putU32(b, uint32(m.Ctl))
 	return b
 }
 
@@ -75,6 +77,8 @@ func (m *MoveOrder) decode(b []byte) ([]byte, error) {
 	m.DstIdx = int8(u8)
 	u8, b, _ = getU8(b)
 	m.Alt = u8
+	u32, b, _ = getU32(b)
+	m.Ctl = int32(u32)
 	return b, nil
 }
 

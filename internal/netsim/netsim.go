@@ -474,6 +474,21 @@ func (n *Network) chance(st *nodeStats) float64 {
 // Send delivers a control message from one node to another, reliably and
 // in order with respect to other messages on the same (from, to) pair.
 func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
+	n.send(from, to, m, true)
+}
+
+// SendSteady delivers a control message like Send but at the base
+// latency, never drawing from the jitter stream. Periodic liveness
+// traffic — the controller heartbeat — uses it so that turning a
+// heartbeat on cannot re-roll the shared randomness alignment of every
+// other message in a single-engine run: the unrelated experiments must
+// stay byte-identical with and without the extra traffic. (Sharded runs
+// already draw from per-sender streams, where the leak cannot happen.)
+func (n *Network) SendSteady(from, to msg.NodeID, m msg.Message) {
+	n.send(from, to, m, false)
+}
+
+func (n *Network) send(from, to msg.NodeID, m msg.Message, jitter bool) {
 	st := n.statsFor(from)
 	if n.failed[from] || n.failed[to] {
 		return
@@ -514,20 +529,24 @@ func (n *Network) Send(from, to msg.NodeID, m msg.Message) {
 			dup = true
 		}
 	}
-	n.deliverCtl(from, to, st, m, extra)
+	n.deliverCtl(from, to, st, m, extra, jitter)
 	if dup {
 		// The duplicate trails the original through the same FIFO link,
 		// like a retransmission whose first copy also arrived.
 		st.linkDups++
-		n.deliverCtl(from, to, st, m, extra)
+		n.deliverCtl(from, to, st, m, extra, jitter)
 	}
 }
 
 // deliverCtl schedules one control-message arrival, preserving FIFO per
 // (from, to) pair and dooming the delivery if either endpoint fails or
 // crashes while it is in flight.
-func (n *Network) deliverCtl(from, to msg.NodeID, st *nodeStats, m msg.Message, extra time.Duration) {
-	arrive := n.clockFor(from).Now().Add(n.latency(st) + extra)
+func (n *Network) deliverCtl(from, to msg.NodeID, st *nodeStats, m msg.Message, extra time.Duration, jitter bool) {
+	lat := n.params.LatencyBase
+	if jitter {
+		lat = n.latency(st)
+	}
+	arrive := n.clockFor(from).Now().Add(lat + extra)
 	if st.lastArr == nil {
 		st.lastArr = make(map[msg.NodeID]sim.Time)
 	}

@@ -79,6 +79,22 @@ if grep -E '"(BlocksLost|DoubleServes|Violations|ParkedEnd|QueueEnd)": [^0]' "$c
 fi
 rm -rf "$codir"
 
+# Controller-failover gate: the takeover regressions under the race
+# detector (crash-controller chaos smoke: zero loss on crash-time
+# streams, no double admissions, a scavenge served by every cub; the
+# client start-retry backoff; the parked and mid-restripe takeovers;
+# byte determinism), then the light sweep arm, which must emit
+# BENCH_failover.json with its zero columns intact.
+go test -race -run 'TestControllerFailover' .
+fodir=$(mktemp -d)
+go run ./cmd/tigerbench -exp failover -failoverarms idle-light-3s -out "$fodir" >/dev/null
+[ -s "$fodir/BENCH_failover.json" ]
+if grep -E '"(BlocksLost|DoubleServes|Violations|StartAbandons|ParkedEnd|QueueEnd)": [^0]' "$fodir/BENCH_failover.json"; then
+    echo "failover sweep violated the zero columns" >&2
+    exit 1
+fi
+rm -rf "$fodir"
+
 # Warehouse-scale gate: the sharded-vs-serial byte-identical determinism
 # compare (2/4/8 shards × 2/4/8 workers) under the race detector — this
 # is the coordination code's correctness proof — then a short 200-cub
@@ -98,15 +114,35 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 
 # Smoke: boot the single-process demo and check the observability
 # surface — /healthz answers, /metrics carries the cub counters and the
-# block-lifecycle slack series, pprof is mounted.
+# block-lifecycle slack series, pprof is mounted. The control port is
+# overridable so the gate doesn't collide with a developer's running
+# tigerd; tigerd derives the epoch service at control + 1000 and the
+# debug endpoint at control + 2000, so all three must be free.
+TIGERD_CHECK_PORT="${TIGERD_CHECK_PORT:-7400}"
+TIGERD_DEBUG_PORT=$((TIGERD_CHECK_PORT + 2000))
+
+# port_free: connection refused (curl exit 7) means nothing is
+# listening; any other outcome means the port is taken.
+port_free() {
+    curl -s --max-time 2 -o /dev/null "http://127.0.0.1:$1/" && return 1
+    [ $? -eq 7 ]
+}
+for p in "$TIGERD_CHECK_PORT" $((TIGERD_CHECK_PORT + 1000)) "$TIGERD_DEBUG_PORT"; do
+    if ! port_free "$p"; then
+        echo "check.sh: port $p is already bound (a running tigerd?);" \
+             "set TIGERD_CHECK_PORT to a free control port (epoch = control + 1000, debug = control + 2000)" >&2
+        exit 1
+    fi
+done
+
 go build -o /tmp/tigerd.check ./cmd/tigerd
-/tmp/tigerd.check -cubs 4 -listen 127.0.0.1:7400 &
+/tmp/tigerd.check -cubs 4 -listen "127.0.0.1:$TIGERD_CHECK_PORT" &
 TIGERD_PID=$!
 trap 'kill $TIGERD_PID 2>/dev/null || true' EXIT
 
 ok=""
 for i in $(seq 1 50); do
-    if curl -fsS http://127.0.0.1:9400/healthz >/dev/null 2>&1; then
+    if curl -fsS "http://127.0.0.1:$TIGERD_DEBUG_PORT/healthz" >/dev/null 2>&1; then
         ok=1
         break
     fi
@@ -114,12 +150,12 @@ for i in $(seq 1 50); do
 done
 [ -n "$ok" ]
 
-metrics=$(curl -fsS http://127.0.0.1:9400/metrics)
+metrics=$(curl -fsS "http://127.0.0.1:$TIGERD_DEBUG_PORT/metrics")
 echo "$metrics" | grep '^tiger_cub_inserts_total' >/dev/null
 echo "$metrics" | grep '^tiger_block_deadline_slack_seconds_bucket' >/dev/null
-curl -fsS http://127.0.0.1:9400/debug/pprof/cmdline >/dev/null
-curl -fsS http://127.0.0.1:9400/debug/vars | grep '"cub0"' >/dev/null
-curl -fsS http://127.0.0.1:9400/debug/trace | head -1 | grep '"header":true' >/dev/null
+curl -fsS "http://127.0.0.1:$TIGERD_DEBUG_PORT/debug/pprof/cmdline" >/dev/null
+curl -fsS "http://127.0.0.1:$TIGERD_DEBUG_PORT/debug/vars" | grep '"cub0"' >/dev/null
+curl -fsS "http://127.0.0.1:$TIGERD_DEBUG_PORT/debug/trace" | head -1 | grep '"header":true' >/dev/null
 
 kill $TIGERD_PID
 trap - EXIT

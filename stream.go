@@ -1,9 +1,11 @@
 package tiger
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"tiger/internal/core"
 	"tiger/internal/msg"
 	"tiger/internal/netsim"
 	"tiger/internal/obs"
@@ -169,6 +171,83 @@ func (c *Cluster) RampTo(target int) error {
 	return nil
 }
 
+// Start-retry policy for controller outages: a refused admission is
+// retried with capped exponential backoff and seeded jitter, then
+// abandoned — the set-top box gives up and the viewer calls back later.
+const (
+	startRetryBase = 250 * time.Millisecond
+	startRetryCap  = 4 * time.Second
+	startRetryMax  = 8
+)
+
+// failoverErr reports whether an admission error means the controller is
+// temporarily unavailable (crashed, or a new incarnation still
+// scavenging the schedule) rather than genuinely refusing the play.
+func failoverErr(err error) bool {
+	return errors.Is(err, core.ErrControllerDown) || errors.Is(err, core.ErrScavenging)
+}
+
+// retryStart re-issues a failover-refused start after a backed-off,
+// jittered delay. attempt counts from 1; past startRetryMax the client
+// abandons. start runs one admission attempt; started fires on success.
+func (c *Cluster) retryStart(attempt int, start func() (*Stream, error), started func(*Stream)) {
+	if attempt > startRetryMax {
+		c.startAbandoned++
+		if c.startAbandonedC != nil {
+			c.startAbandonedC.Inc()
+		}
+		return
+	}
+	c.startRetries++
+	if c.startRetriesC != nil {
+		c.startRetriesC.Inc()
+	}
+	base := startRetryBase << uint(attempt-1)
+	if base > startRetryCap {
+		base = startRetryCap
+	}
+	d := base/2 + time.Duration(c.rng.Int63n(int64(base)))
+	clockOf(c).After(d, func() {
+		s, err := start()
+		if err != nil {
+			if failoverErr(err) {
+				c.retryStart(attempt+1, start, started)
+			}
+			return
+		}
+		if started != nil {
+			started(s)
+		}
+	})
+}
+
+// PlayRetrying starts a stream like Play, but treats a controller outage
+// as transient: the admission is retried with capped exponential backoff
+// and seeded jitter while a failover is in progress, and onStarted fires
+// when an attempt succeeds. A non-failover refusal is returned at once;
+// after startRetryMax backed-off attempts the client abandons (counted
+// in tiger_client_start_abandons_total).
+func (c *Cluster) PlayRetrying(file msg.FileID, startBlock int32, onStarted func(*Stream)) error {
+	s, err := c.Play(file, startBlock)
+	if err == nil {
+		if onStarted != nil {
+			onStarted(s)
+		}
+		return nil
+	}
+	if !failoverErr(err) {
+		return err
+	}
+	c.retryStart(1, func() (*Stream, error) { return c.Play(file, startBlock) }, onStarted)
+	return nil
+}
+
+// StartRetryStats reports how many admissions were retried around a
+// controller outage and how many clients gave up.
+func (c *Cluster) StartRetryStats() (retries, abandoned int64) {
+	return c.startRetries, c.startAbandoned
+}
+
 func (c *Cluster) replay(old *Stream) {
 	if c.rsPauseReplay {
 		// Restripe cutover quiesce: hold the replay and re-issue it the
@@ -179,6 +258,12 @@ func (c *Cluster) replay(old *Stream) {
 	}
 	s, err := c.PlayRandom()
 	if err != nil {
+		if failoverErr(err) {
+			// Controller outage: keep the viewer's intent alive across the
+			// takeover with the client retry policy.
+			c.retryStart(1, c.PlayRandom, func(s *Stream) { s.OnEOF = c.replay })
+			return
+		}
 		if c.restripeActive() {
 			// The joint admission limit refuses new plays while streams
 			// admitted under the old generation still hold slot budget.

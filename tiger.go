@@ -224,6 +224,20 @@ type Cluster struct {
 	rsPauseReplay   bool
 	rsDeferred      int
 	rsDeferredTotal int
+	// rsPlan retains the in-flight elastic plan so a controller takeover
+	// during the copy phase can re-arm the coordinator (failover.go); set
+	// by StartRestripe, cleared when the copy completes.
+	rsPlan *layout.ElasticPlan
+
+	// ctlDown mirrors the controller's crashed state for the harness and
+	// the chaos runner; stream admission retries while it is set.
+	ctlDown bool
+
+	// Client start-retry tallies around controller outages (stream.go).
+	startRetries    int64
+	startAbandoned  int64
+	startRetriesC   *obs.Counter
+	startAbandonedC *obs.Counter
 
 	// cumulative viewer tallies, folded in as streams finish
 	tallyOK, tallyLost, tallyMirror int64
@@ -360,6 +374,8 @@ func New(o Options) (*Cluster, error) {
 
 	c.reg = obs.NewRegistry()
 	c.rsGauge = c.reg.Gauge("tiger_restripe_phase", "Elastic restripe phase: 0 idle, 1 copy, 2 cutover, 3 drain, 4 linger, 5 done.", nil)
+	c.startRetriesC = c.reg.Counter("tiger_client_start_retries_total", "Start-play admissions retried because the controller was down or scavenging.", nil)
+	c.startAbandonedC = c.reg.Counter("tiger_client_start_abandons_total", "Start-play requests abandoned after exhausting failover retries.", nil)
 	c.Controller = core.NewController(cfg, clk, net)
 	c.Controller.AttachObs(c.reg)
 	c.Controller.OnParked = c.onParked
@@ -396,6 +412,7 @@ func New(o Options) (*Cluster, error) {
 	for _, cub := range c.Cubs {
 		cub.Start()
 	}
+	c.Controller.Start()
 	return c, nil
 }
 
@@ -690,6 +707,10 @@ func (c *Cluster) TotalCubStats() core.CubStats {
 		t.StreamsParked += s.StreamsParked
 		t.StreamsResumed += s.StreamsResumed
 		t.DownAdvisories += s.DownAdvisories
+		t.CtlStaleDrops += s.CtlStaleDrops
+		t.CtlTakeovers += s.CtlTakeovers
+		t.CtlDeclaredDead += s.CtlDeclaredDead
+		t.ScavengesServed += s.ScavengesServed
 	}
 	return t
 }
